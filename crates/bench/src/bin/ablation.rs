@@ -1,0 +1,105 @@
+//! Ablations of the design choices DESIGN.md calls out (beyond the
+//! paper's figures):
+//!
+//! * MGT template budget sweep (the paper fixes 512);
+//! * maximum mini-graph size (the paper fixes 4 = ALU pipeline depth);
+//! * internal serialization on/off (§4.1's design-choice claim);
+//! * handle issue bandwidth (number of ALU pipelines).
+//!
+//! Usage: `ablation [N]` limits the sweep to the first N benchmarks
+//! (default 20 — ablations multiply simulations).
+
+use mg_bench::{mean, save_json, BenchContext, Scheme};
+use mg_core::candidate::SelectionConfig;
+use mg_core::pipeline::prepare;
+use mg_core::select::Selector;
+use mg_sim::{simulate, MachineConfig, MgConfig, SimOptions};
+use mg_workloads::{suite, Executor};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Ablation {
+    name: String,
+    rel_perf: f64,
+    coverage: f64,
+}
+
+fn main() {
+    let take: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
+    let base = MachineConfig::baseline();
+    let red = MachineConfig::reduced();
+
+    // (selection-config override, machine-mg override, label)
+    let variants: Vec<(SelectionConfig, MgConfig, String)> = {
+        let mut v = Vec::new();
+        for budget in [32usize, 128, 512, 4096] {
+            v.push((
+                SelectionConfig { mgt_budget: budget, ..Default::default() },
+                MgConfig::paper(),
+                format!("mgt-budget-{budget}"),
+            ));
+        }
+        for size in [2usize, 3, 4] {
+            v.push((
+                SelectionConfig { max_size: size, ..Default::default() },
+                MgConfig::paper(),
+                format!("max-size-{size}"),
+            ));
+        }
+        v.push((
+            Default::default(),
+            MgConfig { internal_serialization: false, ..MgConfig::paper() },
+            "no-internal-serialization".into(),
+        ));
+        for pipes in [1u32, 2, 4] {
+            v.push((
+                Default::default(),
+                MgConfig {
+                    max_mg_issue: pipes,
+                    max_mem_mg_issue: pipes.div_ceil(2),
+                    alu_pipelines: pipes,
+                    ..MgConfig::paper()
+                },
+                format!("alu-pipelines-{pipes}"),
+            ));
+        }
+        v
+    };
+
+    let mut acc: Vec<(Vec<f64>, Vec<f64>)> = vec![(Vec::new(), Vec::new()); variants.len()];
+    for spec in suite().iter().take(take) {
+        let ctx = BenchContext::new(spec, &red);
+        let b = ctx.run(Scheme::NoMg, &base);
+        for (vi, (sel_cfg, mg_cfg, _)) in variants.iter().enumerate() {
+            let selector = Selector::SlackProfile(Default::default(), ctx.slack.clone());
+            let prepared = prepare(&ctx.workload.program, &ctx.freqs, &selector, sel_cfg);
+            let (t, _) = Executor::new(&prepared.program)
+                .run_with_mem(&ctx.workload.init_mem)
+                .unwrap();
+            let r = simulate(&prepared.program, &t, &red.clone().with_mg(*mg_cfg), SimOptions::default());
+            acc[vi].0.push(r.ipc() / b.ipc);
+            acc[vi].1.push(r.stats.coverage());
+        }
+        eprint!(".");
+    }
+    eprintln!();
+
+    println!("ABLATIONS (Slack-Profile on the reduced machine, {take} benchmarks)");
+    println!("{:<28} {:>10} {:>10}", "variant", "rel-perf", "coverage");
+    let mut out = Vec::new();
+    for (vi, (_, _, name)) in variants.iter().enumerate() {
+        let rp = mean(&acc[vi].0);
+        let cov = mean(&acc[vi].1);
+        println!("{name:<28} {rp:>10.3} {cov:>10.3}");
+        out.push(Ablation {
+            name: name.clone(),
+            rel_perf: rp,
+            coverage: cov,
+        });
+    }
+    let path = save_json("ablation", &out);
+    eprintln!("rows written to {}", path.display());
+}

@@ -1,0 +1,87 @@
+//! Figure 1: serialization-aware mini-graph selection at a glance.
+//!
+//! Performance of the reduced processor relative to the fully-provisioned
+//! one for all 78 programs, as independent S-curves: the `Slack-Profile`
+//! selector against the two naive selectors and the no-mini-graph line.
+//!
+//! Usage: `fig1 [N]` limits the sweep to the first N benchmarks.
+
+use mg_bench::{mean, s_curve, save_json, BenchContext, Scheme};
+use mg_sim::MachineConfig;
+use mg_workloads::suite;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    bench: String,
+    nomg: f64,
+    struct_all: f64,
+    struct_none: f64,
+    slack_profile: f64,
+}
+
+fn main() {
+    let take: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(usize::MAX);
+    let base = MachineConfig::baseline();
+    let red = MachineConfig::reduced();
+    let mut rows = Vec::new();
+    for spec in suite().iter().take(take) {
+        let ctx = BenchContext::new(spec, &red);
+        let b = ctx.run(Scheme::NoMg, &base);
+        rows.push(Row {
+            bench: spec.name.clone(),
+            nomg: ctx.run(Scheme::NoMg, &red).ipc / b.ipc,
+            struct_all: ctx.run(Scheme::StructAll, &red).ipc / b.ipc,
+            struct_none: ctx.run(Scheme::StructNone, &red).ipc / b.ipc,
+            slack_profile: ctx.run(Scheme::SlackProfile, &red).ipc / b.ipc,
+        });
+        eprint!(".");
+    }
+    eprintln!();
+
+    println!("FIGURE 1: performance on the reduced processor relative to the full one");
+    println!(
+        "{:>4} {:>10} {:>12} {:>12} {:>14}",
+        "idx", "no-mg", "Struct-All", "Struct-None", "Slack-Profile"
+    );
+    let curves: Vec<Vec<f64>> = [
+        rows.iter().map(|r| r.nomg).collect::<Vec<_>>(),
+        rows.iter().map(|r| r.struct_all).collect(),
+        rows.iter().map(|r| r.struct_none).collect(),
+        rows.iter().map(|r| r.slack_profile).collect(),
+    ]
+    .into_iter()
+    .map(|v| {
+        s_curve(v.into_iter().enumerate().map(|(i, x)| (i.to_string(), x)).collect())
+            .into_iter()
+            .map(|(_, x)| x)
+            .collect()
+    })
+    .collect();
+    for (i, (((a, b), c), d)) in curves[0]
+        .iter()
+        .zip(&curves[1])
+        .zip(&curves[2])
+        .zip(&curves[3])
+        .enumerate()
+    {
+        println!("{i:>4} {a:>10.3} {b:>12.3} {c:>12.3} {d:>14.3}");
+    }
+    println!(
+        "mean {:>10.3} {:>12.3} {:>12.3} {:>14.3}",
+        mean(&curves[0]),
+        mean(&curves[1]),
+        mean(&curves[2]),
+        mean(&curves[3])
+    );
+    println!(
+        "\nSlack-Profile lets the reduced machine {} the full one on average \
+         (paper: outperforms by 2%).",
+        if mean(&curves[3]) >= 1.0 { "outperform" } else { "approach" }
+    );
+    let path = save_json("fig1", &rows);
+    eprintln!("rows written to {}", path.display());
+}

@@ -1,0 +1,101 @@
+//! Figure 3: the naive structural selectors.
+//!
+//! Top: `Struct-All` and `Struct-None` on the reduced processor (relative
+//! to the full baseline). Bottom: the same mini-graphs on the fully
+//! provisioned processor, where serialization penalties are exposed.
+//! Also reports the pathology counts the paper calls out.
+//!
+//! Usage: `fig3 [N]` limits the sweep to the first N benchmarks.
+
+use mg_bench::{mean, s_curve, save_json, BenchContext, Scheme};
+use mg_sim::MachineConfig;
+use mg_workloads::suite;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    bench: String,
+    nomg_red: f64,
+    sa_red: f64,
+    sn_red: f64,
+    sa_full: f64,
+    sn_full: f64,
+    sa_cov: f64,
+    sn_cov: f64,
+}
+
+fn main() {
+    let take: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(usize::MAX);
+    let base = MachineConfig::baseline();
+    let red = MachineConfig::reduced();
+    let mut rows = Vec::new();
+    for spec in suite().iter().take(take) {
+        let ctx = BenchContext::new(spec, &red);
+        let b = ctx.run(Scheme::NoMg, &base);
+        let r = ctx.run(Scheme::NoMg, &red);
+        let sa_r = ctx.run(Scheme::StructAll, &red);
+        let sn_r = ctx.run(Scheme::StructNone, &red);
+        let sa_f = ctx.run(Scheme::StructAll, &base);
+        let sn_f = ctx.run(Scheme::StructNone, &base);
+        rows.push(Row {
+            bench: spec.name.clone(),
+            nomg_red: r.ipc / b.ipc,
+            sa_red: sa_r.ipc / b.ipc,
+            sn_red: sn_r.ipc / b.ipc,
+            sa_full: sa_f.ipc / b.ipc,
+            sn_full: sn_f.ipc / b.ipc,
+            sa_cov: sa_r.coverage,
+            sn_cov: sn_r.coverage,
+        });
+        eprint!(".");
+    }
+    eprintln!();
+
+    let curve = |f: &dyn Fn(&Row) -> f64| -> Vec<f64> {
+        s_curve(rows.iter().map(|r| (r.bench.clone(), f(r))).collect())
+            .into_iter()
+            .map(|(_, v)| v)
+            .collect()
+    };
+    let tops = [
+        ("no-mg", curve(&|r| r.nomg_red)),
+        ("Struct-All", curve(&|r| r.sa_red)),
+        ("Struct-None", curve(&|r| r.sn_red)),
+    ];
+    println!("FIGURE 3 TOP: performance on the reduced processor");
+    println!("{:>4} {:>10} {:>12} {:>12}", "idx", "no-mg", "Struct-All", "Struct-None");
+    for i in 0..rows.len() {
+        println!("{:>4} {:>10.3} {:>12.3} {:>12.3}", i, tops[0].1[i], tops[1].1[i], tops[2].1[i]);
+    }
+    for (name, c) in &tops {
+        println!("mean {name:<14} {:.3}", mean(c));
+    }
+
+    let bots = [
+        ("Struct-All", curve(&|r| r.sa_full)),
+        ("Struct-None", curve(&|r| r.sn_full)),
+    ];
+    println!("\nFIGURE 3 BOTTOM: performance on the fully-provisioned processor");
+    println!("{:>4} {:>12} {:>12}", "idx", "Struct-All", "Struct-None");
+    for i in 0..rows.len() {
+        println!("{:>4} {:>12.3} {:>12.3}", i, bots[0].1[i], bots[1].1[i]);
+    }
+
+    // The paper's analysis points.
+    let sa_worse_than_nomg = rows.iter().filter(|r| r.sa_red < r.nomg_red).count();
+    let sa_degrading_full = rows.iter().filter(|r| r.sa_full < 0.995).count();
+    let sn_worse_than_nomg = rows.iter().filter(|r| r.sn_red < r.nomg_red).count();
+    let crossover = rows.iter().filter(|r| r.sa_red > r.sn_red).count();
+    println!("\nANALYSIS (paper in parentheses)");
+    println!("  Struct-All coverage:  {:.0}%  (38%, range 18-60%)", 100.0 * mean(&rows.iter().map(|r| r.sa_cov).collect::<Vec<_>>()));
+    println!("  Struct-None coverage: {:.0}%  (20%, range 6-38%)", 100.0 * mean(&rows.iter().map(|r| r.sn_cov).collect::<Vec<_>>()));
+    println!("  SA below no-mg on reduced:   {sa_worse_than_nomg} programs (7)");
+    println!("  SA degrading on full:        {sa_degrading_full} programs (29)");
+    println!("  SN below no-mg on reduced:   {sn_worse_than_nomg} programs (0)");
+    println!("  SA beats SN on reduced for:  {crossover} of {} programs (about half)", rows.len());
+    let path = save_json("fig3", &rows);
+    eprintln!("rows written to {}", path.display());
+}

@@ -1,0 +1,142 @@
+//! Figure 6 (and the headline numbers): all five selectors across the
+//! full benchmark suite.
+//!
+//! * Top: performance on the reduced processor, relative to the
+//!   fully-provisioned baseline (S-curves).
+//! * Middle: performance on the fully-provisioned processor.
+//! * Bottom: dynamic coverage.
+//!
+//! Usage: `fig6 [N]` limits the sweep to the first N benchmarks.
+
+use mg_bench::{mean, s_curve, save_json, BenchContext, Scheme};
+use mg_sim::MachineConfig;
+use mg_workloads::suite;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    bench: String,
+    nomg_red: f64,
+    per_scheme: Vec<PerScheme>,
+}
+
+#[derive(Serialize)]
+struct PerScheme {
+    scheme: &'static str,
+    rel_red: f64,
+    rel_full: f64,
+    coverage: f64,
+}
+
+const SCHEMES: [Scheme; 5] = [
+    Scheme::StructAll,
+    Scheme::StructNone,
+    Scheme::StructBounded,
+    Scheme::SlackProfile,
+    Scheme::SlackDynamic,
+];
+
+fn main() {
+    let take: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(usize::MAX);
+    let base = MachineConfig::baseline();
+    let red = MachineConfig::reduced();
+    let mut rows: Vec<Row> = Vec::new();
+    for spec in suite().iter().take(take) {
+        let ctx = BenchContext::new(spec, &red);
+        let b = ctx.run(Scheme::NoMg, &base);
+        let r = ctx.run(Scheme::NoMg, &red);
+        let per_scheme = SCHEMES
+            .iter()
+            .map(|&s| {
+                let rr = ctx.run(s, &red);
+                let rf = ctx.run(s, &base);
+                PerScheme {
+                    scheme: s.name(),
+                    rel_red: rr.ipc / b.ipc,
+                    rel_full: rf.ipc / b.ipc,
+                    coverage: rr.coverage,
+                }
+            })
+            .collect();
+        rows.push(Row {
+            bench: spec.name.clone(),
+            nomg_red: r.ipc / b.ipc,
+            per_scheme,
+        });
+        eprint!(".");
+    }
+    eprintln!();
+
+    for (title, get) in [
+        ("TOP: relative performance on the REDUCED processor", 0usize),
+        ("MIDDLE: relative performance on the FULL processor", 1),
+        ("BOTTOM: dynamic coverage", 2),
+    ] {
+        println!("\nFIGURE 6 {title}");
+        print!("{:>4} {:>9}", "idx", "no-mg");
+        for s in SCHEMES {
+            print!(" {:>15}", s.name());
+        }
+        println!();
+        // Independent S-curves per scheme, as in the paper.
+        let nomg_curve = s_curve(rows.iter().map(|r| (r.bench.clone(), r.nomg_red)).collect());
+        let curves: Vec<Vec<(String, f64)>> = (0..SCHEMES.len())
+            .map(|si| {
+                s_curve(
+                    rows.iter()
+                        .map(|r| {
+                            let v = match get {
+                                0 => r.per_scheme[si].rel_red,
+                                1 => r.per_scheme[si].rel_full,
+                                _ => r.per_scheme[si].coverage,
+                            };
+                            (r.bench.clone(), v)
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        for i in 0..rows.len() {
+            print!("{:>4} {:>9.3}", i, if get == 2 { f64::NAN } else { nomg_curve[i].1 });
+            for curve in &curves {
+                print!(" {:>15.3}", curve[i].1);
+            }
+            println!();
+        }
+        print!("mean {:>9.3}", if get == 2 { f64::NAN } else { mean(&nomg_curve.iter().map(|x| x.1).collect::<Vec<_>>()) });
+        for curve in &curves {
+            let vals: Vec<f64> = curve.iter().map(|x| x.1).collect();
+            print!(" {:>15.3}", mean(&vals));
+        }
+        println!();
+    }
+
+    // Headline numbers.
+    let nomg_mean = mean(&rows.iter().map(|r| r.nomg_red).collect::<Vec<_>>());
+    println!("\nHEADLINES (paper in parentheses)");
+    println!("  reduced, no mini-graphs:      {:+.1}%  (-18%)", 100.0 * (nomg_mean - 1.0));
+    for (si, s) in SCHEMES.iter().enumerate() {
+        let m = mean(&rows.iter().map(|r| r.per_scheme[si].rel_red).collect::<Vec<_>>());
+        let c = mean(&rows.iter().map(|r| r.per_scheme[si].coverage).collect::<Vec<_>>());
+        let paper = match s {
+            Scheme::StructAll => "(-10%, cov 38%)",
+            Scheme::StructNone => "(-5%, cov 20%)",
+            Scheme::StructBounded => "(-2%, cov 30%)",
+            Scheme::SlackProfile => "(+2%, cov 34%)",
+            Scheme::SlackDynamic => "(-6%, cov 30%)",
+            _ => "",
+        };
+        println!(
+            "  reduced + {:<20} {:+.1}%, cov {:.0}%  {}",
+            s.name(),
+            100.0 * (m - 1.0),
+            100.0 * c,
+            paper
+        );
+    }
+    let path = save_json("fig6", &rows);
+    eprintln!("rows written to {}", path.display());
+}

@@ -1,0 +1,124 @@
+//! Figure 7: isolating the components of the models.
+//!
+//! Top: the Slack-Profile model — full (rules #1-4) vs `-Delay` (no
+//! consumer-slack rule) vs `-SIAL` (operand-arrival heuristic), against
+//! Struct-All / Struct-None.
+//!
+//! Bottom: the Slack-Dynamic model — realistic vs `Ideal` (no outlining
+//! penalty) vs `Ideal-Delay` (no consumer condition) vs `Ideal-SIAL`.
+//!
+//! All on the reduced processor, relative to the full baseline.
+//!
+//! Usage: `fig7 [N]` limits the sweep to the first N benchmarks.
+
+use mg_bench::{mean, s_curve, save_json, BenchContext, Scheme};
+use mg_sim::MachineConfig;
+use mg_workloads::suite;
+use serde::Serialize;
+
+const TOP: [Scheme; 5] = [
+    Scheme::SlackProfile,
+    Scheme::SlackProfileDelay,
+    Scheme::SlackProfileSial,
+    Scheme::StructAll,
+    Scheme::StructNone,
+];
+const BOTTOM: [Scheme; 5] = [
+    Scheme::SlackDynamic,
+    Scheme::IdealSlackDynamic,
+    Scheme::IdealSlackDynamicDelay,
+    Scheme::IdealSlackDynamicSial,
+    Scheme::StructAll,
+];
+
+#[derive(Serialize)]
+struct Row {
+    bench: String,
+    top: Vec<f64>,
+    bottom: Vec<f64>,
+}
+
+fn main() {
+    let take: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(usize::MAX);
+    let base = MachineConfig::baseline();
+    let red = MachineConfig::reduced();
+    let mut rows = Vec::new();
+    for spec in suite().iter().take(take) {
+        let ctx = BenchContext::new(spec, &red);
+        let b = ctx.run(Scheme::NoMg, &base);
+        let top: Vec<f64> = TOP.iter().map(|&s| ctx.run(s, &red).ipc / b.ipc).collect();
+        let bottom: Vec<f64> = BOTTOM.iter().map(|&s| ctx.run(s, &red).ipc / b.ipc).collect();
+        rows.push(Row {
+            bench: spec.name.clone(),
+            top,
+            bottom,
+        });
+        eprint!(".");
+    }
+    eprintln!();
+
+    for (title, schemes, get) in [
+        ("TOP: Slack-Profile components", &TOP, 0usize),
+        ("BOTTOM: Slack-Dynamic components", &BOTTOM, 1),
+    ] {
+        println!("\nFIGURE 7 {title} (reduced processor, relative performance)");
+        print!("{:>4}", "idx");
+        for s in schemes.iter() {
+            print!(" {:>20}", s.name());
+        }
+        println!();
+        let curves: Vec<Vec<f64>> = (0..schemes.len())
+            .map(|si| {
+                let vals: Vec<(String, f64)> = rows
+                    .iter()
+                    .map(|r| {
+                        let v = if get == 0 { r.top[si] } else { r.bottom[si] };
+                        (r.bench.clone(), v)
+                    })
+                    .collect();
+                s_curve(vals).into_iter().map(|(_, v)| v).collect()
+            })
+            .collect();
+        for i in 0..rows.len() {
+            print!("{i:>4}");
+            for c in &curves {
+                print!(" {:>20.3}", c[i]);
+            }
+            println!();
+        }
+        print!("mean");
+        for c in &curves {
+            print!(" {:>20.3}", mean(c));
+        }
+        println!();
+    }
+
+    // The paper's component contributions.
+    let m = |f: &dyn Fn(&Row) -> f64| mean(&rows.iter().map(f).collect::<Vec<_>>());
+    println!("\nCOMPONENT CONTRIBUTIONS (paper in parentheses)");
+    println!(
+        "  consumer-slack rule (SP - SP-Delay):      {:+.1}pp  (+1pp)",
+        100.0 * (m(&|r| r.top[0]) - m(&|r| r.top[1]))
+    );
+    println!(
+        "  delay vs arrival heuristic (Delay - SIAL): {:+.1}pp  (+4pp)",
+        100.0 * (m(&|r| r.top[1]) - m(&|r| r.top[2]))
+    );
+    println!(
+        "  outlining penalty (Ideal-SD - SD):         {:+.1}pp  (+3pp)",
+        100.0 * (m(&|r| r.bottom[1]) - m(&|r| r.bottom[0]))
+    );
+    println!(
+        "  consumer condition, ideal (ISD - ISD-Delay): {:+.1}pp  (<1pp)",
+        100.0 * (m(&|r| r.bottom[1]) - m(&|r| r.bottom[2]))
+    );
+    println!(
+        "  delay vs SIAL, ideal (ISD-Delay - ISD-SIAL): {:+.1}pp  (>0pp)",
+        100.0 * (m(&|r| r.bottom[2]) - m(&|r| r.bottom[3]))
+    );
+    let path = save_json("fig7", &rows);
+    eprintln!("rows written to {}", path.display());
+}

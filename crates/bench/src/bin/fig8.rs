@@ -1,0 +1,205 @@
+//! Figure 8: limit study — exhaustive search over all 1024 combinations
+//! of the 10 most frequent non-overlapping mini-graph candidates of the
+//! short-running `adpcm.c` analogue, on the reduced processor.
+//!
+//! Prints the coverage/performance position of every selector's chosen
+//! set, the exhaustive best, and each selector's per-candidate verdicts
+//! (the paper's bottom table).
+
+use mg_bench::save_json;
+use mg_core::candidate::{enumerate, Candidate};
+use mg_core::classify::{classify, Serialization};
+use mg_core::depgraph::{schedule_with_groups, BlockDeps};
+use mg_core::pipeline::profile_workload;
+use mg_core::rewrite::{rewrite, ChosenInstance};
+use mg_core::select::{slack_profile_admits, SlackProfileModel};
+use mg_sim::{simulate, DynMgConfig, MachineConfig, MgConfig, SimOptions};
+use mg_workloads::{limit_study_benchmark, Executor};
+use serde::Serialize;
+use std::collections::HashMap;
+
+#[derive(Serialize)]
+struct Point {
+    mask: u16,
+    coverage: f64,
+    rel_perf: f64,
+}
+
+fn main() {
+    let spec = limit_study_benchmark();
+    let w = spec.generate();
+    let red = MachineConfig::reduced();
+    let base = MachineConfig::baseline();
+    let (trace, freqs, slack) = profile_workload(&w, &red);
+    let base_ipc = simulate(&w.program, &trace, &base, SimOptions::default()).ipc();
+
+    // The 10 most frequent non-overlapping (and jointly schedulable)
+    // candidates.
+    let mut pool = enumerate(&w.program, &Default::default());
+    pool.sort_by_key(|c| {
+        std::cmp::Reverse((c.len() as u64 - 1) * freqs[w.program.id_of(c.block, c.positions[0]).index()])
+    });
+    let mut chosen: Vec<Candidate> = Vec::new();
+    let mut used: Vec<bool> = vec![false; w.program.static_count()];
+    let mut deps: HashMap<u32, BlockDeps> = HashMap::new();
+    for c in pool {
+        if chosen.len() == 10 {
+            break;
+        }
+        if c.positions
+            .iter()
+            .any(|&p| used[w.program.id_of(c.block, p).index()])
+        {
+            continue;
+        }
+        let d = deps
+            .entry(c.block.0)
+            .or_insert_with(|| BlockDeps::build(w.program.block(c.block)));
+        let mut groups: Vec<&[usize]> = chosen
+            .iter()
+            .filter(|x| x.block == c.block)
+            .map(|x| x.positions.as_slice())
+            .collect();
+        groups.push(c.positions.as_slice());
+        if schedule_with_groups(d, &groups).is_none() {
+            continue;
+        }
+        for &p in &c.positions {
+            used[w.program.id_of(c.block, p).index()] = true;
+        }
+        chosen.push(c);
+    }
+    assert_eq!(chosen.len(), 10, "benchmark must yield 10 candidates");
+
+    // Selector verdicts per candidate.
+    let sp_model = SlackProfileModel::default();
+    let verdicts: Vec<(bool, bool, bool)> = chosen
+        .iter()
+        .map(|c| {
+            let sn = !c.shape.potentially_serializing();
+            let sb = classify(&c.shape) != Serialization::Unbounded;
+            let sp = slack_profile_admits(&w.program, c, &slack, &sp_model);
+            (sn, sb, sp)
+        })
+        .collect();
+
+    // Exhaustive sweep.
+    let run_subset = |mask: u16| -> (f64, f64) {
+        let instances: Vec<ChosenInstance> = chosen
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(i, c)| ChosenInstance {
+                candidate: c.clone(),
+                template: i as u16,
+            })
+            .collect();
+        let prog = rewrite(&w.program, &instances);
+        let (t, _) = Executor::new(&prog).run_with_mem(&w.init_mem).unwrap();
+        let r = simulate(&prog, &t, &red.clone().with_mg(MgConfig::paper()), SimOptions::default());
+        (r.stats.coverage(), r.ipc() / base_ipc)
+    };
+    let mut points = Vec::with_capacity(1024);
+    let mut best = (0u16, f64::MIN);
+    for mask in 0u16..1024 {
+        let (cov, perf) = run_subset(mask);
+        if perf > best.1 {
+            best = (mask, perf);
+        }
+        points.push(Point {
+            mask,
+            coverage: cov,
+            rel_perf: perf,
+        });
+        if mask % 128 == 0 {
+            eprint!(".");
+        }
+    }
+    eprintln!();
+
+    // Slack-Dynamic: run the full set with the controller and see which
+    // templates survive.
+    let sd_enabled_mask: u16 = {
+        let instances: Vec<ChosenInstance> = chosen
+            .iter()
+            .enumerate()
+            .map(|(i, c)| ChosenInstance {
+                candidate: c.clone(),
+                template: i as u16,
+            })
+            .collect();
+        let prog = rewrite(&w.program, &instances);
+        let (t, _) = Executor::new(&prog).run_with_mem(&w.init_mem).unwrap();
+        let opts = SimOptions {
+            dyn_mg: Some(DynMgConfig::slack_dynamic()),
+            ..SimOptions::default()
+        };
+        let r = simulate(&prog, &t, &red.clone().with_mg(MgConfig::paper()), opts);
+        // Approximate the surviving set by disabled-template count: we
+        // report which templates the *static* SP/SB models would keep and
+        // the count SD disabled.
+        let disabled = r.stats.disabled_templates as usize;
+        // Mask with the `disabled` lowest-scoring serializing templates
+        // cleared (the controller targets harmful serialization).
+        let mut mask = 0x3ffu16;
+        let mut cleared = 0;
+        for (i, v) in verdicts.iter().enumerate().rev() {
+            if cleared == disabled {
+                break;
+            }
+            if !v.2 {
+                mask &= !(1 << i);
+                cleared += 1;
+            }
+        }
+        mask
+    };
+
+    let mask_of = |f: &dyn Fn(usize) -> bool| -> u16 {
+        (0..10).filter(|&i| f(i)).fold(0u16, |m, i| m | (1 << i))
+    };
+    let sel_masks = [
+        ("Struct-All", 0x3ffu16),
+        ("Struct-None", mask_of(&|i| verdicts[i].0)),
+        ("Struct-Bounded", mask_of(&|i| verdicts[i].1)),
+        ("Slack-Profile", mask_of(&|i| verdicts[i].2)),
+        ("Slack-Dynamic", sd_enabled_mask),
+        ("Exhaustive-best", best.0),
+    ];
+
+    println!("FIGURE 8: limit study on {} ({} dynamic instructions)", spec.name, trace.len());
+    println!("\ncandidate table (0-9, by descending score):");
+    println!("{:>3} {:>5} {:>6} {:>10} {:>12} | {:>3} {:>3} {:>3}", "id", "size", "freq", "serial?", "class", "SN", "SB", "SP");
+    for (i, c) in chosen.iter().enumerate() {
+        let f = freqs[w.program.id_of(c.block, c.positions[0]).index()];
+        let class = match classify(&c.shape) {
+            Serialization::None => "none",
+            Serialization::Bounded(_) => "bounded",
+            Serialization::Unbounded => "unbounded",
+        };
+        let v = verdicts[i];
+        println!(
+            "{:>3} {:>5} {:>6} {:>10} {:>12} | {:>3} {:>3} {:>3}",
+            i,
+            c.len(),
+            f,
+            if c.shape.potentially_serializing() { "yes" } else { "no" },
+            class,
+            if v.0 { "y" } else { "-" },
+            if v.1 { "y" } else { "-" },
+            if v.2 { "y" } else { "-" },
+        );
+    }
+    println!("\nselector positions (coverage, relative performance):");
+    for (name, mask) in sel_masks {
+        let p = &points[mask as usize];
+        let ids: Vec<usize> = (0..10).filter(|&i| mask & (1 << i) != 0).collect();
+        println!("  {:<16} cov {:.3}  perf {:.3}  set {:?}", name, p.coverage, p.rel_perf, ids);
+    }
+    let span = points
+        .iter()
+        .fold((f64::MAX, f64::MIN), |a, p| (a.0.min(p.rel_perf), a.1.max(p.rel_perf)));
+    println!("\nscatter: 1024 subsets, perf range [{:.3}, {:.3}]", span.0, span.1);
+    let path = save_json("fig8", &points);
+    eprintln!("scatter written to {}", path.display());
+}

@@ -1,0 +1,120 @@
+//! Figure 9: robustness of slack profiles.
+//!
+//! Top: microarchitecture sensitivity — Slack-Profile mini-graphs for
+//! MediaBench/CommBench programs, trained on the reduced target machine
+//! (self) vs on a 2-way machine, an 8-way machine, and a machine with a
+//! quartered data memory hierarchy; all evaluated on the reduced machine.
+//!
+//! Bottom: input sensitivity — SPECint/MiBench programs with profiles
+//! trained on the evaluation input (self) vs a different input set.
+//!
+//! Usage: `fig9 [N]` limits each half to the first N qualifying
+//! benchmarks.
+
+use mg_bench::{mean, save_json, BenchContext, Scheme};
+use mg_sim::MachineConfig;
+use mg_workloads::{suite, Suite};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct TopRow {
+    bench: String,
+    self_trained: f64,
+    cross_2way: f64,
+    cross_8way: f64,
+    cross_dmem4: f64,
+}
+
+#[derive(Serialize)]
+struct BottomRow {
+    bench: String,
+    self_input: f64,
+    cross_input: f64,
+}
+
+fn main() {
+    let take: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(usize::MAX);
+    let base = MachineConfig::baseline();
+    let red = MachineConfig::reduced();
+
+    println!("FIGURE 9 TOP: microarchitecture sensitivity (Media+Comm, Slack-Profile on reduced)");
+    let mut top = Vec::new();
+    for spec in suite()
+        .iter()
+        .filter(|s| matches!(s.suite, Suite::MediaBench | Suite::CommBench))
+        .take(take)
+    {
+        let rel = |train_cfg: &MachineConfig| -> f64 {
+            let ctx = BenchContext::new(spec, train_cfg);
+            let b = ctx.run(Scheme::NoMg, &base);
+            ctx.run(Scheme::SlackProfile, &red).ipc / b.ipc
+        };
+        let row = TopRow {
+            bench: spec.name.clone(),
+            self_trained: rel(&red),
+            cross_2way: rel(&MachineConfig::two_way()),
+            cross_8way: rel(&MachineConfig::eight_way()),
+            cross_dmem4: rel(&MachineConfig::reduced_dmem4()),
+        };
+        println!(
+            "  {:<20} self {:.3}  2way {:.3}  8way {:.3}  dmem/4 {:.3}",
+            row.bench, row.self_trained, row.cross_2way, row.cross_8way, row.cross_dmem4
+        );
+        top.push(row);
+    }
+    let m = |f: &dyn Fn(&TopRow) -> f64| mean(&top.iter().map(f).collect::<Vec<_>>());
+    println!(
+        "  means: self {:.3}  2way {:.3}  8way {:.3}  dmem/4 {:.3}  (paper: points lie on the self curve)",
+        m(&|r| r.self_trained),
+        m(&|r| r.cross_2way),
+        m(&|r| r.cross_8way),
+        m(&|r| r.cross_dmem4)
+    );
+    let max_dev = top
+        .iter()
+        .flat_map(|r| {
+            [r.cross_2way, r.cross_8way, r.cross_dmem4]
+                .into_iter()
+                .map(move |v| (v - r.self_trained).abs())
+        })
+        .fold(0.0f64, f64::max);
+    println!("  max |cross - self| deviation: {:.3}", max_dev);
+
+    println!("\nFIGURE 9 BOTTOM: input sensitivity (SPEC+MiBench, Slack-Profile on reduced)");
+    let mut bottom = Vec::new();
+    for spec in suite()
+        .iter()
+        .filter(|s| matches!(s.suite, Suite::SpecInt | Suite::MiBench))
+        .take(take)
+    {
+        let run_input = spec.primary_input();
+        let selfc = BenchContext::with_inputs(spec, &red, &run_input, &run_input);
+        let crossc = BenchContext::with_inputs(spec, &red, &spec.alternate_input(), &run_input);
+        let b = selfc.run(Scheme::NoMg, &base);
+        let row = BottomRow {
+            bench: spec.name.clone(),
+            self_input: selfc.run(Scheme::SlackProfile, &red).ipc / b.ipc,
+            cross_input: crossc.run(Scheme::SlackProfile, &red).ipc / b.ipc,
+        };
+        println!(
+            "  {:<20} self {:.3}  cross-input {:.3}",
+            row.bench, row.self_input, row.cross_input
+        );
+        bottom.push(row);
+    }
+    let self_mean = mean(&bottom.iter().map(|r| r.self_input).collect::<Vec<_>>());
+    let cross_mean = mean(&bottom.iter().map(|r| r.cross_input).collect::<Vec<_>>());
+    println!(
+        "  means: self {:.3}  cross {:.3}  |delta| {:.3}  (paper: <2% absolute)",
+        self_mean,
+        cross_mean,
+        (self_mean - cross_mean).abs()
+    );
+
+    let path = save_json("fig9_top", &top);
+    let path2 = save_json("fig9_bottom", &bottom);
+    eprintln!("rows written to {} and {}", path.display(), path2.display());
+}

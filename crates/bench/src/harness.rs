@@ -1,0 +1,282 @@
+//! Shared experiment harness: runs benchmarks under every selector and
+//! machine configuration, producing the rows behind each figure.
+
+use mg_core::candidate::SelectionConfig;
+use mg_core::pipeline::{prepare, profile_workload};
+use mg_core::select::{Selector, SlackProfileModel, SpKind};
+use mg_sim::{simulate, DynMgConfig, MachineConfig, MgConfig, SimOptions, SimResult};
+use mg_workloads::{BenchmarkSpec, Executor, InputSet, Trace, Workload};
+use serde::{Deserialize, Serialize};
+
+/// Which selection scheme a run uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Scheme {
+    /// No mini-graphs at all.
+    NoMg,
+    /// `Struct-All` static selection.
+    StructAll,
+    /// `Struct-None` static selection.
+    StructNone,
+    /// `Struct-Bounded` static selection.
+    StructBounded,
+    /// `Slack-Profile` (full model).
+    SlackProfile,
+    /// `Slack-Profile-Delay` (no consumer-slack rule).
+    SlackProfileDelay,
+    /// `Slack-Profile-SIAL` (arrival-order heuristic).
+    SlackProfileSial,
+    /// Miss-aware `Slack-Profile` (observed latencies in rule #2 — the
+    /// paper's stated future work for `mcf`).
+    SlackProfileMem,
+    /// `Slack-Dynamic` (Struct-All pool + run-time disabling, outlined
+    /// penalty).
+    SlackDynamic,
+    /// `Ideal-Slack-Dynamic` (no outlining penalty).
+    IdealSlackDynamic,
+    /// `Ideal-Slack-Dynamic-Delay` (delay evidence only, no penalty).
+    IdealSlackDynamicDelay,
+    /// `Ideal-Slack-Dynamic-SIAL` (arrival heuristic, no penalty).
+    IdealSlackDynamicSial,
+}
+
+impl Scheme {
+    /// Paper-style display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scheme::NoMg => "no-minigraphs",
+            Scheme::StructAll => "Struct-All",
+            Scheme::StructNone => "Struct-None",
+            Scheme::StructBounded => "Struct-Bounded",
+            Scheme::SlackProfile => "Slack-Profile",
+            Scheme::SlackProfileDelay => "Slack-Profile-Delay",
+            Scheme::SlackProfileSial => "Slack-Profile-SIAL",
+            Scheme::SlackProfileMem => "Slack-Profile-Mem",
+            Scheme::SlackDynamic => "Slack-Dynamic",
+            Scheme::IdealSlackDynamic => "Ideal-Slack-Dynamic",
+            Scheme::IdealSlackDynamicDelay => "Ideal-SD-Delay",
+            Scheme::IdealSlackDynamicSial => "Ideal-SD-SIAL",
+        }
+    }
+
+    fn dyn_config(self) -> Option<DynMgConfig> {
+        match self {
+            Scheme::SlackDynamic => Some(DynMgConfig::slack_dynamic()),
+            Scheme::IdealSlackDynamic => Some(DynMgConfig::ideal()),
+            Scheme::IdealSlackDynamicDelay => Some(DynMgConfig::ideal_delay()),
+            Scheme::IdealSlackDynamicSial => Some(DynMgConfig::ideal_sial()),
+            _ => None,
+        }
+    }
+}
+
+/// One benchmark, fully prepared: workload, trace, profile, and the
+/// tagged programs for each static selector (prepared lazily).
+pub struct BenchContext {
+    /// The benchmark spec.
+    pub spec: BenchmarkSpec,
+    /// Generated workload (on the run input).
+    pub workload: Workload,
+    /// Committed-path trace (identical across configurations).
+    pub trace: Trace,
+    /// Per-static execution frequencies.
+    pub freqs: Vec<u64>,
+    /// Local slack profile (self-trained unless overridden).
+    pub slack: mg_sim::SlackProfile,
+    sel_cfg: SelectionConfig,
+}
+
+impl BenchContext {
+    /// Generates, executes, and profiles a benchmark on its primary
+    /// input, training the slack profile on `train_cfg` (the paper
+    /// self-trains on the reduced target machine).
+    pub fn new(spec: &BenchmarkSpec, train_cfg: &MachineConfig) -> BenchContext {
+        Self::with_inputs(spec, train_cfg, &spec.primary_input(), &spec.primary_input())
+    }
+
+    /// Full control: `train_input` drives profiling, `run_input` drives
+    /// the evaluated execution (for cross-input robustness studies).
+    pub fn with_inputs(
+        spec: &BenchmarkSpec,
+        train_cfg: &MachineConfig,
+        train_input: &InputSet,
+        run_input: &InputSet,
+    ) -> BenchContext {
+        let train_w = spec.generate_with_input(train_input);
+        let (_, freqs, slack) = profile_workload(&train_w, train_cfg);
+        let workload = spec.generate_with_input(run_input);
+        let (trace, _) = Executor::new(&workload.program)
+            .run_with_mem(&workload.init_mem)
+            .expect("workload executes");
+        // Frequencies for selection come from the training run; the
+        // static layout is input-independent, so ids align.
+        BenchContext {
+            spec: spec.clone(),
+            workload,
+            trace,
+            freqs,
+            slack,
+            sel_cfg: SelectionConfig::default(),
+        }
+    }
+
+    /// The selection configuration in use.
+    pub fn selection_config(&self) -> &SelectionConfig {
+        &self.sel_cfg
+    }
+
+    /// Overrides the selection configuration (ablations).
+    pub fn set_selection_config(&mut self, cfg: SelectionConfig) {
+        self.sel_cfg = cfg;
+    }
+
+    fn selector_for(&self, scheme: Scheme) -> Option<Selector> {
+        let sp = |kind| {
+            Selector::SlackProfile(
+                SlackProfileModel {
+                    kind,
+                    ..SlackProfileModel::default()
+                },
+                self.slack.clone(),
+            )
+        };
+        match scheme {
+            Scheme::NoMg => None,
+            Scheme::StructAll
+            | Scheme::SlackDynamic
+            | Scheme::IdealSlackDynamic
+            | Scheme::IdealSlackDynamicDelay
+            | Scheme::IdealSlackDynamicSial => Some(Selector::StructAll),
+            Scheme::StructNone => Some(Selector::StructNone),
+            Scheme::StructBounded => Some(Selector::StructBounded),
+            Scheme::SlackProfile => Some(sp(SpKind::Full)),
+            Scheme::SlackProfileDelay => Some(sp(SpKind::DelayOnly)),
+            Scheme::SlackProfileSial => Some(sp(SpKind::Sial)),
+            Scheme::SlackProfileMem => Some(Selector::SlackProfile(
+                SlackProfileModel::miss_aware(),
+                self.slack.clone(),
+            )),
+        }
+    }
+
+    /// Runs one scheme on one machine configuration.
+    pub fn run(&self, scheme: Scheme, machine: &MachineConfig) -> SchemeRun {
+        match self.selector_for(scheme) {
+            None => {
+                let r = simulate(
+                    &self.workload.program,
+                    &self.trace,
+                    machine,
+                    SimOptions::default(),
+                );
+                SchemeRun::from_sim(scheme, r, 0.0)
+            }
+            Some(selector) => {
+                let prepared = prepare(
+                    &self.workload.program,
+                    &self.freqs,
+                    &selector,
+                    &self.sel_cfg,
+                );
+                // The tagged program reorders blocks; its committed path
+                // must be re-derived functionally.
+                let (trace, _) = Executor::new(&prepared.program)
+                    .run_with_mem(&self.workload.init_mem)
+                    .expect("rewritten workload executes");
+                let mg_machine = machine.clone().with_mg(MgConfig::paper());
+                let opts = SimOptions {
+                    dyn_mg: scheme.dyn_config(),
+                    ..SimOptions::default()
+                };
+                let r = simulate(&prepared.program, &trace, &mg_machine, opts);
+                SchemeRun::from_sim(scheme, r, prepared.est_coverage)
+            }
+        }
+    }
+}
+
+/// Result of one (scheme, machine) run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SchemeRun {
+    /// The scheme.
+    pub scheme: Scheme,
+    /// Instructions per cycle.
+    pub ipc: f64,
+    /// Total cycles.
+    pub cycles: u64,
+    /// Measured dynamic coverage.
+    pub coverage: f64,
+    /// Coverage estimated at selection time.
+    pub est_coverage: f64,
+    /// Templates dynamically disabled (Slack-Dynamic only).
+    pub disabled_templates: u64,
+    /// Serialized handle executions observed.
+    pub serialized_handles: u64,
+}
+
+impl SchemeRun {
+    fn from_sim(scheme: Scheme, r: SimResult, est_coverage: f64) -> SchemeRun {
+        assert!(!r.hit_cycle_cap, "simulation hit its cycle cap");
+        SchemeRun {
+            scheme,
+            ipc: r.ipc(),
+            cycles: r.stats.cycles,
+            coverage: r.stats.coverage(),
+            est_coverage,
+            disabled_templates: r.stats.disabled_templates,
+            serialized_handles: r.stats.serialized_handles,
+        }
+    }
+}
+
+/// Writes a JSON result file under `results/` at the workspace root,
+/// creating the directory if needed. Returns the path written.
+pub fn save_json<T: Serialize>(name: &str, value: &T) -> std::path::PathBuf {
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir).expect("create results dir");
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serialize results");
+    std::fs::write(&path, json).expect("write results file");
+    path
+}
+
+/// Geometric mean of a non-empty slice of positive values.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (sum / values.len() as f64).exp()
+}
+
+/// Arithmetic mean.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Formats an S-curve: values sorted ascending, one line per program.
+pub fn s_curve(mut values: Vec<(String, f64)>) -> Vec<(String, f64)> {
+    values.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    values
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_and_mean() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn s_curve_sorts() {
+        let v = s_curve(vec![("b".into(), 2.0), ("a".into(), 1.0)]);
+        assert_eq!(v[0].0, "a");
+    }
+}

@@ -1,0 +1,13 @@
+//! Experiment harness regenerating every table and figure of
+//! *"Serialization-Aware Mini-Graphs"* (MICRO 2006).
+//!
+//! Each figure has a binary under `src/bin/`; the shared machinery lives
+//! in [`harness`]. See `EXPERIMENTS.md` at the repository root for the
+//! paper-vs-measured record.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod harness;
+
+pub use harness::{geomean, mean, s_curve, save_json, BenchContext, Scheme, SchemeRun};

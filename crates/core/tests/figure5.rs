@@ -1,0 +1,120 @@
+//! Replication of the paper's Figure 5 walk-through: the four
+//! Slack-Profile rules applied to the mini-graph "BDE" with hand-set
+//! profile values.
+//!
+//! Singleton schedule (block-relative): B issues at 2 (its input, from A,
+//! is ready at 2); C's value is ready at 6; D issues at 6 (waits for C);
+//! E issues at 7. Forming BDE forces the aggregate to wait for the
+//! serializing input (rule #1: `Issue_MG(B) = max(2, 6) = 6`), chain D
+//! and E behind it (rule #2: 7, 8), delaying E by 1 cycle (rule #3).
+//! With zero local slack on E, the candidate degrades and is rejected
+//! (rule #4); with enough slack it is accepted.
+
+use mg_core::candidate::{enumerate, SelectionConfig};
+use mg_core::select::{delay_model, slack_profile_admits, SlackProfileModel, SpKind};
+use mg_isa::{Instruction, Program, ProgramBuilder, Reg, StaticId};
+use mg_sim::{SlackProfile, StaticProfile};
+
+/// Block: B (pos 0), D (pos 1), E (pos 2), F (store, consumer of E).
+fn figure5_program() -> Program {
+    let mut pb = ProgramBuilder::new("fig5");
+    let f = pb.func("main");
+    let b = pb.block(f);
+    // r1 = A's value (external), r2 = C's value (external, late).
+    pb.push(b, Instruction::addi(Reg::R3, Reg::R1, 1)); // B
+    pb.push(b, Instruction::add(Reg::R4, Reg::R3, Reg::R2)); // D
+    pb.push(b, Instruction::addi(Reg::R5, Reg::R4, 1)); // E
+    pb.push(b, Instruction::store(Reg::R10, Reg::R5, 0)); // F
+    pb.push(b, Instruction::halt());
+    pb.build().unwrap()
+}
+
+fn figure5_profile(program: &Program, e_slack: f64) -> SlackProfile {
+    let mut profile = SlackProfile::empty(program);
+    let set = |p: &mut SlackProfile, id: u32, rec: StaticProfile| {
+        p.per_static[StaticId(id).index()] = rec;
+    };
+    let rec = |issue, s0, s1, out, slack| StaticProfile {
+        count: 100,
+        issue_rel: issue,
+        src_ready_rel: [s0, s1],
+        out_ready_rel: out,
+        local_slack: slack,
+        avg_latency: 1.0,
+    };
+    set(&mut profile, 0, rec(2.0, 2.0, 0.0, 3.0, 3.0)); // B: slack 3 (paper)
+    set(&mut profile, 1, rec(6.0, 3.0, 6.0, 7.0, 0.0)); // D
+    set(&mut profile, 2, rec(7.0, 7.0, 0.0, 8.0, e_slack)); // E
+    set(&mut profile, 3, rec(8.0, 8.0, 8.0, 9.0, 64.0)); // F (store)
+    profile
+}
+
+fn bde(program: &Program) -> mg_core::Candidate {
+    enumerate(program, &SelectionConfig::default())
+        .into_iter()
+        .find(|c| c.positions == vec![0, 1, 2])
+        .expect("BDE candidate exists")
+}
+
+#[test]
+fn rules_one_to_three_match_the_paper() {
+    let program = figure5_program();
+    let candidate = bde(&program);
+    assert!(candidate.shape.potentially_serializing());
+    let profile = figure5_profile(&program, 0.0);
+    let dm = delay_model(&program, &candidate, &profile);
+    // Rule #1: the aggregate waits for C's value.
+    assert_eq!(dm.issue_mg[0], 6.0);
+    // Rule #2: serial chaining.
+    assert_eq!(dm.issue_mg[1], 7.0);
+    assert_eq!(dm.issue_mg[2], 8.0);
+    // Rule #3: B delayed 4, D delayed 1, E delayed 1 — the paper's
+    // figure: E's delay is 1 cycle.
+    assert_eq!(dm.delay[0], 4.0);
+    assert_eq!(dm.delay[1], 1.0);
+    assert_eq!(dm.delay[2], 1.0);
+}
+
+#[test]
+fn rule_four_rejects_on_zero_slack_and_accepts_with_slack() {
+    let program = figure5_program();
+    let candidate = bde(&program);
+    let model = SlackProfileModel::default();
+    // E has local slack 0: its 1-cycle delay propagates to F -> reject.
+    let tight = figure5_profile(&program, 0.0);
+    assert!(!slack_profile_admits(&program, &candidate, &tight, &model));
+    // With 2 cycles of slack on E the delay is absorbed -> accept.
+    let loose = figure5_profile(&program, 2.0);
+    assert!(slack_profile_admits(&program, &candidate, &loose, &model));
+}
+
+#[test]
+fn delay_only_variant_ignores_slack() {
+    let program = figure5_program();
+    let candidate = bde(&program);
+    let model = SlackProfileModel {
+        kind: SpKind::DelayOnly,
+        ..SlackProfileModel::default()
+    };
+    // Even with slack, the output is delayed -> Slack-Profile-Delay
+    // rejects (it generates a strictly smaller pool, as in §5.2).
+    let loose = figure5_profile(&program, 2.0);
+    assert!(!slack_profile_admits(&program, &candidate, &loose, &model));
+}
+
+#[test]
+fn sial_variant_keys_on_arrival_order() {
+    let program = figure5_program();
+    let candidate = bde(&program);
+    let model = SlackProfileModel {
+        kind: SpKind::Sial,
+        ..SlackProfileModel::default()
+    };
+    // Serializing input (C at 6) arrives after A's (2): SIAL rejects.
+    let profile = figure5_profile(&program, 2.0);
+    assert!(!slack_profile_admits(&program, &candidate, &profile, &model));
+    // If C's value were ready *before* A's, SIAL accepts.
+    let mut early_c = figure5_profile(&program, 2.0);
+    early_c.per_static[1].src_ready_rel[1] = 1.0; // C ready at 1
+    assert!(slack_profile_admits(&program, &candidate, &early_c, &model));
+}

@@ -1,0 +1,143 @@
+//! Basic blocks.
+
+use crate::inst::{CfTarget, Instruction};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a basic block within a [`Program`](crate::Program)'s
+/// global block pool.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// The block's index into the program's block pool.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+impl fmt::Debug for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// A basic block: straight-line instructions with a single entry at the
+/// top and a single exit at the bottom.
+///
+/// A control-transfer instruction, if present, must be the last
+/// instruction. Blocks whose last instruction is a conditional branch (or
+/// no control instruction at all) additionally carry a `fallthrough`
+/// successor.
+#[derive(Clone, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+pub struct BasicBlock {
+    /// The instructions, in program order.
+    pub insts: Vec<Instruction>,
+    /// The not-taken / sequential successor, for blocks that can fall
+    /// through (conditional branch or plain straight-line blocks).
+    pub fallthrough: Option<BlockId>,
+}
+
+impl BasicBlock {
+    /// Creates an empty block.
+    pub fn new() -> BasicBlock {
+        BasicBlock::default()
+    }
+
+    /// Number of instructions in the block.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the block holds no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// The block's terminating control instruction, if any.
+    pub fn terminator(&self) -> Option<&Instruction> {
+        self.insts.last().filter(|i| i.op.is_control())
+    }
+
+    /// Control-flow successors within the same function: the explicit
+    /// branch/jump target first, then the fall-through edge.
+    ///
+    /// Calls are *not* treated as block successors (control returns to the
+    /// fall-through block); returns and halts have no successors.
+    pub fn successors(&self) -> impl Iterator<Item = BlockId> + '_ {
+        let target = self.terminator().and_then(|t| match t.target {
+            Some(CfTarget::Block(b)) if !matches!(t.op, crate::Opcode::Call) => Some(b),
+            _ => None,
+        });
+        let fall = self.fallthrough;
+        target.into_iter().chain(fall)
+    }
+
+    /// Appends an instruction.
+    pub fn push(&mut self, inst: Instruction) {
+        self.insts.push(inst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::BrCond;
+    use crate::reg::Reg;
+
+    #[test]
+    fn successors_of_conditional_branch() {
+        let mut b = BasicBlock::new();
+        b.push(Instruction::add(Reg::R1, Reg::R2, Reg::R3));
+        b.push(Instruction::br(BrCond::Eq, Reg::R1, Reg::ZERO, BlockId(5)));
+        b.fallthrough = Some(BlockId(6));
+        let succs: Vec<BlockId> = b.successors().collect();
+        assert_eq!(succs, vec![BlockId(5), BlockId(6)]);
+    }
+
+    #[test]
+    fn successors_of_jump() {
+        let mut b = BasicBlock::new();
+        b.push(Instruction::jmp(BlockId(3)));
+        assert_eq!(b.successors().collect::<Vec<_>>(), vec![BlockId(3)]);
+    }
+
+    #[test]
+    fn successors_of_straight_line() {
+        let mut b = BasicBlock::new();
+        b.push(Instruction::nop());
+        b.fallthrough = Some(BlockId(1));
+        assert_eq!(b.successors().collect::<Vec<_>>(), vec![BlockId(1)]);
+    }
+
+    #[test]
+    fn ret_has_no_successors() {
+        let mut b = BasicBlock::new();
+        b.push(Instruction::ret());
+        assert_eq!(b.successors().count(), 0);
+    }
+
+    #[test]
+    fn call_falls_through_only() {
+        use crate::program::FuncId;
+        let mut b = BasicBlock::new();
+        b.push(Instruction::call(FuncId(1)));
+        b.fallthrough = Some(BlockId(9));
+        assert_eq!(b.successors().collect::<Vec<_>>(), vec![BlockId(9)]);
+    }
+
+    #[test]
+    fn terminator_detection() {
+        let mut b = BasicBlock::new();
+        b.push(Instruction::add(Reg::R1, Reg::R2, Reg::R3));
+        assert!(b.terminator().is_none());
+        b.push(Instruction::halt());
+        assert!(b.terminator().is_some());
+    }
+}

@@ -1,0 +1,214 @@
+//! Fluent program construction.
+
+use crate::block::{BasicBlock, BlockId};
+use crate::error::IsaError;
+use crate::inst::Instruction;
+use crate::program::{FuncId, Function, Program};
+
+/// Incrementally builds a [`Program`].
+///
+/// Blocks are created against a function and filled with [`push`]; control
+/// edges are declared with [`set_fallthrough`] and the targets embedded in
+/// branch/jump instructions. [`build`] validates everything and computes
+/// the static layout.
+///
+/// [`push`]: ProgramBuilder::push
+/// [`set_fallthrough`]: ProgramBuilder::set_fallthrough
+/// [`build`]: ProgramBuilder::build
+///
+/// # Example
+///
+/// ```
+/// use mg_isa::{Instruction, ProgramBuilder, Reg, BrCond};
+///
+/// # fn main() -> Result<(), mg_isa::IsaError> {
+/// let mut pb = ProgramBuilder::new("count");
+/// let main = pb.func("main");
+/// let head = pb.block(main);
+/// let body = pb.block(main);
+/// let done = pb.block(main);
+///
+/// pb.push(head, Instruction::li(Reg::R1, 10));
+/// pb.set_fallthrough(head, body);
+/// pb.push(body, Instruction::addi(Reg::R1, Reg::R1, -1));
+/// pb.push(body, Instruction::br(BrCond::Ne, Reg::R1, Reg::ZERO, body));
+/// pb.set_fallthrough(body, done);
+/// pb.push(done, Instruction::halt());
+///
+/// let program = pb.build()?;
+/// assert_eq!(program.static_count(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    name: String,
+    blocks: Vec<BasicBlock>,
+    funcs: Vec<Function>,
+    entry_func: Option<FuncId>,
+}
+
+impl ProgramBuilder {
+    /// Creates a builder for a program with the given name.
+    pub fn new(name: impl Into<String>) -> ProgramBuilder {
+        ProgramBuilder {
+            name: name.into(),
+            ..ProgramBuilder::default()
+        }
+    }
+
+    /// Declares a function. The first declared function becomes the
+    /// program entry unless [`set_entry`](ProgramBuilder::set_entry) is
+    /// called.
+    pub fn func(&mut self, name: impl Into<String>) -> FuncId {
+        let id = FuncId(self.funcs.len() as u32);
+        self.funcs.push(Function {
+            name: name.into(),
+            entry: BlockId(u32::MAX), // patched when the first block arrives
+            blocks: Vec::new(),
+        });
+        if self.entry_func.is_none() {
+            self.entry_func = Some(id);
+        }
+        id
+    }
+
+    /// Creates a new empty block in `func`. The function's first block is
+    /// its entry.
+    pub fn block(&mut self, func: FuncId) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(BasicBlock::new());
+        let f = &mut self.funcs[func.index()];
+        if f.blocks.is_empty() {
+            f.entry = id;
+        }
+        f.blocks.push(id);
+        id
+    }
+
+    /// Appends an instruction to `block`.
+    pub fn push(&mut self, block: BlockId, inst: Instruction) {
+        self.blocks[block.index()].push(inst);
+    }
+
+    /// Appends several instructions to `block`.
+    pub fn push_all(&mut self, block: BlockId, insts: impl IntoIterator<Item = Instruction>) {
+        self.blocks[block.index()].insts.extend(insts);
+    }
+
+    /// Declares `to` as the fall-through successor of `from`.
+    pub fn set_fallthrough(&mut self, from: BlockId, to: BlockId) {
+        self.blocks[from.index()].fallthrough = Some(to);
+    }
+
+    /// Overrides the program entry function.
+    pub fn set_entry(&mut self, func: FuncId) {
+        self.entry_func = Some(func);
+    }
+
+    /// Replaces the instruction at `idx` of `block`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn replace(&mut self, block: BlockId, idx: usize, inst: Instruction) {
+        self.blocks[block.index()].insts[idx] = inst;
+    }
+
+    /// Re-targets the block's terminating branch/jump to `target`.
+    ///
+    /// Used to emit forward branches whose destination block does not
+    /// exist yet: emit with a placeholder target, then patch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block's last instruction is not a branch or jump.
+    pub fn patch_branch_target(&mut self, block: BlockId, target: BlockId) {
+        let inst = self.blocks[block.index()]
+            .insts
+            .last_mut()
+            .expect("patch target of empty block");
+        assert!(
+            matches!(inst.op, crate::Opcode::Br(_) | crate::Opcode::Jmp),
+            "patch target of non-branch {:?}",
+            inst.op
+        );
+        inst.target = Some(crate::CfTarget::Block(target));
+    }
+
+    /// Number of instructions currently in `block`.
+    pub fn block_len(&self, block: BlockId) -> usize {
+        self.blocks[block.index()].len()
+    }
+
+    /// Validates and finalizes the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`IsaError`] if the assembled structure is invalid; see
+    /// [`validate`](crate::validate::validate) for the checks performed.
+    pub fn build(self) -> Result<Program, IsaError> {
+        let entry = self.entry_func.ok_or(IsaError::BadEntryFunc(FuncId(0)))?;
+        Program::new(self.name, self.blocks, self.funcs, entry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::BrCond;
+    use crate::reg::Reg;
+
+    #[test]
+    fn builds_multi_function_program() {
+        let mut pb = ProgramBuilder::new("two-funcs");
+        let main = pb.func("main");
+        let helper = pb.func("helper");
+        let m0 = pb.block(main);
+        let m1 = pb.block(main);
+        let h0 = pb.block(helper);
+        pb.push(m0, Instruction::call(helper));
+        pb.set_fallthrough(m0, m1);
+        pb.push(m1, Instruction::halt());
+        pb.push(h0, Instruction::li(Reg::R2, 42));
+        pb.push(h0, Instruction::ret());
+        let p = pb.build().unwrap();
+        assert_eq!(p.funcs().len(), 2);
+        assert_eq!(p.entry_func(), main);
+        assert_eq!(p.func(helper).entry, h0);
+        assert_eq!(p.static_count(), 4);
+    }
+
+    #[test]
+    fn first_block_is_function_entry() {
+        let mut pb = ProgramBuilder::new("entry");
+        let f = pb.func("main");
+        let b0 = pb.block(f);
+        let _b1 = pb.block(f);
+        pb.push(b0, Instruction::halt());
+        // _b1 is unreachable and empty; builder allows creating it but
+        // build() rejects empty blocks.
+        assert!(pb.build().is_err());
+    }
+
+    #[test]
+    fn build_without_functions_fails() {
+        let pb = ProgramBuilder::new("empty");
+        assert!(pb.build().is_err());
+    }
+
+    #[test]
+    fn loop_round_trips_through_build() {
+        let mut pb = ProgramBuilder::new("loop");
+        let f = pb.func("main");
+        let head = pb.block(f);
+        let exit = pb.block(f);
+        pb.push(head, Instruction::addi(Reg::R1, Reg::R1, -1));
+        pb.push(head, Instruction::br(BrCond::Ne, Reg::R1, Reg::ZERO, head));
+        pb.set_fallthrough(head, exit);
+        pb.push(exit, Instruction::halt());
+        let p = pb.build().unwrap();
+        let succs: Vec<BlockId> = p.block(head).successors().collect();
+        assert_eq!(succs, vec![head, exit]);
+    }
+}

@@ -1,0 +1,394 @@
+//! Intra-block def/use chains and program-level liveness.
+//!
+//! Mini-graph formation needs to know, for every value defined in a basic
+//! block, *who consumes it*: values consumed only inside a candidate
+//! aggregate (and dead beyond it) are "interior" and need no physical
+//! register; everything else is part of the aggregate's external
+//! interface. [`BlockDataflow`] provides exactly this, on top of a
+//! conventional backward liveness fixpoint ([`liveness`]).
+
+use crate::block::BlockId;
+use crate::inst::Instruction;
+use crate::op::Opcode;
+use crate::program::Program;
+use crate::reg::{Reg, NUM_ARCH_REGS};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A set of architectural registers, stored as a bitmask.
+#[derive(Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RegSet(u32);
+
+impl RegSet {
+    /// The empty set.
+    pub const EMPTY: RegSet = RegSet(0);
+    /// The set of all architectural registers.
+    pub const ALL: RegSet = RegSet(u32::MAX);
+
+    /// Inserts a register; returns whether the set changed.
+    pub fn insert(&mut self, r: Reg) -> bool {
+        let bit = 1u32 << r.index();
+        let changed = self.0 & bit == 0;
+        self.0 |= bit;
+        changed
+    }
+
+    /// Removes a register.
+    pub fn remove(&mut self, r: Reg) {
+        self.0 &= !(1u32 << r.index());
+    }
+
+    /// Membership test.
+    pub fn contains(self, r: Reg) -> bool {
+        self.0 & (1u32 << r.index()) != 0
+    }
+
+    /// Set union; returns whether `self` changed.
+    pub fn union_with(&mut self, other: RegSet) -> bool {
+        let before = self.0;
+        self.0 |= other.0;
+        self.0 != before
+    }
+
+    /// Number of registers in the set.
+    pub fn len(self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over members in index order.
+    pub fn iter(self) -> impl Iterator<Item = Reg> {
+        (0..NUM_ARCH_REGS as u8)
+            .map(Reg::new)
+            .filter(move |r| self.contains(*r))
+    }
+}
+
+impl fmt::Debug for RegSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<Reg> for RegSet {
+    fn from_iter<T: IntoIterator<Item = Reg>>(iter: T) -> RegSet {
+        let mut s = RegSet::EMPTY;
+        for r in iter {
+            s.insert(r);
+        }
+        s
+    }
+}
+
+/// Whether an instruction must be treated as consuming every live register
+/// (calls and returns cross function boundaries; we analyze liveness
+/// intraprocedurally and stay conservative at those points).
+pub fn uses_all_regs(inst: &Instruction) -> bool {
+    matches!(inst.op, Opcode::Call | Opcode::Ret)
+}
+
+/// Per-block liveness results for a whole program.
+#[derive(Clone, Debug)]
+pub struct Liveness {
+    live_in: Vec<RegSet>,
+    live_out: Vec<RegSet>,
+}
+
+impl Liveness {
+    /// Registers live on entry to `block`.
+    pub fn live_in(&self, block: BlockId) -> RegSet {
+        self.live_in[block.index()]
+    }
+
+    /// Registers live on exit from `block`.
+    pub fn live_out(&self, block: BlockId) -> RegSet {
+        self.live_out[block.index()]
+    }
+}
+
+/// Computes intraprocedural backward liveness for every block.
+///
+/// Calls and returns are treated as using all registers (see
+/// [`uses_all_regs`]), which keeps the analysis sound without an
+/// interprocedural summary.
+pub fn liveness(program: &Program) -> Liveness {
+    let n = program.blocks().len();
+    let mut live_in = vec![RegSet::EMPTY; n];
+    let mut live_out = vec![RegSet::EMPTY; n];
+
+    // Precompute per-block gen (upward-exposed uses) and kill (defs).
+    let mut gen = vec![RegSet::EMPTY; n];
+    let mut kill = vec![RegSet::EMPTY; n];
+    let mut uses_all = vec![false; n];
+    for (bi, block) in program.blocks().iter().enumerate() {
+        let mut defined = RegSet::EMPTY;
+        for inst in &block.insts {
+            if uses_all_regs(inst) {
+                uses_all[bi] = true;
+                // Everything not yet defined in this block is upward-exposed.
+                for r in Reg::all() {
+                    if !defined.contains(r) && !r.is_zero() {
+                        gen[bi].insert(r);
+                    }
+                }
+            }
+            for u in inst.uses() {
+                if !defined.contains(u) {
+                    gen[bi].insert(u);
+                }
+            }
+            if let Some(d) = inst.def() {
+                defined.insert(d);
+                kill[bi].insert(d);
+            }
+        }
+    }
+
+    // Fixpoint (reverse-ish order for quick convergence).
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for bi in (0..n).rev() {
+            let block = &program.blocks()[bi];
+            let mut out = RegSet::EMPTY;
+            for succ in block.successors() {
+                out.union_with(live_in[succ.index()]);
+            }
+            if live_out[bi] != out {
+                live_out[bi] = out;
+                changed = true;
+            }
+            let mut inn = gen[bi];
+            let mut surviving = out;
+            surviving.0 &= !kill[bi].0;
+            inn.union_with(surviving);
+            if live_in[bi] != inn {
+                live_in[bi] = inn;
+                changed = true;
+            }
+        }
+    }
+    Liveness { live_in, live_out }
+}
+
+/// Where a register use gets its value from.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum UseSource {
+    /// Defined by an earlier instruction in the same block (position given).
+    Local(usize),
+    /// Live-in to the block (defined elsewhere).
+    External,
+}
+
+/// Def/use structure of one basic block.
+///
+/// Positions index the block's instruction list.
+#[derive(Clone, Debug)]
+pub struct BlockDataflow {
+    /// Per position, per register source (src1, src2): where the value
+    /// comes from. `None` where the instruction has no such source.
+    pub src_origin: Vec<[Option<UseSource>; 2]>,
+    /// Per position: positions of later in-block instructions consuming
+    /// this instruction's definition (before any redefinition). Includes
+    /// call/return positions, which consume everything.
+    pub consumers: Vec<Vec<usize>>,
+    /// Per position: whether the definition escapes the block (is live-out
+    /// with no later in-block redefinition).
+    pub escapes: Vec<bool>,
+}
+
+impl BlockDataflow {
+    /// Analyzes one block, given the registers live on exit from it.
+    pub fn analyze(block: &crate::BasicBlock, live_out: RegSet) -> BlockDataflow {
+        let len = block.insts.len();
+        let mut last_def: [Option<usize>; NUM_ARCH_REGS] = [None; NUM_ARCH_REGS];
+        let mut src_origin = vec![[None, None]; len];
+        let mut consumers = vec![Vec::new(); len];
+
+        for (i, inst) in block.insts.iter().enumerate() {
+            if uses_all_regs(inst) {
+                for def in last_def.iter().flatten() {
+                    if !consumers[*def].contains(&i) {
+                        consumers[*def].push(i);
+                    }
+                }
+            }
+            for (slot, src) in [inst.src1, inst.src2].into_iter().enumerate() {
+                let Some(r) = src else { continue };
+                if r.is_zero() {
+                    continue;
+                }
+                let origin = match last_def[r.index()] {
+                    Some(d) => {
+                        if !consumers[d].contains(&i) {
+                            consumers[d].push(i);
+                        }
+                        UseSource::Local(d)
+                    }
+                    None => UseSource::External,
+                };
+                src_origin[i][slot] = Some(origin);
+            }
+            if let Some(d) = inst.def() {
+                last_def[d.index()] = Some(i);
+            }
+        }
+
+        // Escapes: definition still the latest for its register at block
+        // end, and the register is live-out.
+        let mut escapes = vec![false; len];
+        for r in Reg::all() {
+            if let Some(i) = last_def[r.index()] {
+                if live_out.contains(r) {
+                    escapes[i] = true;
+                }
+            }
+        }
+        BlockDataflow {
+            src_origin,
+            consumers,
+            escapes,
+        }
+    }
+
+    /// Whether the value defined at `pos` is consumed anywhere outside the
+    /// position set `within` (either by an in-block consumer outside the
+    /// set or by escaping the block).
+    pub fn value_visible_outside(&self, pos: usize, within: &[usize]) -> bool {
+        self.escapes[pos]
+            || self.consumers[pos]
+                .iter()
+                .any(|c| !within.contains(c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::BasicBlock;
+    use crate::builder::ProgramBuilder;
+    use crate::op::BrCond;
+
+    #[test]
+    fn regset_basics() {
+        let mut s = RegSet::EMPTY;
+        assert!(s.insert(Reg::R3));
+        assert!(!s.insert(Reg::R3));
+        assert!(s.contains(Reg::R3));
+        assert_eq!(s.len(), 1);
+        s.remove(Reg::R3);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn regset_from_iterator() {
+        let s: RegSet = [Reg::R1, Reg::R2, Reg::R1].into_iter().collect();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![Reg::R1, Reg::R2]);
+    }
+
+    #[test]
+    fn block_dataflow_chains() {
+        // r1 = li 1          (0)
+        // r2 = addi r1, 1    (1) consumes 0
+        // r3 = add r1, r2    (2) consumes 0 and 1
+        // st r3 -> 0(r4)     (3) consumes 2, uses external r4
+        let mut b = BasicBlock::new();
+        b.push(Instruction::li(Reg::R1, 1));
+        b.push(Instruction::addi(Reg::R2, Reg::R1, 1));
+        b.push(Instruction::add(Reg::R3, Reg::R1, Reg::R2));
+        b.push(Instruction::store(Reg::R4, Reg::R3, 0));
+        let df = BlockDataflow::analyze(&b, RegSet::EMPTY);
+        assert_eq!(df.consumers[0], vec![1, 2]);
+        assert_eq!(df.consumers[1], vec![2]);
+        assert_eq!(df.consumers[2], vec![3]);
+        assert_eq!(df.src_origin[3][0], Some(UseSource::External)); // r4 base
+        assert_eq!(df.src_origin[3][1], Some(UseSource::Local(2))); // r3 data
+        assert!(!df.escapes[0]);
+    }
+
+    #[test]
+    fn escape_requires_liveness() {
+        let mut b = BasicBlock::new();
+        b.push(Instruction::li(Reg::R1, 1));
+        let mut live = RegSet::EMPTY;
+        live.insert(Reg::R1);
+        let df = BlockDataflow::analyze(&b, live);
+        assert!(df.escapes[0]);
+        let df2 = BlockDataflow::analyze(&b, RegSet::EMPTY);
+        assert!(!df2.escapes[0]);
+    }
+
+    #[test]
+    fn redefinition_kills_escape() {
+        let mut b = BasicBlock::new();
+        b.push(Instruction::li(Reg::R1, 1));
+        b.push(Instruction::li(Reg::R1, 2));
+        let mut live = RegSet::EMPTY;
+        live.insert(Reg::R1);
+        let df = BlockDataflow::analyze(&b, live);
+        assert!(!df.escapes[0]);
+        assert!(df.escapes[1]);
+    }
+
+    #[test]
+    fn value_visible_outside_subset() {
+        let mut b = BasicBlock::new();
+        b.push(Instruction::li(Reg::R1, 1)); // 0
+        b.push(Instruction::addi(Reg::R2, Reg::R1, 1)); // 1
+        b.push(Instruction::addi(Reg::R3, Reg::R1, 2)); // 2, also consumes 0
+        let df = BlockDataflow::analyze(&b, RegSet::EMPTY);
+        // Value of 0 consumed by both 1 and 2: interior to {0,1,2} only.
+        assert!(df.value_visible_outside(0, &[0, 1]));
+        assert!(!df.value_visible_outside(0, &[0, 1, 2]));
+    }
+
+    #[test]
+    fn liveness_across_loop() {
+        // b0: r1=li 10        -> b1
+        // b1: r1=addi r1,-1; bne r1,r0 -> b1 ; fall b2
+        // b2: halt
+        let mut pb = ProgramBuilder::new("loop");
+        let f = pb.func("main");
+        let b0 = pb.block(f);
+        let b1 = pb.block(f);
+        let b2 = pb.block(f);
+        pb.push(b0, Instruction::li(Reg::R1, 10));
+        pb.set_fallthrough(b0, b1);
+        pb.push(b1, Instruction::addi(Reg::R1, Reg::R1, -1));
+        pb.push(b1, Instruction::br(BrCond::Ne, Reg::R1, Reg::ZERO, b1));
+        pb.set_fallthrough(b1, b2);
+        pb.push(b2, Instruction::halt());
+        let p = pb.build().unwrap();
+        let lv = liveness(&p);
+        // r1 is live around the loop back edge.
+        assert!(lv.live_out(b0).contains(Reg::R1));
+        assert!(lv.live_in(b1).contains(Reg::R1));
+        assert!(lv.live_out(b1).contains(Reg::R1));
+        // Nothing is live into b2.
+        assert!(lv.live_in(b2).is_empty());
+    }
+
+    #[test]
+    fn call_makes_defs_live() {
+        let mut pb = ProgramBuilder::new("call");
+        let main = pb.func("main");
+        let callee = pb.func("callee");
+        let b0 = pb.block(main);
+        let b1 = pb.block(main);
+        let c0 = pb.block(callee);
+        pb.push(b0, Instruction::li(Reg::R9, 7));
+        pb.push(b0, Instruction::call(callee));
+        pb.set_fallthrough(b0, b1);
+        pb.push(b1, Instruction::halt());
+        pb.push(c0, Instruction::ret());
+        let p = pb.build().unwrap();
+        let df = BlockDataflow::analyze(p.block(b0), liveness(&p).live_out(b0));
+        // The call consumes r9's definition (conservatively).
+        assert_eq!(df.consumers[0], vec![1]);
+    }
+}

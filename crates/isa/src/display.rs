@@ -1,0 +1,131 @@
+//! Assembly-style display of instructions, blocks, and programs.
+
+use crate::block::BasicBlock;
+use crate::inst::{CfTarget, Instruction};
+use crate::op::Opcode;
+use crate::program::Program;
+use std::fmt;
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let m = self.op.mnemonic();
+        match self.op {
+            Opcode::Load => write!(
+                f,
+                "{m} {}, {}({})",
+                self.dest.unwrap(),
+                self.imm,
+                self.src1.unwrap()
+            )?,
+            Opcode::Store => write!(
+                f,
+                "{m} {}, {}({})",
+                self.src2.unwrap(),
+                self.imm,
+                self.src1.unwrap()
+            )?,
+            Opcode::LoadImm => write!(f, "{m} {}, {}", self.dest.unwrap(), self.imm)?,
+            Opcode::Br(_) => write!(
+                f,
+                "{m} {}, {}, {}",
+                self.src1.unwrap(),
+                self.src2.unwrap(),
+                target_str(self)
+            )?,
+            Opcode::Jmp => write!(f, "{m} {}", target_str(self))?,
+            Opcode::Call => write!(f, "{m} {}", target_str(self))?,
+            Opcode::Ret | Opcode::Halt | Opcode::Nop => write!(f, "{m}")?,
+            _ => {
+                // Generic ALU forms.
+                write!(f, "{m} {}", self.dest.unwrap())?;
+                if let Some(s1) = self.src1 {
+                    write!(f, ", {s1}")?;
+                }
+                if let Some(s2) = self.src2 {
+                    write!(f, ", {s2}")?;
+                } else if self.op.num_srcs() == 1 {
+                    write!(f, ", {}", self.imm)?;
+                }
+            }
+        }
+        if let Some(tag) = self.mg {
+            write!(
+                f,
+                "  ; mg{}[{}/{}] t{}",
+                tag.instance,
+                tag.pos,
+                tag.len,
+                tag.template
+            )?;
+        }
+        Ok(())
+    }
+}
+
+fn target_str(inst: &Instruction) -> String {
+    match inst.target {
+        Some(CfTarget::Block(b)) => b.to_string(),
+        Some(CfTarget::Func(fu)) => fu.to_string(),
+        None => "<none>".to_string(),
+    }
+}
+
+impl fmt::Display for BasicBlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for inst in &self.insts {
+            writeln!(f, "    {inst}")?;
+        }
+        if let Some(fall) = self.fallthrough {
+            writeln!(f, "    ; falls through to {fall}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "; program {}", self.name())?;
+        for (fi, func) in self.funcs().iter().enumerate() {
+            writeln!(f, "fn{fi} <{}>:", func.name)?;
+            for &bid in &func.blocks {
+                writeln!(f, "  {bid}:")?;
+                write!(f, "{}", self.block(bid))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::block::BlockId;
+    use crate::inst::Instruction;
+    use crate::op::BrCond;
+    use crate::reg::Reg;
+
+    #[test]
+    fn instruction_formats() {
+        assert_eq!(Instruction::add(Reg::R1, Reg::R2, Reg::R3).to_string(), "add r1, r2, r3");
+        assert_eq!(Instruction::addi(Reg::R1, Reg::R2, -4).to_string(), "addi r1, r2, -4");
+        assert_eq!(Instruction::li(Reg::R5, 10).to_string(), "li r5, 10");
+        assert_eq!(Instruction::load(Reg::R1, Reg::R2, 8).to_string(), "ld r1, 8(r2)");
+        assert_eq!(Instruction::store(Reg::R2, Reg::R1, 8).to_string(), "st r1, 8(r2)");
+        assert_eq!(
+            Instruction::br(BrCond::Eq, Reg::R1, Reg::R0, BlockId(4)).to_string(),
+            "beq r1, r0, bb4"
+        );
+        assert_eq!(Instruction::halt().to_string(), "halt");
+    }
+
+    #[test]
+    fn mg_tag_is_shown() {
+        use crate::inst::MgTag;
+        let i = Instruction::add(Reg::R1, Reg::R2, Reg::R3).with_mg(MgTag {
+            instance: 4,
+            template: 2,
+            pos: 1,
+            len: 3,
+        });
+        assert_eq!(i.to_string(), "add r1, r2, r3  ; mg4[1/3] t2");
+    }
+}

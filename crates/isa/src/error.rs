@@ -1,0 +1,56 @@
+//! Error types.
+
+use crate::block::BlockId;
+use crate::program::FuncId;
+use std::error::Error;
+use std::fmt;
+
+/// Structural problem detected while assembling or validating a program.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum IsaError {
+    /// A basic block contains no instructions.
+    EmptyBlock(BlockId),
+    /// A control instruction appears before the end of a block.
+    ControlNotLast(BlockId, usize),
+    /// A block ends with an unconditional transfer but also declares a
+    /// fall-through successor, or vice versa.
+    BadFallthrough(BlockId),
+    /// A control target refers to a block outside the program (or outside
+    /// the containing function).
+    DanglingTarget(BlockId),
+    /// A function's entry or block list refers to a block outside the
+    /// pool, or a block is claimed by two functions.
+    BadFunction(FuncId),
+    /// The entry function id is out of range.
+    BadEntryFunc(FuncId),
+    /// An instruction's operands don't match its opcode shape.
+    BadOperands(BlockId, usize),
+    /// Mini-graph tags are inconsistent (non-contiguous positions, length
+    /// mismatch, instance split across blocks, ...).
+    BadMgTag(BlockId, usize, &'static str),
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::EmptyBlock(b) => write!(f, "block {b} is empty"),
+            IsaError::ControlNotLast(b, i) => {
+                write!(f, "control instruction at {b}[{i}] is not last in its block")
+            }
+            IsaError::BadFallthrough(b) => {
+                write!(f, "block {b} has an inconsistent fall-through successor")
+            }
+            IsaError::DanglingTarget(b) => write!(f, "block {b} targets a nonexistent block"),
+            IsaError::BadFunction(id) => write!(f, "function {id} has an invalid block list"),
+            IsaError::BadEntryFunc(id) => write!(f, "entry function {id} does not exist"),
+            IsaError::BadOperands(b, i) => {
+                write!(f, "instruction {b}[{i}] has operands inconsistent with its opcode")
+            }
+            IsaError::BadMgTag(b, i, why) => {
+                write!(f, "instruction {b}[{i}] has a malformed mini-graph tag: {why}")
+            }
+        }
+    }
+}
+
+impl Error for IsaError {}

@@ -1,0 +1,322 @@
+//! Instructions and mini-graph tags.
+
+use crate::block::BlockId;
+use crate::op::{BrCond, Opcode};
+use crate::program::FuncId;
+use crate::reg::Reg;
+use serde::{Deserialize, Serialize};
+
+/// Target of a control-transfer instruction.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum CfTarget {
+    /// A basic block within the same function (branches, jumps).
+    Block(BlockId),
+    /// A function entry (calls).
+    Func(FuncId),
+}
+
+/// Mini-graph membership annotation attached by the binary rewriter.
+///
+/// Instructions carrying an `MgTag` form a mini-graph *instance*: `len`
+/// consecutive instructions in a basic block with positions `0..len`. The
+/// timing simulator fetches position 0 as the instance's *handle* and
+/// executes the constituents MGT-driven; a disabled instance instead
+/// executes in its outlined singleton form.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct MgTag {
+    /// Program-unique instance identifier.
+    pub instance: u32,
+    /// MGT template this instance maps to.
+    pub template: u16,
+    /// Position of this instruction within the instance, `0..len`.
+    pub pos: u8,
+    /// Total number of constituent instructions in the instance.
+    pub len: u8,
+}
+
+/// A single RISC instruction.
+///
+/// The operand fields are populated according to the opcode's shape (see
+/// [`Opcode::num_srcs`] and [`Opcode::has_dest`]); the constructors below
+/// enforce this, and [`validate`](crate::validate) re-checks it for
+/// programs assembled by other means.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub struct Instruction {
+    /// Operation.
+    pub op: Opcode,
+    /// Destination register, if the opcode writes one.
+    pub dest: Option<Reg>,
+    /// First register source (base address for memory operations).
+    pub src1: Option<Reg>,
+    /// Second register source (store data; second branch comparand).
+    pub src2: Option<Reg>,
+    /// Immediate operand (ALU immediate or memory displacement).
+    pub imm: i64,
+    /// Control-transfer target, for control opcodes other than `Ret`/`Halt`.
+    pub target: Option<CfTarget>,
+    /// Mini-graph membership, if the rewriter placed this instruction in
+    /// a mini-graph instance.
+    pub mg: Option<MgTag>,
+}
+
+impl Instruction {
+    fn raw(op: Opcode) -> Instruction {
+        Instruction {
+            op,
+            dest: None,
+            src1: None,
+            src2: None,
+            imm: 0,
+            target: None,
+            mg: None,
+        }
+    }
+
+    /// Register-register ALU operation `dest = src1 <op> src2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is not a two-source, destination-writing ALU opcode.
+    pub fn alu_rr(op: Opcode, dest: Reg, src1: Reg, src2: Reg) -> Instruction {
+        assert!(
+            op.has_dest() && op.num_srcs() == 2 && !op.is_mem() && !op.is_control(),
+            "{op:?} is not a reg-reg ALU opcode"
+        );
+        Instruction {
+            dest: Some(dest),
+            src1: Some(src1),
+            src2: Some(src2),
+            ..Instruction::raw(op)
+        }
+    }
+
+    /// Register-immediate ALU operation `dest = src1 <op> imm`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is not a one-source, destination-writing ALU opcode.
+    pub fn alu_ri(op: Opcode, dest: Reg, src1: Reg, imm: i64) -> Instruction {
+        assert!(
+            op.has_dest() && op.num_srcs() == 1 && !op.is_mem() && !op.is_control(),
+            "{op:?} is not a reg-imm ALU opcode"
+        );
+        Instruction {
+            dest: Some(dest),
+            src1: Some(src1),
+            imm,
+            ..Instruction::raw(op)
+        }
+    }
+
+    /// `add` convenience constructor.
+    pub fn add(dest: Reg, a: Reg, b: Reg) -> Instruction {
+        Instruction::alu_rr(Opcode::Add, dest, a, b)
+    }
+
+    /// `sub` convenience constructor.
+    pub fn sub(dest: Reg, a: Reg, b: Reg) -> Instruction {
+        Instruction::alu_rr(Opcode::Sub, dest, a, b)
+    }
+
+    /// `and` convenience constructor.
+    pub fn and(dest: Reg, a: Reg, b: Reg) -> Instruction {
+        Instruction::alu_rr(Opcode::And, dest, a, b)
+    }
+
+    /// `or` convenience constructor.
+    pub fn or(dest: Reg, a: Reg, b: Reg) -> Instruction {
+        Instruction::alu_rr(Opcode::Or, dest, a, b)
+    }
+
+    /// `xor` convenience constructor.
+    pub fn xor(dest: Reg, a: Reg, b: Reg) -> Instruction {
+        Instruction::alu_rr(Opcode::Xor, dest, a, b)
+    }
+
+    /// `mul` convenience constructor.
+    pub fn mul(dest: Reg, a: Reg, b: Reg) -> Instruction {
+        Instruction::alu_rr(Opcode::Mul, dest, a, b)
+    }
+
+    /// `addi` convenience constructor.
+    pub fn addi(dest: Reg, src: Reg, imm: i64) -> Instruction {
+        Instruction::alu_ri(Opcode::AddI, dest, src, imm)
+    }
+
+    /// `shli` convenience constructor.
+    pub fn shli(dest: Reg, src: Reg, imm: i64) -> Instruction {
+        Instruction::alu_ri(Opcode::ShlI, dest, src, imm)
+    }
+
+    /// `li` (load immediate) convenience constructor.
+    pub fn li(dest: Reg, imm: i64) -> Instruction {
+        Instruction {
+            dest: Some(dest),
+            imm,
+            ..Instruction::raw(Opcode::LoadImm)
+        }
+    }
+
+    /// Load `dest = mem[base + offset]`.
+    pub fn load(dest: Reg, base: Reg, offset: i64) -> Instruction {
+        Instruction {
+            dest: Some(dest),
+            src1: Some(base),
+            imm: offset,
+            ..Instruction::raw(Opcode::Load)
+        }
+    }
+
+    /// Store `mem[base + offset] = data`.
+    pub fn store(base: Reg, data: Reg, offset: i64) -> Instruction {
+        Instruction {
+            src1: Some(base),
+            src2: Some(data),
+            imm: offset,
+            ..Instruction::raw(Opcode::Store)
+        }
+    }
+
+    /// Conditional branch comparing `a` vs `b`, taken to `target`.
+    pub fn br(cond: BrCond, a: Reg, b: Reg, target: BlockId) -> Instruction {
+        Instruction {
+            src1: Some(a),
+            src2: Some(b),
+            target: Some(CfTarget::Block(target)),
+            ..Instruction::raw(Opcode::Br(cond))
+        }
+    }
+
+    /// Unconditional direct jump.
+    pub fn jmp(target: BlockId) -> Instruction {
+        Instruction {
+            target: Some(CfTarget::Block(target)),
+            ..Instruction::raw(Opcode::Jmp)
+        }
+    }
+
+    /// Direct call; writes the return linkage into [`Reg::LINK`].
+    pub fn call(target: FuncId) -> Instruction {
+        Instruction {
+            dest: Some(Reg::LINK),
+            target: Some(CfTarget::Func(target)),
+            ..Instruction::raw(Opcode::Call)
+        }
+    }
+
+    /// Indirect return via [`Reg::LINK`].
+    pub fn ret() -> Instruction {
+        Instruction {
+            src1: Some(Reg::LINK),
+            ..Instruction::raw(Opcode::Ret)
+        }
+    }
+
+    /// Program halt.
+    pub fn halt() -> Instruction {
+        Instruction::raw(Opcode::Halt)
+    }
+
+    /// No-operation.
+    pub fn nop() -> Instruction {
+        Instruction::raw(Opcode::Nop)
+    }
+
+    /// Register sources actually read, excluding the hardwired zero
+    /// register (reading `r0` creates no dependence).
+    pub fn uses(&self) -> impl Iterator<Item = Reg> + '_ {
+        [self.src1, self.src2]
+            .into_iter()
+            .flatten()
+            .filter(|r| !r.is_zero())
+    }
+
+    /// The destination register, if the instruction defines a live value
+    /// (writes to the zero register define nothing).
+    pub fn def(&self) -> Option<Reg> {
+        self.dest.filter(|r| !r.is_zero())
+    }
+
+    /// Returns a copy of this instruction carrying the given mini-graph
+    /// tag.
+    pub fn with_mg(mut self, tag: MgTag) -> Instruction {
+        self.mg = Some(tag);
+        self
+    }
+
+    /// Returns a copy with any mini-graph tag removed.
+    pub fn without_mg(mut self) -> Instruction {
+        self.mg = None;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructor_shapes() {
+        let i = Instruction::add(Reg::R1, Reg::R2, Reg::R3);
+        assert_eq!(i.def(), Some(Reg::R1));
+        assert_eq!(i.uses().collect::<Vec<_>>(), vec![Reg::R2, Reg::R3]);
+
+        let s = Instruction::store(Reg::R4, Reg::R5, 8);
+        assert_eq!(s.def(), None);
+        assert_eq!(s.uses().collect::<Vec<_>>(), vec![Reg::R4, Reg::R5]);
+        assert_eq!(s.imm, 8);
+
+        let l = Instruction::load(Reg::R6, Reg::R7, -16);
+        assert_eq!(l.def(), Some(Reg::R6));
+        assert_eq!(l.uses().collect::<Vec<_>>(), vec![Reg::R7]);
+    }
+
+    #[test]
+    fn zero_register_creates_no_dependences() {
+        let i = Instruction::add(Reg::ZERO, Reg::ZERO, Reg::R3);
+        assert_eq!(i.def(), None);
+        assert_eq!(i.uses().collect::<Vec<_>>(), vec![Reg::R3]);
+    }
+
+    #[test]
+    fn call_and_ret_linkage() {
+        let c = Instruction::call(FuncId(2));
+        assert_eq!(c.def(), Some(Reg::LINK));
+        assert_eq!(c.target, Some(CfTarget::Func(FuncId(2))));
+        let r = Instruction::ret();
+        assert_eq!(r.uses().collect::<Vec<_>>(), vec![Reg::LINK]);
+    }
+
+    #[test]
+    fn branch_operands() {
+        let b = Instruction::br(BrCond::Lt, Reg::R1, Reg::R2, BlockId(7));
+        assert!(b.op.is_cond_branch());
+        assert_eq!(b.target, Some(CfTarget::Block(BlockId(7))));
+        assert_eq!(b.uses().count(), 2);
+    }
+
+    #[test]
+    fn mg_tag_round_trip() {
+        let tag = MgTag {
+            instance: 9,
+            template: 3,
+            pos: 1,
+            len: 3,
+        };
+        let i = Instruction::add(Reg::R1, Reg::R2, Reg::R3).with_mg(tag);
+        assert_eq!(i.mg, Some(tag));
+        assert_eq!(i.without_mg().mg, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a reg-reg ALU opcode")]
+    fn alu_rr_rejects_memory() {
+        let _ = Instruction::alu_rr(Opcode::Load, Reg::R1, Reg::R2, Reg::R3);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a reg-imm ALU opcode")]
+    fn alu_ri_rejects_two_source() {
+        let _ = Instruction::alu_ri(Opcode::Add, Reg::R1, Reg::R2, 3);
+    }
+}

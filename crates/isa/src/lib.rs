@@ -1,0 +1,59 @@
+//! A small load/store RISC instruction set with explicit basic blocks,
+//! designed as the substrate for mini-graph instruction aggregation.
+//!
+//! Mini-graphs (Bracy & Roth, MICRO 2004/2006) are instruction aggregates
+//! with the external interface of a RISC singleton: at most three register
+//! inputs, one register output, one memory reference, and one control
+//! transfer. This crate provides the program representation on which
+//! candidates are enumerated and on which both functional and timing
+//! simulation run:
+//!
+//! * [`Reg`], [`Opcode`], [`Instruction`] — the instruction set proper,
+//!   including ALU semantics ([`op::eval_alu`]) used by functional
+//!   execution.
+//! * [`BasicBlock`], [`Program`], [`ProgramBuilder`] — control-flow
+//!   structure and a fluent construction API.
+//! * [`dataflow`] — intra-block def/use chains and program-level liveness,
+//!   the analyses mini-graph selection needs to identify "interior" values.
+//! * [`MgTag`] — per-instruction mini-graph annotations which the binary
+//!   rewriter (in `mg-core`) attaches and the timing simulator interprets.
+//!
+//! # Example
+//!
+//! ```
+//! use mg_isa::{Instruction, ProgramBuilder, Reg};
+//!
+//! # fn main() -> Result<(), mg_isa::IsaError> {
+//! let mut pb = ProgramBuilder::new("example");
+//! let f = pb.func("main");
+//! let b = pb.block(f);
+//! pb.push(b, Instruction::li(Reg::R1, 40));
+//! pb.push(b, Instruction::addi(Reg::R2, Reg::R1, 2));
+//! pb.push(b, Instruction::halt());
+//! let prog = pb.build()?;
+//! assert_eq!(prog.static_count(), 3);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod block;
+pub mod builder;
+pub mod dataflow;
+mod display;
+mod error;
+pub mod inst;
+pub mod op;
+pub mod program;
+pub mod reg;
+pub mod validate;
+
+pub use block::{BasicBlock, BlockId};
+pub use builder::ProgramBuilder;
+pub use error::IsaError;
+pub use inst::{CfTarget, Instruction, MgTag};
+pub use op::{BrCond, ExecClass, Opcode};
+pub use program::{FuncId, Function, InstrLoc, Program, StaticId};
+pub use reg::Reg;

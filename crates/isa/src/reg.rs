@@ -1,0 +1,141 @@
+//! Architectural registers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of architectural integer registers.
+///
+/// The timing simulator adds rename registers on top of these; the paper's
+/// baseline has 144 physical registers (64 architectural across the Alpha's
+/// integer and FP files plus 80 rename). This ISA has a single integer file
+/// of 32 registers; physical register provisioning in `mg-sim` is scaled
+/// accordingly.
+pub const NUM_ARCH_REGS: usize = 32;
+
+/// An architectural register name, `R0`..`R31`.
+///
+/// `R0` is hardwired to zero: reads return 0 and writes are discarded,
+/// which also makes any value written to `R0` trivially dead for liveness
+/// purposes.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The hardwired zero register.
+    pub const ZERO: Reg = Reg(0);
+    /// Conventional link register written by `call` and read by `ret`.
+    pub const LINK: Reg = Reg(31);
+    /// Conventional stack pointer.
+    pub const SP: Reg = Reg(30);
+
+    /// Constructs a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= NUM_ARCH_REGS`.
+    pub fn new(index: u8) -> Reg {
+        assert!(
+            (index as usize) < NUM_ARCH_REGS,
+            "register index {index} out of range"
+        );
+        Reg(index)
+    }
+
+    /// Constructs a register if `index` is in range.
+    pub fn try_new(index: u8) -> Option<Reg> {
+        ((index as usize) < NUM_ARCH_REGS).then_some(Reg(index))
+    }
+
+    /// The register's index, `0..NUM_ARCH_REGS`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is the hardwired zero register.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over all architectural registers in index order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..NUM_ARCH_REGS as u8).map(Reg)
+    }
+}
+
+macro_rules! named_regs {
+    ($($name:ident = $idx:expr),* $(,)?) => {
+        impl Reg {
+            $(
+                #[doc = concat!("Register R", stringify!($idx), ".")]
+                pub const $name: Reg = Reg($idx);
+            )*
+        }
+    };
+}
+
+named_regs! {
+    R0 = 0, R1 = 1, R2 = 2, R3 = 3, R4 = 4, R5 = 5, R6 = 6, R7 = 7,
+    R8 = 8, R9 = 9, R10 = 10, R11 = 11, R12 = 12, R13 = 13, R14 = 14,
+    R15 = 15, R16 = 16, R17 = 17, R18 = 18, R19 = 19, R20 = 20, R21 = 21,
+    R22 = 22, R23 = 23, R24 = 24, R25 = 25, R26 = 26, R27 = 27, R28 = 28,
+    R29 = 29,
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Debug for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_register_identity() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::R1.is_zero());
+        assert_eq!(Reg::ZERO, Reg::R0);
+    }
+
+    #[test]
+    fn index_round_trip() {
+        for r in Reg::all() {
+            assert_eq!(Reg::new(r.index() as u8), r);
+        }
+    }
+
+    #[test]
+    fn try_new_bounds() {
+        assert_eq!(Reg::try_new(31), Some(Reg::LINK));
+        assert_eq!(Reg::try_new(32), None);
+        assert_eq!(Reg::try_new(255), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_panics_out_of_range() {
+        let _ = Reg::new(NUM_ARCH_REGS as u8);
+    }
+
+    #[test]
+    fn all_yields_every_register_once() {
+        let regs: Vec<Reg> = Reg::all().collect();
+        assert_eq!(regs.len(), NUM_ARCH_REGS);
+        for (i, r) in regs.iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Reg::R7.to_string(), "r7");
+        assert_eq!(format!("{:?}", Reg::LINK), "r31");
+    }
+}

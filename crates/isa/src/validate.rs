@@ -1,0 +1,313 @@
+//! Structural validation of programs.
+//!
+//! [`Program::new`](crate::Program::new) runs these checks automatically;
+//! they are exposed for tools that assemble raw block pools.
+
+use crate::block::{BasicBlock, BlockId};
+use crate::error::IsaError;
+use crate::inst::CfTarget;
+use crate::program::{FuncId, Function};
+use std::collections::HashSet;
+
+/// Validates a block pool and function table.
+///
+/// # Errors
+///
+/// Returns the first [`IsaError`] found. Checks, in order: entry function
+/// exists; every function's blocks exist and are claimed exactly once;
+/// blocks are non-empty; control instructions only terminate blocks;
+/// fall-through edges are consistent with terminators; targets exist and
+/// stay within the owning function; operand shapes match opcodes;
+/// mini-graph tags form contiguous, well-formed instances.
+pub fn validate(
+    blocks: &[BasicBlock],
+    funcs: &[Function],
+    entry_func: FuncId,
+) -> Result<(), IsaError> {
+    if entry_func.index() >= funcs.len() {
+        return Err(IsaError::BadEntryFunc(entry_func));
+    }
+    let mut claimed: HashSet<u32> = HashSet::new();
+    for (fi, func) in funcs.iter().enumerate() {
+        let fid = FuncId(fi as u32);
+        if func.entry.index() >= blocks.len() || !func.blocks.contains(&func.entry) {
+            return Err(IsaError::BadFunction(fid));
+        }
+        for &b in &func.blocks {
+            if b.index() >= blocks.len() || !claimed.insert(b.0) {
+                return Err(IsaError::BadFunction(fid));
+            }
+        }
+    }
+
+    for (fi, func) in funcs.iter().enumerate() {
+        let func_blocks: HashSet<u32> = func.blocks.iter().map(|b| b.0).collect();
+        for &bid in &func.blocks {
+            let block = &blocks[bid.index()];
+            check_block(bid, block, &func_blocks, funcs, fi)?;
+        }
+    }
+    Ok(())
+}
+
+fn check_block(
+    bid: BlockId,
+    block: &BasicBlock,
+    func_blocks: &HashSet<u32>,
+    funcs: &[Function],
+    _func_index: usize,
+) -> Result<(), IsaError> {
+    if block.is_empty() {
+        return Err(IsaError::EmptyBlock(bid));
+    }
+    for (i, inst) in block.insts.iter().enumerate() {
+        if inst.op.is_control() && i + 1 != block.insts.len() {
+            return Err(IsaError::ControlNotLast(bid, i));
+        }
+        check_operands(bid, i, inst)?;
+    }
+    // Calls are unconditional transfers but control returns to the
+    // fall-through block, so a call-terminated block *requires* a
+    // fall-through successor; other unconditional terminators forbid one.
+    let term = block.terminator();
+    let needs_fall = match term {
+        None => true,
+        Some(t) => matches!(t.op, crate::Opcode::Br(_) | crate::Opcode::Call),
+    };
+    if needs_fall != block.fallthrough.is_some() {
+        return Err(IsaError::BadFallthrough(bid));
+    }
+    if let Some(fall) = block.fallthrough {
+        if !func_blocks.contains(&fall.0) {
+            return Err(IsaError::DanglingTarget(bid));
+        }
+    }
+    if let Some(t) = term {
+        let dangling = match t.target {
+            Some(CfTarget::Block(b)) => !func_blocks.contains(&b.0),
+            Some(CfTarget::Func(f)) => f.index() >= funcs.len(),
+            None => false,
+        };
+        if dangling {
+            return Err(IsaError::DanglingTarget(bid));
+        }
+    }
+    check_mg_tags(bid, block)?;
+    Ok(())
+}
+
+fn check_operands(bid: BlockId, i: usize, inst: &crate::Instruction) -> Result<(), IsaError> {
+    let op = inst.op;
+    let shape_ok = inst.dest.is_some() == op.has_dest()
+        && inst.src1.is_some() == (op.num_srcs() >= 1)
+        && inst.src2.is_some() == (op.num_srcs() >= 2);
+    let target_ok = match op {
+        crate::Opcode::Br(_) | crate::Opcode::Jmp => {
+            matches!(inst.target, Some(CfTarget::Block(_)))
+        }
+        crate::Opcode::Call => matches!(inst.target, Some(CfTarget::Func(_))),
+        _ => inst.target.is_none(),
+    };
+    if shape_ok && target_ok {
+        Ok(())
+    } else {
+        Err(IsaError::BadOperands(bid, i))
+    }
+}
+
+fn check_mg_tags(bid: BlockId, block: &BasicBlock) -> Result<(), IsaError> {
+    let mut i = 0;
+    while i < block.insts.len() {
+        let Some(tag) = block.insts[i].mg else {
+            i += 1;
+            continue;
+        };
+        if tag.pos != 0 {
+            return Err(IsaError::BadMgTag(bid, i, "instance does not start at position 0"));
+        }
+        if tag.len < 2 {
+            return Err(IsaError::BadMgTag(bid, i, "instance shorter than 2 instructions"));
+        }
+        let len = tag.len as usize;
+        if i + len > block.insts.len() {
+            return Err(IsaError::BadMgTag(bid, i, "instance extends past block end"));
+        }
+        for (p, inst) in block.insts[i..i + len].iter().enumerate() {
+            match inst.mg {
+                Some(t)
+                    if t.instance == tag.instance
+                        && t.template == tag.template
+                        && t.len == tag.len
+                        && t.pos as usize == p => {}
+                _ => {
+                    return Err(IsaError::BadMgTag(bid, i + p, "inconsistent instance tags"));
+                }
+            }
+            if !inst.op.mg_eligible() {
+                return Err(IsaError::BadMgTag(bid, i + p, "ineligible opcode in instance"));
+            }
+            if inst.op.is_control() && p + 1 != len {
+                return Err(IsaError::BadMgTag(bid, i + p, "control transfer not last"));
+            }
+        }
+        i += len;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{Instruction, MgTag};
+    use crate::op::BrCond;
+    use crate::reg::Reg;
+
+    fn func_over(blocks: &[BasicBlock]) -> Vec<Function> {
+        vec![Function {
+            name: "main".into(),
+            entry: BlockId(0),
+            blocks: (0..blocks.len() as u32).map(BlockId).collect(),
+        }]
+    }
+
+    #[test]
+    fn accepts_well_formed_program() {
+        let mut b0 = BasicBlock::new();
+        b0.push(Instruction::li(Reg::R1, 3));
+        b0.push(Instruction::br(BrCond::Ne, Reg::R1, Reg::ZERO, BlockId(0)));
+        b0.fallthrough = Some(BlockId(1));
+        let mut b1 = BasicBlock::new();
+        b1.push(Instruction::halt());
+        let blocks = vec![b0, b1];
+        let funcs = func_over(&blocks);
+        assert_eq!(validate(&blocks, &funcs, FuncId(0)), Ok(()));
+    }
+
+    #[test]
+    fn rejects_empty_block() {
+        let blocks = vec![BasicBlock::new()];
+        let funcs = func_over(&blocks);
+        assert_eq!(
+            validate(&blocks, &funcs, FuncId(0)),
+            Err(IsaError::EmptyBlock(BlockId(0)))
+        );
+    }
+
+    #[test]
+    fn rejects_control_in_middle() {
+        let mut b = BasicBlock::new();
+        b.push(Instruction::halt());
+        b.push(Instruction::nop());
+        let blocks = vec![b];
+        let funcs = func_over(&blocks);
+        assert_eq!(
+            validate(&blocks, &funcs, FuncId(0)),
+            Err(IsaError::ControlNotLast(BlockId(0), 0))
+        );
+    }
+
+    #[test]
+    fn rejects_jump_with_fallthrough() {
+        let mut b0 = BasicBlock::new();
+        b0.push(Instruction::jmp(BlockId(1)));
+        b0.fallthrough = Some(BlockId(1));
+        let mut b1 = BasicBlock::new();
+        b1.push(Instruction::halt());
+        let blocks = vec![b0, b1];
+        let funcs = func_over(&blocks);
+        assert_eq!(
+            validate(&blocks, &funcs, FuncId(0)),
+            Err(IsaError::BadFallthrough(BlockId(0)))
+        );
+    }
+
+    #[test]
+    fn rejects_missing_fallthrough_after_branch() {
+        let mut b0 = BasicBlock::new();
+        b0.push(Instruction::br(BrCond::Eq, Reg::R1, Reg::R2, BlockId(1)));
+        let mut b1 = BasicBlock::new();
+        b1.push(Instruction::halt());
+        let blocks = vec![b0, b1];
+        let funcs = func_over(&blocks);
+        assert_eq!(
+            validate(&blocks, &funcs, FuncId(0)),
+            Err(IsaError::BadFallthrough(BlockId(0)))
+        );
+    }
+
+    #[test]
+    fn rejects_dangling_branch_target() {
+        let mut b0 = BasicBlock::new();
+        b0.push(Instruction::br(BrCond::Eq, Reg::R1, Reg::R2, BlockId(9)));
+        b0.fallthrough = Some(BlockId(1));
+        let mut b1 = BasicBlock::new();
+        b1.push(Instruction::halt());
+        let blocks = vec![b0, b1];
+        let funcs = func_over(&blocks);
+        assert_eq!(
+            validate(&blocks, &funcs, FuncId(0)),
+            Err(IsaError::DanglingTarget(BlockId(0)))
+        );
+    }
+
+    #[test]
+    fn rejects_block_claimed_twice() {
+        let mut b0 = BasicBlock::new();
+        b0.push(Instruction::halt());
+        let blocks = vec![b0];
+        let funcs = vec![
+            Function {
+                name: "a".into(),
+                entry: BlockId(0),
+                blocks: vec![BlockId(0)],
+            },
+            Function {
+                name: "b".into(),
+                entry: BlockId(0),
+                blocks: vec![BlockId(0)],
+            },
+        ];
+        assert_eq!(
+            validate(&blocks, &funcs, FuncId(0)),
+            Err(IsaError::BadFunction(FuncId(1)))
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_mg_instance() {
+        let tag0 = MgTag {
+            instance: 0,
+            template: 0,
+            pos: 0,
+            len: 3,
+        };
+        let mut b = BasicBlock::new();
+        b.push(Instruction::li(Reg::R1, 0).with_mg(tag0));
+        b.push(Instruction::halt());
+        let blocks = vec![b];
+        let funcs = func_over(&blocks);
+        assert!(matches!(
+            validate(&blocks, &funcs, FuncId(0)),
+            Err(IsaError::BadMgTag(..))
+        ));
+    }
+
+    #[test]
+    fn rejects_mg_instance_of_one() {
+        let tag = MgTag {
+            instance: 0,
+            template: 0,
+            pos: 0,
+            len: 1,
+        };
+        let mut b = BasicBlock::new();
+        b.push(Instruction::li(Reg::R1, 0).with_mg(tag));
+        b.push(Instruction::halt());
+        let blocks = vec![b];
+        let funcs = func_over(&blocks);
+        assert!(matches!(
+            validate(&blocks, &funcs, FuncId(0)),
+            Err(IsaError::BadMgTag(_, _, "instance shorter than 2 instructions"))
+        ));
+    }
+}

@@ -1,0 +1,251 @@
+//! Set-associative caches and the two-level memory hierarchy.
+
+use crate::config::{CacheConfig, MachineConfig};
+use serde::{Deserialize, Serialize};
+
+/// Hit/miss statistics for one cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Number of accesses.
+    pub accesses: u64,
+    /// Number of misses.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Miss rate in [0, 1].
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// A set-associative cache with true-LRU replacement.
+///
+/// Timing-only: the cache tracks presence, not contents.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    cfg: CacheConfig,
+    /// `tags[set * assoc + way]`; `u64::MAX` = invalid.
+    tags: Vec<u64>,
+    /// LRU stamps, parallel to `tags`.
+    lru: Vec<u64>,
+    stamp: u64,
+    set_mask: u64,
+    line_shift: u32,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is not power-of-two shaped.
+    pub fn new(cfg: CacheConfig) -> Cache {
+        assert!(cfg.is_valid(), "invalid cache config {cfg:?}");
+        let ways = (cfg.sets() * cfg.assoc) as usize;
+        Cache {
+            cfg,
+            tags: vec![u64::MAX; ways],
+            lru: vec![0; ways],
+            stamp: 0,
+            set_mask: (cfg.sets() - 1) as u64,
+            line_shift: cfg.line_bytes.trailing_zeros(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache's configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Accesses `addr`, updating LRU state and filling on miss.
+    /// Returns `true` on hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.stats.accesses += 1;
+        self.stamp += 1;
+        let line = addr >> self.line_shift;
+        let set = (line & self.set_mask) as usize;
+        let assoc = self.cfg.assoc as usize;
+        let base = set * assoc;
+        let ways = &mut self.tags[base..base + assoc];
+        if let Some(w) = ways.iter().position(|&t| t == line) {
+            self.lru[base + w] = self.stamp;
+            return true;
+        }
+        self.stats.misses += 1;
+        // Fill into LRU way.
+        let victim = (0..assoc)
+            .min_by_key(|&w| self.lru[base + w])
+            .expect("associativity >= 1");
+        self.tags[base + victim] = line;
+        self.lru[base + victim] = self.stamp;
+        false
+    }
+
+    /// Resets access/miss counters to a previously sampled value (used to
+    /// keep prefetch traffic out of demand statistics).
+    pub(crate) fn rewind_stats(&mut self, to: CacheStats) {
+        self.stats = to;
+    }
+
+    /// Whether `addr`'s line is currently resident (no state change).
+    pub fn probe(&self, addr: u64) -> bool {
+        let line = addr >> self.line_shift;
+        let set = (line & self.set_mask) as usize;
+        let assoc = self.cfg.assoc as usize;
+        let base = set * assoc;
+        self.tags[base..base + assoc].contains(&line)
+    }
+}
+
+/// The instruction-side and data-side hierarchy: split L1s over a unified
+/// L2 over flat main memory.
+#[derive(Clone, Debug)]
+pub struct MemorySystem {
+    /// Instruction L1.
+    pub il1: Cache,
+    /// Data L1.
+    pub dl1: Cache,
+    /// Unified L2.
+    pub l2: Cache,
+    mem_lat: u32,
+}
+
+impl MemorySystem {
+    /// Builds the hierarchy described by a machine configuration.
+    pub fn new(cfg: &MachineConfig) -> MemorySystem {
+        MemorySystem {
+            il1: Cache::new(cfg.il1),
+            dl1: Cache::new(cfg.dl1),
+            l2: Cache::new(cfg.l2),
+            mem_lat: cfg.mem_lat,
+        }
+    }
+
+    /// Latency of an instruction fetch at `addr`, in cycles.
+    pub fn fetch_latency(&mut self, addr: u64) -> u32 {
+        let l1 = self.il1.config().hit_lat;
+        if self.il1.access(addr) {
+            l1
+        } else if self.l2.access(addr) {
+            l1 + self.l2.config().hit_lat
+        } else {
+            l1 + self.l2.config().hit_lat + self.mem_lat
+        }
+    }
+
+    /// Latency of a data access at `addr`, in cycles.
+    ///
+    /// On an L1 miss, a simple tagged next-line prefetch also installs
+    /// `addr + line` into the L1 and L2 (streaming workloads would
+    /// otherwise pay a full miss per line, which no modern memory system
+    /// does).
+    pub fn data_latency(&mut self, addr: u64) -> u32 {
+        let l1 = self.dl1.config().hit_lat;
+        if self.dl1.access(addr) {
+            return l1;
+        }
+        let line = self.dl1.config().line_bytes as u64;
+        let lat = if self.l2.access(addr) {
+            l1 + self.l2.config().hit_lat
+        } else {
+            l1 + self.l2.config().hit_lat + self.mem_lat
+        };
+        // Next-line prefetch (does not count toward demand statistics).
+        let next = addr + line;
+        if !self.dl1.probe(next) {
+            self.prefetch(next);
+        }
+        lat
+    }
+
+    fn prefetch(&mut self, addr: u64) {
+        let before_l1 = self.dl1.stats();
+        let before_l2 = self.l2.stats();
+        self.dl1.access(addr);
+        self.l2.access(addr);
+        // Rewind demand statistics: prefetches are not demand accesses.
+        self.dl1.rewind_stats(before_l1);
+        self.l2.rewind_stats(before_l2);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+
+    fn tiny() -> Cache {
+        Cache::new(CacheConfig {
+            size_bytes: 256,
+            assoc: 2,
+            line_bytes: 32,
+            hit_lat: 1,
+        })
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(0x100));
+        assert!(c.access(0x100));
+        assert!(c.access(0x11f)); // same 32B line
+        assert!(!c.access(0x120)); // next line
+        assert_eq!(c.stats().accesses, 4);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_replacement_within_set() {
+        let mut c = tiny(); // 4 sets, 2 ways; set = (addr>>5) & 3
+        // Three lines mapping to set 0: 0x000, 0x080, 0x100.
+        assert!(!c.access(0x000));
+        assert!(!c.access(0x080));
+        assert!(c.access(0x000)); // refresh 0x000; 0x080 is now LRU
+        assert!(!c.access(0x100)); // evicts 0x080
+        assert!(c.access(0x000));
+        assert!(!c.access(0x080)); // was evicted
+    }
+
+    #[test]
+    fn probe_does_not_modify() {
+        let mut c = tiny();
+        c.access(0x40);
+        let before = c.stats();
+        assert!(c.probe(0x40));
+        assert!(!c.probe(0x240));
+        assert_eq!(c.stats(), before);
+    }
+
+    #[test]
+    fn hierarchy_latencies() {
+        let mut m = MemorySystem::new(&MachineConfig::baseline());
+        // Cold: L1 miss + L2 miss -> 3 + 12 + 200.
+        assert_eq!(m.data_latency(0x5000), 215);
+        // Now resident everywhere -> 3.
+        assert_eq!(m.data_latency(0x5000), 3);
+        // Instruction side independent of data side.
+        assert_eq!(m.fetch_latency(0x5000), 3 + 12); // L2 already has the line
+    }
+
+    #[test]
+    fn miss_rate_math() {
+        let s = CacheStats {
+            accesses: 8,
+            misses: 2,
+        };
+        assert!((s.miss_rate() - 0.25).abs() < 1e-12);
+        assert_eq!(CacheStats::default().miss_rate(), 0.0);
+    }
+}

@@ -1,0 +1,302 @@
+//! Slack-Dynamic: run-time identification and disabling of mini-graphs
+//! with harmful serialization (§4.4 of the paper).
+//!
+//! The hardware tracks last-arriving operands to handles. A handle
+//! execution is *serialized* if its last-arriving operand is a serializing
+//! input (an input to a constituent other than the first) and the handle
+//! issued as soon as that operand arrived. The serialization is *harmful*
+//! if a consumer of the mini-graph's output is in turn delayed by it. A
+//! saturating counter per template provides hysteresis before disabling,
+//! and slow decay supports resurrection.
+
+use serde::{Deserialize, Serialize};
+
+/// What evidence the controller requires before charging a template.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum DynPolicy {
+    /// Full model: serialization delay *and* delayed consumer
+    /// (the paper's `Slack-Dynamic`).
+    DelayAndConsumer,
+    /// Serialization delay only (`Ideal-Slack-Dynamic-Delay` component
+    /// study).
+    DelayOnly,
+    /// Heuristic: serializing operand arrives last, regardless of issue
+    /// timing (`SIAL`, as used by macro-op scheduling).
+    SerialInputArrivesLast,
+}
+
+/// How a disabled instance executes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum DisableCost {
+    /// Realistic: outlined execution (two extra jumps + fetch redirects).
+    Outlined,
+    /// Idealized: constituents execute as inline singletons
+    /// (`Ideal-Slack-Dynamic`).
+    Free,
+}
+
+/// Slack-Dynamic controller configuration.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct DynMgConfig {
+    /// Evidence policy.
+    pub policy: DynPolicy,
+    /// Disabled-execution cost model.
+    pub cost: DisableCost,
+    /// Counter value at which a template is disabled.
+    pub disable_threshold: u8,
+    /// Counter saturation maximum.
+    pub counter_max: u8,
+    /// Dynamic encounters of a disabled template before it is resurrected
+    /// on probation.
+    pub resurrect_after: u32,
+}
+
+impl DynMgConfig {
+    /// The paper's realistic Slack-Dynamic configuration.
+    pub fn slack_dynamic() -> DynMgConfig {
+        DynMgConfig {
+            policy: DynPolicy::DelayAndConsumer,
+            cost: DisableCost::Outlined,
+            disable_threshold: 6,
+            counter_max: 7,
+            resurrect_after: 1024,
+        }
+    }
+
+    /// `Ideal-Slack-Dynamic`: no outlining penalty.
+    pub fn ideal() -> DynMgConfig {
+        DynMgConfig {
+            cost: DisableCost::Free,
+            ..DynMgConfig::slack_dynamic()
+        }
+    }
+
+    /// `Ideal-Slack-Dynamic-Delay`: delay evidence only, no penalty.
+    pub fn ideal_delay() -> DynMgConfig {
+        DynMgConfig {
+            policy: DynPolicy::DelayOnly,
+            cost: DisableCost::Free,
+            ..DynMgConfig::slack_dynamic()
+        }
+    }
+
+    /// `Ideal-Slack-Dynamic-SIAL`: arrival-order heuristic, no penalty.
+    pub fn ideal_sial() -> DynMgConfig {
+        DynMgConfig {
+            policy: DynPolicy::SerialInputArrivesLast,
+            cost: DisableCost::Free,
+            ..DynMgConfig::slack_dynamic()
+        }
+    }
+}
+
+/// Per-template state.
+#[derive(Clone, Copy, Debug, Default)]
+struct TemplateState {
+    counter: u8,
+    disabled: bool,
+    encounters_while_disabled: u32,
+}
+
+/// The run-time controller.
+#[derive(Clone, Debug)]
+pub struct DynMgController {
+    cfg: DynMgConfig,
+    templates: Vec<TemplateState>,
+    disables: u64,
+    resurrections: u64,
+}
+
+impl DynMgController {
+    /// Creates a controller for `template_count` templates.
+    pub fn new(cfg: DynMgConfig, template_count: usize) -> DynMgController {
+        DynMgController {
+            cfg,
+            templates: vec![TemplateState::default(); template_count],
+            disables: 0,
+            resurrections: 0,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &DynMgConfig {
+        &self.cfg
+    }
+
+    /// Whether instances of `template` currently execute as handles
+    /// (pure query; safe to call repeatedly, e.g. from fetch peek).
+    pub fn enabled(&self, template: u16) -> bool {
+        !self.templates[template as usize].disabled
+    }
+
+    /// Records that fetch encountered an instance of a *disabled*
+    /// template; enough encounters resurrect the template on probation
+    /// (affecting subsequent instances).
+    pub fn note_disabled_encounter(&mut self, template: u16) {
+        let threshold = self.cfg.disable_threshold;
+        let after = self.cfg.resurrect_after;
+        let t = &mut self.templates[template as usize];
+        if !t.disabled {
+            return;
+        }
+        t.encounters_while_disabled += 1;
+        if t.encounters_while_disabled >= after {
+            t.disabled = false;
+            t.encounters_while_disabled = 0;
+            // Probation: start near the threshold so recidivists are
+            // re-disabled quickly.
+            t.counter = threshold.saturating_sub(1);
+            self.resurrections += 1;
+        }
+    }
+
+    /// Convenience wrapper combining [`enabled`](Self::enabled) with
+    /// encounter accounting: returns whether *this* instance executes as
+    /// a handle, and counts the encounter if not.
+    pub fn is_enabled(&mut self, template: u16) -> bool {
+        if self.enabled(template) {
+            return true;
+        }
+        self.note_disabled_encounter(template);
+        self.enabled(template) // resurrection takes effect immediately
+    }
+
+    /// Reports a handle execution's serialization evidence.
+    ///
+    /// * `sial`: the last-arriving operand was a serializing input.
+    /// * `delayed`: additionally, the handle issued on that operand's
+    ///   arrival (it was actually delayed by it).
+    /// * `consumer_delayed`: a consumer of the output issued exactly when
+    ///   the (serialized) output arrived.
+    pub fn report(&mut self, template: u16, sial: bool, delayed: bool, consumer_delayed: bool) {
+        let harmful = match self.cfg.policy {
+            DynPolicy::DelayAndConsumer => delayed && consumer_delayed,
+            DynPolicy::DelayOnly => delayed,
+            DynPolicy::SerialInputArrivesLast => sial,
+        };
+        let t = &mut self.templates[template as usize];
+        if t.disabled {
+            return;
+        }
+        if harmful {
+            t.counter = (t.counter + 1).min(self.cfg.counter_max);
+            if t.counter >= self.cfg.disable_threshold {
+                t.disabled = true;
+                t.encounters_while_disabled = 0;
+                self.disables += 1;
+            }
+        } else {
+            t.counter = t.counter.saturating_sub(1);
+        }
+    }
+
+    /// Number of currently disabled templates.
+    pub fn disabled_count(&self) -> u64 {
+        self.templates.iter().filter(|t| t.disabled).count() as u64
+    }
+
+    /// Total disable events over the run.
+    pub fn disables(&self) -> u64 {
+        self.disables
+    }
+
+    /// Total resurrection events over the run.
+    pub fn resurrections(&self) -> u64 {
+        self.resurrections
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctl(policy: DynPolicy) -> DynMgController {
+        DynMgController::new(
+            DynMgConfig {
+                policy,
+                cost: DisableCost::Outlined,
+                disable_threshold: 3,
+                counter_max: 7,
+                resurrect_after: 5,
+            },
+            4,
+        )
+    }
+
+    #[test]
+    fn repeated_harm_disables_template() {
+        let mut c = ctl(DynPolicy::DelayAndConsumer);
+        assert!(c.is_enabled(1));
+        c.report(1, true, true, true); // counter 1
+        assert!(c.is_enabled(1));
+        c.report(1, true, true, true); // counter 2
+        assert!(c.is_enabled(1));
+        c.report(1, true, true, true); // counter 3 >= 3: disabled
+        assert!(!c.is_enabled(1));
+        assert_eq!(c.disabled_count(), 1);
+        assert!(c.is_enabled(0), "other templates unaffected");
+    }
+
+    #[test]
+    fn benign_executions_decay_counter() {
+        let mut c = ctl(DynPolicy::DelayAndConsumer);
+        c.report(1, true, true, true); // 1
+        c.report(1, true, true, true); // 2
+        c.report(1, false, false, false); // 1
+        c.report(1, true, true, true); // 2 < 3
+        assert!(c.is_enabled(1));
+    }
+
+    #[test]
+    fn consumer_condition_matters_for_full_policy() {
+        let mut c = ctl(DynPolicy::DelayAndConsumer);
+        for _ in 0..10 {
+            c.report(1, true, true, false); // delayed but absorbed
+        }
+        assert!(c.is_enabled(1));
+        let mut d = ctl(DynPolicy::DelayOnly);
+        d.report(1, true, true, false);
+        d.report(1, true, true, false);
+        d.report(1, true, true, false);
+        assert!(!d.is_enabled(1));
+    }
+
+    #[test]
+    fn sial_policy_uses_arrival_order_only() {
+        let mut c = ctl(DynPolicy::SerialInputArrivesLast);
+        c.report(1, true, false, false);
+        c.report(1, true, false, false);
+        c.report(1, true, false, false);
+        assert!(!c.is_enabled(1));
+    }
+
+    #[test]
+    fn mostly_benign_template_stays_enabled() {
+        // Harmful 1/4 of the time: +1 per harmful vs -3 per three benign
+        // keeps the counter pinned low.
+        let mut c = ctl(DynPolicy::DelayOnly);
+        for i in 0..200 {
+            let harmful = i % 4 == 0;
+            c.report(1, harmful, harmful, harmful);
+            assert!(c.is_enabled(1), "disabled at iteration {i}");
+        }
+    }
+
+    #[test]
+    fn resurrection_after_encounters() {
+        let mut c = ctl(DynPolicy::DelayOnly);
+        c.report(2, true, true, true);
+        c.report(2, true, true, true);
+        c.report(2, true, true, true);
+        // Disabled; 5 encounters resurrect on probation.
+        for _ in 0..4 {
+            assert!(!c.is_enabled(2));
+        }
+        assert!(c.is_enabled(2));
+        assert_eq!(c.resurrections(), 1);
+        // One more harmful execution re-disables immediately (probation
+        // counter starts at threshold-1).
+        c.report(2, true, true, true);
+        assert!(!c.is_enabled(2));
+    }
+}

@@ -1,0 +1,190 @@
+//! Local slack profiles (Fields, Bodik & Hill [7], as used by the
+//! Slack-Profile selector).
+//!
+//! A *local slack* profile records, per static instruction and averaged
+//! over its dynamic instances:
+//!
+//! * its issue time relative to the issue of the first instruction of its
+//!   basic block instance (the paper's "convenient fixed reference
+//!   point");
+//! * the ready times of its source operands, on the same base;
+//! * the ready time of its output value, on the same base;
+//! * its output's *local slack*: the number of cycles the value could
+//!   have been delayed without delaying any consumer.
+//!
+//! Stores report slack against forwarding consumers; branches report zero
+//! slack on instances that mispredict (delaying a mispredicted branch
+//! delays the redirect) and the cap otherwise.
+
+use mg_isa::{Program, StaticId};
+use serde::{Deserialize, Serialize};
+
+/// Maximum slack / margin recorded, in cycles. Values beyond this are
+/// indistinguishable for selection purposes.
+pub const SLACK_CAP: u64 = 64;
+
+/// Per-static-instruction profile record (averages over dynamic
+/// instances).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct StaticProfile {
+    /// Dynamic execution count.
+    pub count: u64,
+    /// Average issue time, relative to the block-instance base issue.
+    pub issue_rel: f64,
+    /// Average operand ready times (slot 0/1), relative to the base.
+    /// Meaningless for absent slots.
+    pub src_ready_rel: [f64; 2],
+    /// Average output-value ready time, relative to the base.
+    pub out_ready_rel: f64,
+    /// Average local slack of the output value, capped at [`SLACK_CAP`].
+    pub local_slack: f64,
+    /// Average observed execution latency (issue to output-ready), in
+    /// cycles. For loads this includes actual memory-hierarchy time —
+    /// the basis of the miss-aware Slack-Profile extension.
+    pub avg_latency: f64,
+}
+
+/// A whole-program local slack profile.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct SlackProfile {
+    /// Records indexed by [`StaticId`].
+    pub per_static: Vec<StaticProfile>,
+}
+
+impl SlackProfile {
+    /// An empty profile shaped for `program`.
+    pub fn empty(program: &Program) -> SlackProfile {
+        SlackProfile {
+            per_static: vec![StaticProfile::default(); program.static_count()],
+        }
+    }
+
+    /// The record for a static instruction.
+    pub fn get(&self, id: StaticId) -> &StaticProfile {
+        &self.per_static[id.index()]
+    }
+
+    /// Whether the instruction was ever executed in the profiled run.
+    pub fn executed(&self, id: StaticId) -> bool {
+        self.per_static[id.index()].count > 0
+    }
+}
+
+/// Accumulates per-static sums during profile construction.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct ProfileAccum {
+    count: u64,
+    issue_rel: f64,
+    src_ready_rel: [f64; 2],
+    out_ready_rel: f64,
+    local_slack: f64,
+    latency: f64,
+    /// Instances where a delay would have hit a *critical event* (a
+    /// mispredicted control transfer whose resolution any delay pushes
+    /// out). Averaging would wash these out; a meaningful rate of them
+    /// zeroes the instruction's usable slack instead.
+    critical: u64,
+}
+
+/// Fraction of critical (mispredicted) instances beyond which an
+/// instruction's output is treated as having no absorbable slack.
+pub(crate) const CRITICAL_FRACTION: f64 = 0.02;
+
+impl ProfileAccum {
+    pub(crate) fn add(
+        &mut self,
+        issue_rel: i64,
+        src_ready_rel: [Option<i64>; 2],
+        out_ready_rel: i64,
+        local_slack: u64,
+        critical: bool,
+        latency: u64,
+    ) {
+        self.count += 1;
+        self.latency += latency as f64;
+        self.issue_rel += issue_rel as f64;
+        for (slot, v) in src_ready_rel.into_iter().enumerate() {
+            if let Some(v) = v {
+                self.src_ready_rel[slot] += v as f64;
+            }
+        }
+        self.out_ready_rel += out_ready_rel as f64;
+        self.local_slack += local_slack.min(SLACK_CAP) as f64;
+        self.critical += critical as u64;
+    }
+
+    pub(crate) fn finish(&self) -> StaticProfile {
+        let n = self.count.max(1) as f64;
+        let slack = if self.count == 0 {
+            SLACK_CAP as f64
+        } else if self.critical as f64 > CRITICAL_FRACTION * self.count as f64 {
+            0.0
+        } else {
+            self.local_slack / n
+        };
+        StaticProfile {
+            count: self.count,
+            issue_rel: self.issue_rel / n,
+            src_ready_rel: [self.src_ready_rel[0] / n, self.src_ready_rel[1] / n],
+            out_ready_rel: self.out_ready_rel / n,
+            local_slack: slack,
+            avg_latency: self.latency / n,
+        }
+    }
+}
+
+/// Builds a [`SlackProfile`] from per-static accumulators.
+pub(crate) fn finish_profile(program: &Program, accums: &[ProfileAccum]) -> SlackProfile {
+    debug_assert_eq!(accums.len(), program.static_count());
+    SlackProfile {
+        per_static: accums.iter().map(ProfileAccum::finish).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulator_averages() {
+        let mut a = ProfileAccum::default();
+        a.add(2, [Some(1), None], 4, 10, false, 2);
+        a.add(4, [Some(3), None], 6, 20, false, 4);
+        let p = a.finish();
+        assert_eq!(p.count, 2);
+        assert!((p.avg_latency - 3.0).abs() < 1e-12);
+        assert!((p.issue_rel - 3.0).abs() < 1e-12);
+        assert!((p.src_ready_rel[0] - 2.0).abs() < 1e-12);
+        assert!((p.out_ready_rel - 5.0).abs() < 1e-12);
+        assert!((p.local_slack - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slack_is_capped() {
+        let mut a = ProfileAccum::default();
+        a.add(0, [None, None], 0, 1000, false, 1);
+        assert!((a.finish().local_slack - SLACK_CAP as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn critical_instances_zero_the_slack() {
+        let mut a = ProfileAccum::default();
+        for i in 0..20 {
+            a.add(0, [None, None], 0, 30, i == 0, 1); // 5% critical
+        }
+        assert_eq!(a.finish().local_slack, 0.0);
+        let mut b = ProfileAccum::default();
+        for _ in 0..100 {
+            b.add(0, [None, None], 0, 30, false, 1);
+        }
+        assert!((b.finish().local_slack - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unexecuted_records_default_to_full_slack() {
+        let a = ProfileAccum::default();
+        let p = a.finish();
+        assert_eq!(p.count, 0);
+        assert!((p.local_slack - SLACK_CAP as f64).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,86 @@
+//! Simulation statistics.
+
+use crate::bpred::BPredStats;
+use crate::cache::CacheStats;
+use crate::storesets::StoreSetsStats;
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated over a timing simulation.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Total cycles from first fetch to last commit.
+    pub cycles: u64,
+    /// Committed *instructions* (mini-graph constituents count
+    /// individually; synthesized outlining jumps do not).
+    pub committed_instrs: u64,
+    /// Committed *operations* (handles and synthesized jumps count once).
+    pub committed_ops: u64,
+    /// Committed mini-graph handles.
+    pub mg_handles: u64,
+    /// Committed instructions embedded in (enabled) mini-graph handles.
+    pub mg_embedded_instrs: u64,
+    /// Committed instructions executed in outlined (disabled) form.
+    pub outlined_instrs: u64,
+    /// Synthesized outlining jumps fetched for disabled instances.
+    pub outline_jumps: u64,
+    /// Memory-ordering violation flushes.
+    pub violation_flushes: u64,
+    /// Handle executions that experienced external-serialization delay
+    /// (the last-arriving operand was a serializing input and the handle
+    /// issued on its arrival).
+    pub serialized_handles: u64,
+    /// Serialized handles whose delay propagated to a consumer.
+    pub harmful_serializations: u64,
+    /// Mini-graph templates dynamically disabled (final state).
+    pub disabled_templates: u64,
+    /// Branch prediction statistics.
+    pub bpred: BPredStats,
+    /// Instruction L1 statistics.
+    pub il1: CacheStats,
+    /// Data L1 statistics.
+    pub dl1: CacheStats,
+    /// Unified L2 statistics.
+    pub l2: CacheStats,
+    /// StoreSets statistics.
+    pub storesets: StoreSetsStats,
+}
+
+impl SimStats {
+    /// Committed instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed_instrs as f64 / self.cycles as f64
+        }
+    }
+
+    /// Dynamic mini-graph coverage: the fraction of committed
+    /// instructions embedded in enabled mini-graph handles.
+    pub fn coverage(&self) -> f64 {
+        if self.committed_instrs == 0 {
+            0.0
+        } else {
+            self.mg_embedded_instrs as f64 / self.committed_instrs as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_and_coverage() {
+        let s = SimStats {
+            cycles: 100,
+            committed_instrs: 250,
+            mg_embedded_instrs: 50,
+            ..SimStats::default()
+        };
+        assert!((s.ipc() - 2.5).abs() < 1e-12);
+        assert!((s.coverage() - 0.2).abs() < 1e-12);
+        assert_eq!(SimStats::default().ipc(), 0.0);
+        assert_eq!(SimStats::default().coverage(), 0.0);
+    }
+}

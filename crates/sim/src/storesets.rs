@@ -1,0 +1,128 @@
+//! StoreSets memory-dependence prediction (Chrysos & Emer style,
+//! simplified to the SSIT/LFST structure the paper's machine uses).
+//!
+//! Loads are scheduled aggressively: a load with no predicted store
+//! dependence may issue past older stores with unresolved addresses. When
+//! that speculation is wrong (the store later writes the load's address),
+//! the pipeline flushes and the load and store are placed in the same
+//! *store set*; thereafter the load waits for in-flight stores of its set.
+
+use crate::config::StoreSetsConfig;
+use serde::{Deserialize, Serialize};
+
+/// Store-set identifier.
+pub type SetId = u32;
+
+/// StoreSets statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoreSetsStats {
+    /// Memory-ordering violations detected (each causes a flush).
+    pub violations: u64,
+    /// Loads forced to wait on a predicted store dependence.
+    pub loads_stalled: u64,
+}
+
+/// The predictor: a store-set ID table (SSIT) indexed by instruction PC.
+#[derive(Clone, Debug)]
+pub struct StoreSets {
+    ssit: Vec<Option<SetId>>,
+    next_set: SetId,
+    stats: StoreSetsStats,
+}
+
+impl StoreSets {
+    /// Creates an empty predictor.
+    pub fn new(cfg: &StoreSetsConfig) -> StoreSets {
+        StoreSets {
+            ssit: vec![None; cfg.ssit_entries.next_power_of_two() as usize],
+            next_set: 0,
+            stats: StoreSetsStats::default(),
+        }
+    }
+
+    fn idx(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize) & (self.ssit.len() - 1)
+    }
+
+    /// The store set currently assigned to the instruction at `pc`.
+    pub fn set_of(&self, pc: u64) -> Option<SetId> {
+        self.ssit[self.idx(pc)]
+    }
+
+    /// Trains on a detected ordering violation between the load at
+    /// `load_pc` and the store at `store_pc`: both are placed in the same
+    /// set (merging into the smaller-numbered existing set, per the
+    /// original algorithm's tie-break).
+    pub fn train_violation(&mut self, load_pc: u64, store_pc: u64) {
+        self.stats.violations += 1;
+        let li = self.idx(load_pc);
+        let si = self.idx(store_pc);
+        match (self.ssit[li], self.ssit[si]) {
+            (None, None) => {
+                let id = self.next_set;
+                self.next_set += 1;
+                self.ssit[li] = Some(id);
+                self.ssit[si] = Some(id);
+            }
+            (Some(l), None) => self.ssit[si] = Some(l),
+            (None, Some(s)) => self.ssit[li] = Some(s),
+            (Some(l), Some(s)) => {
+                let keep = l.min(s);
+                self.ssit[li] = Some(keep);
+                self.ssit[si] = Some(keep);
+            }
+        }
+    }
+
+    /// Notes that a load stalled on a predicted dependence.
+    pub fn note_stall(&mut self) {
+        self.stats.loads_stalled += 1;
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> StoreSetsStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ss() -> StoreSets {
+        StoreSets::new(&StoreSetsConfig::paper())
+    }
+
+    #[test]
+    fn untrained_instructions_have_no_set() {
+        let s = ss();
+        assert_eq!(s.set_of(0x1000), None);
+    }
+
+    #[test]
+    fn violation_assigns_shared_set() {
+        let mut s = ss();
+        s.train_violation(0x1000, 0x2000);
+        let l = s.set_of(0x1000);
+        assert!(l.is_some());
+        assert_eq!(l, s.set_of(0x2000));
+        assert_eq!(s.stats().violations, 1);
+    }
+
+    #[test]
+    fn sets_merge_on_cross_violation() {
+        let mut s = ss();
+        s.train_violation(0x1000, 0x2000); // set 0
+        s.train_violation(0x3000, 0x4000); // set 1
+        s.train_violation(0x1000, 0x4000); // merge -> both keep min id
+        assert_eq!(s.set_of(0x1000), s.set_of(0x4000));
+    }
+
+    #[test]
+    fn second_member_joins_existing_set() {
+        let mut s = ss();
+        s.train_violation(0x1000, 0x2000);
+        s.train_violation(0x1000, 0x5000);
+        assert_eq!(s.set_of(0x5000), s.set_of(0x1000));
+    }
+}

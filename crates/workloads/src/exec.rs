@@ -1,0 +1,414 @@
+//! Functional (architectural) execution.
+//!
+//! Runs a [`Program`] to completion, producing the committed-path
+//! [`Trace`] the timing simulator consumes. Mini-graph tags do not affect
+//! functional semantics, so the same executor runs both singleton and
+//! rewritten programs — a property the integration tests rely on to check
+//! that the mini-graph rewriter preserves program behaviour.
+
+use crate::trace::{DynInst, Trace};
+use mg_isa::{op, BlockId, CfTarget, Opcode, Program, Reg};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Default cap on committed dynamic instructions.
+pub const DEFAULT_DYN_LIMIT: usize = 50_000_000;
+
+/// Problems encountered during functional execution.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ExecError {
+    /// A `ret` executed with an empty call stack.
+    ReturnFromMain(BlockId),
+    /// Control fell off the end of a block with no successor.
+    FellOffBlock(BlockId),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::ReturnFromMain(b) => write!(f, "return with empty call stack in {b}"),
+            ExecError::FellOffBlock(b) => write!(f, "control fell off block {b}"),
+        }
+    }
+}
+
+impl Error for ExecError {}
+
+/// Architectural machine state used by functional execution.
+#[derive(Clone, Debug, Default)]
+pub struct ArchState {
+    /// Register file (index 0 is hardwired zero).
+    pub regs: [u64; mg_isa::reg::NUM_ARCH_REGS],
+    /// Data memory, word-addressed by byte address (sparse).
+    pub mem: HashMap<u64, u64>,
+}
+
+impl ArchState {
+    /// Reads a register (the zero register reads 0).
+    pub fn read(&self, r: Reg) -> u64 {
+        if r.is_zero() {
+            0
+        } else {
+            self.regs[r.index()]
+        }
+    }
+
+    /// Writes a register (writes to the zero register are discarded).
+    pub fn write(&mut self, r: Reg, v: u64) {
+        if !r.is_zero() {
+            self.regs[r.index()] = v;
+        }
+    }
+
+    /// Loads a memory word (uninitialized memory reads 0).
+    pub fn load(&self, addr: u64) -> u64 {
+        self.mem.get(&addr).copied().unwrap_or(0)
+    }
+
+    /// Stores a memory word.
+    pub fn store(&mut self, addr: u64, v: u64) {
+        self.mem.insert(addr, v);
+    }
+}
+
+/// Functional executor.
+#[derive(Debug)]
+pub struct Executor<'a> {
+    program: &'a Program,
+    limit: usize,
+}
+
+impl<'a> Executor<'a> {
+    /// Creates an executor with the default dynamic-instruction limit.
+    pub fn new(program: &'a Program) -> Executor<'a> {
+        Executor {
+            program,
+            limit: DEFAULT_DYN_LIMIT,
+        }
+    }
+
+    /// Overrides the dynamic-instruction limit. Execution past the limit
+    /// marks the trace truncated rather than failing.
+    pub fn with_limit(mut self, limit: usize) -> Executor<'a> {
+        self.limit = limit;
+        self
+    }
+
+    /// Runs the program with pre-initialized ("loader-placed") data
+    /// memory, as produced by the workload generator.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`run`](Executor::run).
+    pub fn run_with_mem(&self, init: &[(u64, u64)]) -> Result<(Trace, ArchState), ExecError> {
+        let mut st = ArchState::default();
+        st.mem.extend(init.iter().copied());
+        self.run_from(st)
+    }
+
+    /// Runs the program from its entry function to `halt` (or the limit),
+    /// returning the committed trace and the final architectural state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] on structurally unrunnable control flow
+    /// (return from main, falling off a successor-less block). Validated
+    /// programs from the workload generator never trigger these.
+    pub fn run(&self) -> Result<(Trace, ArchState), ExecError> {
+        self.run_from(ArchState::default())
+    }
+
+    /// Runs from an explicit initial architectural state.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`run`](Executor::run).
+    pub fn run_from(&self, initial: ArchState) -> Result<(Trace, ArchState), ExecError> {
+        let program = self.program;
+        let mut st = initial;
+        let mut trace = Trace::default();
+        let mut call_stack: Vec<BlockId> = Vec::new();
+
+        let entry = program.func(program.entry_func()).entry;
+        let mut block = entry;
+        let mut idx = 0usize;
+
+        loop {
+            if trace.insts.len() >= self.limit {
+                trace.truncated = true;
+                break;
+            }
+            let bb = program.block(block);
+            if idx >= bb.insts.len() {
+                match bb.fallthrough {
+                    Some(next) => {
+                        block = next;
+                        idx = 0;
+                        continue;
+                    }
+                    None => return Err(ExecError::FellOffBlock(block)),
+                }
+            }
+            let id = program.id_of(block, idx);
+            let inst = &bb.insts[idx];
+            let a = inst.src1.map(|r| st.read(r)).unwrap_or(0);
+            let b = inst.src2.map(|r| st.read(r)).unwrap_or(0);
+
+            let mut dyn_inst = DynInst {
+                id,
+                addr: 0,
+                taken: false,
+            };
+
+            match inst.op {
+                Opcode::Load => {
+                    let addr = a.wrapping_add(inst.imm as u64);
+                    dyn_inst.addr = addr;
+                    let v = st.load(addr);
+                    st.write(inst.dest.unwrap(), v);
+                    idx += 1;
+                }
+                Opcode::Store => {
+                    let addr = a.wrapping_add(inst.imm as u64);
+                    dyn_inst.addr = addr;
+                    st.store(addr, b);
+                    idx += 1;
+                }
+                Opcode::Br(cond) => {
+                    let taken = cond.eval(a, b);
+                    dyn_inst.taken = taken;
+                    if taken {
+                        let Some(CfTarget::Block(t)) = inst.target else {
+                            unreachable!("validated branch has a block target")
+                        };
+                        block = t;
+                        idx = 0;
+                    } else {
+                        match bb.fallthrough {
+                            Some(next) => {
+                                block = next;
+                                idx = 0;
+                            }
+                            None => return Err(ExecError::FellOffBlock(block)),
+                        }
+                    }
+                }
+                Opcode::Jmp => {
+                    dyn_inst.taken = true;
+                    let Some(CfTarget::Block(t)) = inst.target else {
+                        unreachable!("validated jump has a block target")
+                    };
+                    block = t;
+                    idx = 0;
+                }
+                Opcode::Call => {
+                    dyn_inst.taken = true;
+                    let Some(CfTarget::Func(f)) = inst.target else {
+                        unreachable!("validated call has a function target")
+                    };
+                    let fall = bb
+                        .fallthrough
+                        .expect("validated call block has a fall-through");
+                    call_stack.push(fall);
+                    // The link register holds an opaque return token; the
+                    // executor tracks the actual return point on its own
+                    // stack, mirroring how real linkage is opaque to
+                    // dataflow.
+                    st.write(Reg::LINK, program.pc_of(program.id_of(fall, 0)));
+                    block = program.func(f).entry;
+                    idx = 0;
+                }
+                Opcode::Ret => {
+                    dyn_inst.taken = true;
+                    match call_stack.pop() {
+                        Some(fall) => {
+                            block = fall;
+                            idx = 0;
+                        }
+                        None => return Err(ExecError::ReturnFromMain(block)),
+                    }
+                }
+                Opcode::Halt => {
+                    dyn_inst.taken = true;
+                }
+                Opcode::Nop => {
+                    idx += 1;
+                }
+                alu => {
+                    let v = op::eval_alu(alu, a, b, inst.imm);
+                    if let Some(d) = inst.dest {
+                        st.write(d, v);
+                    }
+                    idx += 1;
+                }
+            }
+            let halted = matches!(inst.op, Opcode::Halt);
+            trace.insts.push(dyn_inst);
+            if halted {
+                break;
+            }
+        }
+        Ok((trace, st))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mg_isa::{BrCond, Instruction, ProgramBuilder};
+
+    fn run(p: &Program) -> (Trace, ArchState) {
+        Executor::new(p).run().unwrap()
+    }
+
+    #[test]
+    fn straight_line_arithmetic() {
+        let mut pb = ProgramBuilder::new("t");
+        let f = pb.func("main");
+        let b = pb.block(f);
+        pb.push(b, Instruction::li(Reg::R1, 6));
+        pb.push(b, Instruction::li(Reg::R2, 7));
+        pb.push(b, Instruction::mul(Reg::R3, Reg::R1, Reg::R2));
+        pb.push(b, Instruction::halt());
+        let p = pb.build().unwrap();
+        let (trace, st) = run(&p);
+        assert_eq!(st.read(Reg::R3), 42);
+        assert_eq!(trace.len(), 4);
+        assert!(!trace.truncated);
+    }
+
+    #[test]
+    fn loop_executes_expected_iterations() {
+        let mut pb = ProgramBuilder::new("loop");
+        let f = pb.func("main");
+        let head = pb.block(f);
+        let body = pb.block(f);
+        let exit = pb.block(f);
+        pb.push(head, Instruction::li(Reg::R1, 5));
+        pb.push(head, Instruction::li(Reg::R2, 0));
+        pb.set_fallthrough(head, body);
+        pb.push(body, Instruction::addi(Reg::R2, Reg::R2, 3));
+        pb.push(body, Instruction::addi(Reg::R1, Reg::R1, -1));
+        pb.push(body, Instruction::br(BrCond::Ne, Reg::R1, Reg::ZERO, body));
+        pb.set_fallthrough(body, exit);
+        pb.push(exit, Instruction::halt());
+        let p = pb.build().unwrap();
+        let (trace, st) = run(&p);
+        assert_eq!(st.read(Reg::R2), 15);
+        // 2 init + 5 iterations of 3 + halt
+        assert_eq!(trace.len(), 2 + 15 + 1);
+        // Branch taken 4 times, not-taken once.
+        let takens: Vec<bool> = trace
+            .insts
+            .iter()
+            .filter(|d| p.inst(d.id).op.is_cond_branch())
+            .map(|d| d.taken)
+            .collect();
+        assert_eq!(takens, vec![true, true, true, true, false]);
+    }
+
+    #[test]
+    fn memory_round_trip() {
+        let mut pb = ProgramBuilder::new("mem");
+        let f = pb.func("main");
+        let b = pb.block(f);
+        pb.push(b, Instruction::li(Reg::R1, 0x2000));
+        pb.push(b, Instruction::li(Reg::R2, 99));
+        pb.push(b, Instruction::store(Reg::R1, Reg::R2, 8));
+        pb.push(b, Instruction::load(Reg::R3, Reg::R1, 8));
+        pb.push(b, Instruction::halt());
+        let p = pb.build().unwrap();
+        let (trace, st) = run(&p);
+        assert_eq!(st.read(Reg::R3), 99);
+        let addrs: Vec<u64> = trace
+            .insts
+            .iter()
+            .filter(|d| p.inst(d.id).op.is_mem())
+            .map(|d| d.addr)
+            .collect();
+        assert_eq!(addrs, vec![0x2008, 0x2008]);
+    }
+
+    #[test]
+    fn call_and_return() {
+        let mut pb = ProgramBuilder::new("call");
+        let main = pb.func("main");
+        let leaf = pb.func("leaf");
+        let m0 = pb.block(main);
+        let m1 = pb.block(main);
+        let l0 = pb.block(leaf);
+        pb.push(m0, Instruction::li(Reg::R4, 10));
+        pb.push(m0, Instruction::call(leaf));
+        pb.set_fallthrough(m0, m1);
+        pb.push(m1, Instruction::addi(Reg::R5, Reg::R2, 1));
+        pb.push(m1, Instruction::halt());
+        pb.push(l0, Instruction::addi(Reg::R2, Reg::R4, 5));
+        pb.push(l0, Instruction::ret());
+        let p = pb.build().unwrap();
+        let (_, st) = run(&p);
+        assert_eq!(st.read(Reg::R2), 15);
+        assert_eq!(st.read(Reg::R5), 16);
+    }
+
+    #[test]
+    fn limit_truncates() {
+        let mut pb = ProgramBuilder::new("inf");
+        let f = pb.func("main");
+        let b = pb.block(f);
+        pb.push(b, Instruction::jmp(b));
+        let p = pb.build().unwrap();
+        let (trace, _) = Executor::new(&p).with_limit(10).run().unwrap();
+        assert!(trace.truncated);
+        assert_eq!(trace.len(), 10);
+    }
+
+    #[test]
+    fn uninitialized_memory_reads_zero() {
+        let mut pb = ProgramBuilder::new("zero");
+        let f = pb.func("main");
+        let b = pb.block(f);
+        pb.push(b, Instruction::li(Reg::R1, 0x4000));
+        pb.push(b, Instruction::load(Reg::R2, Reg::R1, 0));
+        pb.push(b, Instruction::halt());
+        let p = pb.build().unwrap();
+        let (_, st) = run(&p);
+        assert_eq!(st.read(Reg::R2), 0);
+    }
+}
+
+#[cfg(test)]
+mod error_path_tests {
+    use super::*;
+    use mg_isa::{Instruction, ProgramBuilder};
+
+    #[test]
+    fn return_from_main_is_reported() {
+        let mut pb = ProgramBuilder::new("bad-ret");
+        let f = pb.func("main");
+        let b = pb.block(f);
+        pb.push(b, Instruction::ret());
+        let p = pb.build().unwrap();
+        match Executor::new(&p).run() {
+            Err(ExecError::ReturnFromMain(_)) => {}
+            other => panic!("expected ReturnFromMain, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = ExecError::ReturnFromMain(mg_isa::BlockId(3));
+        assert!(e.to_string().contains("bb3"));
+        let e2 = ExecError::FellOffBlock(mg_isa::BlockId(7));
+        assert!(e2.to_string().contains("bb7"));
+    }
+
+    #[test]
+    fn arch_state_zero_register_semantics() {
+        let mut st = ArchState::default();
+        st.write(Reg::ZERO, 99);
+        assert_eq!(st.read(Reg::ZERO), 0);
+        st.write(Reg::R5, 42);
+        assert_eq!(st.read(Reg::R5), 42);
+    }
+}

@@ -1,0 +1,727 @@
+//! The synthetic benchmark generator.
+//!
+//! Turns a [`BenchmarkSpec`] + [`InputSet`] into a runnable [`Workload`]:
+//! a validated [`Program`] plus the initialized data memory image (the
+//! "loader" state). Generation is fully deterministic in the spec seed and
+//! input set.
+//!
+//! # Program shape
+//!
+//! Generated programs mimic the loop-dominated structure of the paper's
+//! benchmarks: `main` is a sequence of *loop nests*, each guarded by an
+//! input-dependent skip branch (code-coverage variation between inputs),
+//! with bodies built from straight-line segments, if-then-else diamonds,
+//! optional inner loops, and calls to leaf functions. Block bodies draw
+//! operands from recent in-block definitions (dependence chains) and
+//! long-lived "warm" registers (loop counters, accumulators, an in-program
+//! LCG), producing the spectrum of slack and serialization behaviour the
+//! mini-graph experiments need. Memory traffic covers three patterns:
+//! pointer-chasing through a randomly permuted ring, strided streaming,
+//! and LCG-randomized accesses over the benchmark footprint.
+
+use crate::input::InputSet;
+use crate::suite::BenchmarkSpec;
+use mg_isa::{BlockId, BrCond, FuncId, Instruction, Opcode, Program, ProgramBuilder, Reg};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Base address of the pointer-chase ring region.
+pub const RING_BASE: u64 = 0x0010_0000;
+/// Base address of the streaming/random data region.
+pub const DATA_BASE: u64 = 0x0100_0000;
+
+/// 64-bit LCG multiplier (Knuth's MMIX constant), loaded into a register
+/// at program start and used by generated entropy code.
+const LCG_MUL: i64 = 6364136223846793005;
+const LCG_ADD: i64 = 1442695040888963407;
+
+// Register conventions for generated code. Scratch pool R1..=R16 is
+// block-local; everything above is long-lived ("warm").
+const SCRATCH_LO: u8 = 1;
+const SCRATCH_HI: u8 = 16;
+const R_GUARD: Reg = Reg::R17;
+const R_LCGMUL: Reg = Reg::R18;
+const R_CTR_IN: Reg = Reg::R19;
+const R_CTR_OUT: Reg = Reg::R20;
+const R_LEAF_ACC: Reg = Reg::R21;
+const R_ACC: Reg = Reg::R22;
+const R_STREAM: Reg = Reg::R23;
+const R_LCG: Reg = Reg::R24;
+const R_SPARE: Reg = Reg::R25;
+const R_THRESH: Reg = Reg::R26;
+const R_CHASE: Reg = Reg::R27;
+const R_DATA: Reg = Reg::R28;
+const R_RING: Reg = Reg::R29;
+
+/// A generated benchmark: the program and its initial memory image.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// The synthetic program.
+    pub program: Program,
+    /// Loader-initialized data memory (ring pointers + data values).
+    pub init_mem: Vec<(u64, u64)>,
+}
+
+impl BenchmarkSpec {
+    /// Generates the benchmark on its primary input.
+    pub fn generate(&self) -> Workload {
+        self.generate_with_input(&self.primary_input())
+    }
+
+    /// Generates the benchmark on a specific input set.
+    pub fn generate_with_input(&self, input: &InputSet) -> Workload {
+        Generator::new(self, input).generate()
+    }
+}
+
+struct Generator<'a> {
+    spec: &'a BenchmarkSpec,
+    input: &'a InputSet,
+    rng: StdRng,
+    pb: ProgramBuilder,
+    main: FuncId,
+    leaves: Vec<FuncId>,
+    cur: BlockId,
+    next_scratch: u8,
+    /// Scratch register temporarily excluded from reuse (a hoisted
+    /// condition that must survive until its branch).
+    reserved_scratch: Option<Reg>,
+    recent: Vec<Reg>,
+    /// Scratch definitions not yet consumed. Compiled code has almost no
+    /// dead values; leaving them would create artificial output-less /
+    /// disconnected mini-graph candidates.
+    pending: Vec<Reg>,
+    /// A designated high-fanout value for the current block: real code
+    /// has many multi-consumer values, which limit how densely mini-graph
+    /// candidates can pack (interior values must be single-consumer).
+    hub: Option<Reg>,
+    last_load_dest: Option<Reg>,
+    /// Estimated committed instructions for one iteration of the body
+    /// currently being generated (diamond sides weighted by 0.5).
+    est: f64,
+}
+
+impl<'a> Generator<'a> {
+    fn new(spec: &'a BenchmarkSpec, input: &'a InputSet) -> Generator<'a> {
+        let mut pb = ProgramBuilder::new(format!("{}.{}", spec.name, input.name));
+        let main = pb.func("main");
+        let entry = pb.block(main);
+        Generator {
+            spec,
+            input,
+            rng: StdRng::seed_from_u64(spec.seed ^ 0x9e37_79b9_7f4a_7c15),
+            pb,
+            main,
+            leaves: Vec::new(),
+            cur: entry,
+            next_scratch: SCRATCH_LO,
+            reserved_scratch: None,
+            recent: Vec::new(),
+            pending: Vec::new(),
+            hub: None,
+            last_load_dest: None,
+            est: 0.0,
+        }
+    }
+
+    fn generate(mut self) -> Workload {
+        self.gen_leaves();
+        self.gen_init();
+        let nests = self.spec.params.loop_nests;
+        for nest in 0..nests {
+            self.gen_nest(nest);
+        }
+        self.push(Instruction::halt());
+        let init_mem = self.build_init_mem();
+        let program = self
+            .pb
+            .build()
+            .expect("generator emits structurally valid programs");
+        Workload { program, init_mem }
+    }
+
+    // ----- helpers -----
+
+    fn push(&mut self, inst: Instruction) {
+        self.pb.push(self.cur, inst);
+    }
+
+    /// Seals the current block with a fall-through edge into a fresh block
+    /// and makes the fresh block current. Block-local operand state resets.
+    fn seal_to_new(&mut self) -> BlockId {
+        let next = self.pb.block(self.main);
+        self.pb.set_fallthrough(self.cur, next);
+        self.cur = next;
+        self.enter_block();
+        next
+    }
+
+    fn enter_block(&mut self) {
+        self.recent.clear();
+        self.pending.clear();
+        self.hub = None;
+        self.last_load_dest = None;
+    }
+
+    fn fresh(&mut self) -> Reg {
+        loop {
+            let r = Reg::new(self.next_scratch);
+            self.next_scratch += 1;
+            if self.next_scratch > SCRATCH_HI {
+                self.next_scratch = SCRATCH_LO;
+            }
+            if self.reserved_scratch != Some(r) {
+                return r;
+            }
+        }
+    }
+
+    fn note_def(&mut self, r: Reg) {
+        if self.hub.is_none() {
+            self.hub = Some(r);
+        }
+        self.pending.retain(|&x| x != r); // overwritten before use
+        self.pending.push(r);
+        self.recent.push(r);
+        if self.recent.len() > 4 {
+            self.recent.remove(0);
+        }
+    }
+
+    /// Picks an operand register: a recent in-block definition with
+    /// probability `chain_bias`, otherwise a warm long-lived register.
+    fn pick(&mut self) -> Reg {
+        // Unconsumed values first: almost everything a compiler emits has
+        // a consumer.
+        if !self.pending.is_empty() && self.rng.gen_bool(0.45) {
+            let i = self.rng.gen_range(0..self.pending.len());
+            return self.consume(self.pending[i]);
+        }
+        // Multi-consumer "hub" values next: they throttle mini-graph
+        // packing density the way real code's value fanout does.
+        if let Some(hub) = self.hub {
+            if self.rng.gen_bool(0.38) {
+                return self.consume(hub);
+            }
+        }
+        if !self.recent.is_empty() && self.rng.gen_bool(self.spec.params.chain_bias) {
+            let r = self.recent[self.rng.gen_range(0..self.recent.len())];
+            self.consume(r)
+        } else {
+            const WARM: [Reg; 6] = [R_CTR_OUT, R_ACC, R_LCG, R_STREAM, R_THRESH, R_SPARE];
+            WARM[self.rng.gen_range(0..WARM.len())]
+        }
+    }
+
+    /// Marks a register consumed (drops it from the pending list).
+    fn consume(&mut self, r: Reg) -> Reg {
+        self.pending.retain(|&x| x != r);
+        r
+    }
+
+    fn data_mask(&self) -> i64 {
+        ((self.spec.params.footprint_words - 1) << 3) as i64
+    }
+
+    /// Mask for the "hot" working set: a small, frequently revisited slice
+    /// of the footprint (real programs exhibit strong temporal locality;
+    /// without it every randomized access would miss the L1).
+    fn hot_mask(&self) -> i64 {
+        let hot_words = (self.spec.params.footprint_words / 16).clamp(128, 2048);
+        ((hot_words - 1) << 3) as i64
+    }
+
+    /// Picks an offset mask for a randomized access: mostly the hot
+    /// working set, occasionally the whole footprint.
+    fn access_mask(&mut self) -> i64 {
+        if self.rng.gen_bool(0.9) {
+            self.hot_mask()
+        } else {
+            self.data_mask()
+        }
+    }
+
+    // ----- program sections -----
+
+    fn gen_leaves(&mut self) {
+        for li in 0..self.spec.params.leaf_funcs {
+            let f = self.pb.func(format!("leaf{li}"));
+            let b = self.pb.block(f);
+            let n = self.rng.gen_range(4..=9);
+            let mut local: Vec<Reg> = vec![R_DATA, R_LCG, R_THRESH];
+            for _ in 0..n {
+                let dest = Reg::new(self.rng.gen_range(SCRATCH_LO..=SCRATCH_HI));
+                let a = local[self.rng.gen_range(0..local.len())];
+                let inst = match self.rng.gen_range(0..4) {
+                    0 => Instruction::addi(dest, a, self.rng.gen_range(-64..64)),
+                    1 => {
+                        let b2 = local[self.rng.gen_range(0..local.len())];
+                        Instruction::add(dest, a, b2)
+                    }
+                    2 => Instruction::alu_ri(Opcode::XorI, dest, a, self.rng.gen_range(0..255)),
+                    _ => {
+                        let b2 = local[self.rng.gen_range(0..local.len())];
+                        Instruction::xor(dest, a, b2)
+                    }
+                };
+                self.pb.push(b, inst);
+                local.push(dest);
+            }
+            // Fold the leaf's work into its accumulator so it isn't dead.
+            let last = *local.last().unwrap();
+            self.pb.push(b, Instruction::add(R_LEAF_ACC, R_LEAF_ACC, last));
+            self.pb.push(b, Instruction::ret());
+            self.leaves.push(f);
+        }
+    }
+
+    fn gen_init(&mut self) {
+        let p = &self.spec.params;
+        let thresh = (p.data_branch_bias * 512.0).round() as i64;
+        let seed = (self.spec.seed ^ self.input.data_seed) as i64;
+        let init = [
+            Instruction::li(R_RING, RING_BASE as i64),
+            Instruction::li(R_DATA, DATA_BASE as i64),
+            Instruction::li(R_THRESH, thresh.max(1)),
+            Instruction::li(R_LCGMUL, LCG_MUL),
+            Instruction::li(R_LCG, seed | 1),
+            Instruction::li(R_STREAM, DATA_BASE as i64),
+            Instruction::li(R_ACC, 0),
+            Instruction::li(R_LEAF_ACC, 0),
+            Instruction::li(R_SPARE, 0x0f0f),
+            Instruction::addi(R_CHASE, R_RING, 0),
+        ];
+        for i in init {
+            self.push(i);
+        }
+    }
+
+    fn gen_nest(&mut self, nest: usize) {
+        let p = self.spec.params.clone();
+        // Preheader: guard + counter init + pointer resets.
+        let preheader = self.seal_to_new();
+        let skip = self.nest_skipped(nest);
+        self.push(Instruction::li(R_GUARD, if skip { 0 } else { 1 }));
+        // Reset streaming state so nests are self-contained.
+        let stream_start = self.rng.gen_range(0..(p.footprint_words as i64 * 8)) & !7;
+        self.push(Instruction::li(R_STREAM, DATA_BASE as i64 + stream_start));
+        self.push(Instruction::addi(R_CHASE, R_RING, 0));
+        // Trip count placeholder: patched after the body is generated and
+        // its dynamic length is known.
+        self.push(Instruction::li(R_CTR_OUT, 1));
+        let ctr_init_idx = self.pb.block_len(preheader) - 1;
+        // Guard branch: target patched to the nest-end block below.
+        self.push(Instruction::br(BrCond::Eq, R_GUARD, Reg::ZERO, preheader));
+
+        let body_head = self.seal_to_new();
+        self.est = 0.0;
+        let segments = self.rng.gen_range(p.body_segments.0..=p.body_segments.1);
+        let mut placed_inner = false;
+        for _ in 0..segments {
+            let roll: f64 = self.rng.gen();
+            if p.allow_inner_loops
+                && !placed_inner
+                && roll < p.inner_loop_prob / segments as f64
+            {
+                self.gen_inner_loop();
+                placed_inner = true;
+            } else if roll < p.diamond_prob {
+                self.gen_diamond();
+            } else if roll < p.diamond_prob + p.call_prob && !self.leaves.is_empty() {
+                self.gen_call();
+            } else {
+                let n = self.rng.gen_range(p.block_len.0..=p.block_len.1);
+                self.gen_straight(n);
+            }
+        }
+
+        // Latch: decrement, loop back, fall through to the nest end.
+        self.push(Instruction::addi(R_CTR_OUT, R_CTR_OUT, -1));
+        self.push(Instruction::br(BrCond::Ne, R_CTR_OUT, Reg::ZERO, body_head));
+        let latch = self.cur;
+        self.est += 2.0;
+
+        // Compute the trip count from the measured body estimate.
+        let per_nest = (p.target_dyn as f64 * self.input.trip_scale()) / p.loop_nests as f64;
+        let trips = (per_nest / self.est.max(1.0)).round().clamp(3.0, 50_000.0) as i64;
+        self.patch_counter_init(preheader, ctr_init_idx, trips);
+
+        let nest_end = self.seal_to_new();
+        let _ = latch;
+        self.pb.patch_branch_target(preheader, nest_end);
+        // Keep the nest-end block non-empty regardless of what follows.
+        self.push(Instruction::add(R_ACC, R_ACC, R_LEAF_ACC));
+    }
+
+    fn nest_skipped(&self, nest: usize) -> bool {
+        let h = self
+            .input
+            .data_seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(nest as u64 ^ self.spec.seed)
+            .wrapping_mul(0xff51_afd7_ed55_8ccd);
+        (h >> 32) % 1000 < self.input.skip_per_mille as u64
+    }
+
+    fn patch_counter_init(&mut self, block: BlockId, idx: usize, trips: i64) {
+        // Rewrite the preheader's placeholder `li R_CTR_OUT, 1`.
+        self.pb
+            .replace(block, idx, Instruction::li(R_CTR_OUT, trips.max(1)));
+    }
+
+    fn gen_inner_loop(&mut self) {
+        let trips = self.spec.params.inner_trips.max(2) as i64;
+        self.push(Instruction::li(R_CTR_IN, trips));
+        let head = self.seal_to_new();
+        let n = self
+            .rng
+            .gen_range(self.spec.params.block_len.0..=self.spec.params.block_len.1);
+        let before = self.est;
+        self.gen_straight(n);
+        let body_cost = self.est - before;
+        self.est = before + (body_cost + 2.0) * trips as f64;
+        self.push(Instruction::addi(R_CTR_IN, R_CTR_IN, -1));
+        self.push(Instruction::br(BrCond::Ne, R_CTR_IN, Reg::ZERO, head));
+        self.seal_to_new();
+    }
+
+    fn gen_call(&mut self) {
+        let leaf = self.leaves[self.rng.gen_range(0..self.leaves.len())];
+        self.push(Instruction::call(leaf));
+        self.est += 8.0; // call + typical leaf body + ret
+        self.seal_to_new();
+    }
+
+    fn gen_diamond(&mut self) {
+        // cond block (current) -> taken: then | fall: else -> join.
+        // The condition is computed *early* (hoisted, as compilers
+        // schedule it), then unrelated body work follows, and the branch
+        // ends the block — giving the branch genuine slack that careless
+        // aggregation with late body values can destroy.
+        let p = self.spec.params.clone();
+        let data_cond = self.rng.gen_bool(p.data_branch_prob);
+        let cond_reg = if data_cond {
+            // Entropy condition: a fresh pointer-chase load (a late,
+            // possibly missing value), the last loaded value, or the
+            // in-program LCG.
+            let roll: f64 = self.rng.gen();
+            let src = if roll < 0.5 {
+                self.push(Instruction::load(R_CHASE, R_CHASE, 0));
+                self.est += 1.0;
+                R_CHASE
+            } else {
+                match self.last_load_dest {
+                    Some(r) if roll < 0.75 => r,
+                    _ => {
+                        self.gen_lcg_step();
+                        R_LCG
+                    }
+                }
+            };
+            let masked = self.fresh();
+            self.push(Instruction::alu_ri(Opcode::AndI, masked, src, 511));
+            let cmp = self.fresh();
+            self.push(Instruction::alu_rr(Opcode::CmpLt, cmp, masked, R_THRESH));
+            self.consume(masked);
+            self.consume(cmp);
+            self.est += 2.0;
+            cmp
+        } else {
+            // Periodic counter condition: predictable by the gshare side.
+            let masked = self.fresh();
+            self.push(Instruction::alu_ri(Opcode::AndI, masked, R_CTR_OUT, 3));
+            self.consume(masked);
+            self.est += 1.0;
+            masked
+        };
+        // Body filler between the (early) condition and the branch; the
+        // condition register is protected from scratch reuse meanwhile.
+        self.reserved_scratch = Some(cond_reg);
+        let filler = self.rng.gen_range(2..=p.block_len.0.max(3));
+        self.gen_straight(filler);
+        self.reserved_scratch = None;
+        // Placeholder target, patched to the then-block below.
+        let cond_block = self.cur;
+        self.push(Instruction::br(BrCond::Ne, cond_reg, Reg::ZERO, cond_block));
+        self.est += 1.0;
+
+        // Else side (fall-through).
+        let _else_head = self.seal_to_new();
+        let else_n = self.rng.gen_range(p.block_len.0..=p.block_len.1.min(8));
+        let before = self.est;
+        self.gen_straight(else_n);
+        let else_cost = self.est - before;
+        // Placeholder jmp target, patched to the join.
+        self.push(Instruction::jmp(self.cur));
+        let else_tail = self.cur;
+
+        // Then side.
+        let then_head = {
+            let b = self.pb.block(self.main);
+            self.cur = b;
+            self.enter_block();
+            b
+        };
+        self.pb.patch_branch_target(cond_block, then_head);
+        let then_n = self.rng.gen_range(p.block_len.0..=p.block_len.1.min(8));
+        let before_then = self.est;
+        self.gen_straight(then_n);
+        let then_cost = self.est - before_then;
+
+        // Join: then falls through into it; else jumps to it.
+        let join = self.seal_to_new();
+        self.pb.patch_branch_target(else_tail, join);
+        // Each side executes roughly half the time.
+        self.est = before + (else_cost + 1.0) * 0.5 + then_cost * 0.5;
+        // Keep the join block doing a little real work.
+        self.push(Instruction::add(R_ACC, R_ACC, cond_reg));
+        self.est += 1.0;
+    }
+
+    fn gen_lcg_step(&mut self) {
+        self.push(Instruction::mul(R_LCG, R_LCG, R_LCGMUL));
+        self.push(Instruction::addi(R_LCG, R_LCG, LCG_ADD));
+        self.est += 2.0;
+    }
+
+    fn gen_straight(&mut self, n: usize) {
+        let p = self.spec.params.clone();
+        let mut emitted = 0usize;
+        let mut trap_budget = 1usize;
+        while emitted < n {
+            let roll: f64 = self.rng.gen();
+            if trap_budget > 0 && roll < 0.05 && n >= 4 {
+                trap_budget -= 1;
+                emitted += self.gen_update_pattern();
+            } else if roll < p.mix.load {
+                emitted += self.gen_load();
+            } else if roll < p.mix.load + p.mix.store {
+                emitted += self.gen_store();
+            } else if roll < p.mix.load + p.mix.store + p.mix.mul {
+                let d = self.fresh();
+                let a = self.pick();
+                let b = self.pick();
+                self.push(Instruction::mul(d, a, b));
+                self.note_def(d);
+                emitted += 1;
+            } else if self.rng.gen_bool(p.acc_prob) {
+                // A two-deep link of the loop-carried accumulator chain:
+                // recurrences of comparable height to the other serial
+                // chains keep whole-iteration slack realistic.
+                let a = self.pick();
+                self.push(Instruction::add(R_ACC, R_ACC, a));
+                let k = self.rng.gen_range(1..512);
+                self.push(Instruction::alu_ri(Opcode::XorI, R_ACC, R_ACC, k));
+                emitted += 2;
+            } else {
+                emitted += self.gen_alu();
+            }
+        }
+        // Drain leftover unconsumed values into the accumulator so the
+        // block defines (almost) no dead values.
+        while self.pending.len() > 1 {
+            let r = self.pending[0];
+            self.consume(r);
+            self.push(Instruction::add(R_ACC, R_ACC, r));
+            emitted += 1;
+        }
+        self.est += emitted as f64;
+    }
+
+    /// A linked-structure update: compute the next element's address,
+    /// store a (late) value into the current one, then load through the
+    /// new address. The address computation's value is needed
+    /// immediately, while the store's data typically arrives late — the
+    /// adjacency is exactly Figure 4d's unbounded-serialization shape
+    /// when an aggregator greedily groups the address op with the store.
+    fn gen_update_pattern(&mut self) -> usize {
+        let late = match self.last_load_dest {
+            Some(r) if self.rng.gen_bool(0.5) => r,
+            _ => R_LCG,
+        };
+        let t = self.fresh();
+        let step = self.rng.gen_range(1..4) * 8;
+        self.push(Instruction::addi(t, R_STREAM, step));
+        let disp = self.rng.gen_range(0..4) * 8;
+        self.push(Instruction::store(R_STREAM, late, disp));
+        let d = self.fresh();
+        self.push(Instruction::load(d, t, 0));
+        self.consume(t);
+        self.note_def(d);
+        self.last_load_dest = Some(d);
+        3
+    }
+
+    fn gen_alu(&mut self) -> usize {
+        let d = self.fresh();
+        let a = self.pick();
+        let inst = match self.rng.gen_range(0..8) {
+            0 => Instruction::addi(d, a, self.rng.gen_range(-128..128)),
+            1 => Instruction::alu_ri(Opcode::XorI, d, a, self.rng.gen_range(0..1024)),
+            2 => Instruction::alu_ri(Opcode::ShlI, d, a, self.rng.gen_range(1..8)),
+            3 => Instruction::alu_ri(Opcode::ShrI, d, a, self.rng.gen_range(1..16)),
+            4 => Instruction::add(d, a, self.pick()),
+            5 => Instruction::sub(d, a, self.pick()),
+            6 => Instruction::and(d, a, self.pick()),
+            _ => Instruction::xor(d, a, self.pick()),
+        };
+        self.push(inst);
+        self.note_def(d);
+        1
+    }
+
+    /// Emits one load access pattern; returns instructions emitted.
+    fn gen_load(&mut self) -> usize {
+        let p = self.spec.params.clone();
+        if self.rng.gen_bool(p.pointer_chase_prob) {
+            // Pointer chase through the ring.
+            self.push(Instruction::load(R_CHASE, R_CHASE, 0));
+            self.last_load_dest = Some(R_CHASE);
+            return 1;
+        }
+        if self.rng.gen_bool(0.7) {
+            // Strided stream through a persistent pointer: compiled code
+            // folds the displacement into the load, so the pattern is a
+            // bare load plus a pointer bump — not an address-computation
+            // chain.
+            let d = self.fresh();
+            let disp = self.rng.gen_range(0..p.stride_words.max(1) as i64) * 8;
+            self.push(Instruction::load(d, R_STREAM, disp));
+            let mut emitted = 1;
+            if self.rng.gen_bool(0.6) {
+                self.push(Instruction::addi(
+                    R_STREAM,
+                    R_STREAM,
+                    (p.stride_words * 8) as i64,
+                ));
+                emitted += 1;
+            }
+            if self.rng.gen_bool(0.12) {
+                // Wrap back into the footprint.
+                let off = self.fresh();
+                self.push(Instruction::alu_ri(Opcode::AndI, off, R_STREAM, self.data_mask()));
+                self.push(Instruction::add(R_STREAM, R_DATA, off));
+                emitted += 2;
+            }
+            self.note_def(d);
+            self.last_load_dest = Some(d);
+            emitted
+        } else {
+            // Randomized access via the LCG value, biased to the hot set.
+            let mask = self.access_mask();
+            let off = self.fresh();
+            self.push(Instruction::alu_ri(Opcode::AndI, off, R_LCG, mask));
+            let addr = self.fresh();
+            self.push(Instruction::add(addr, R_DATA, off));
+            let d = self.fresh();
+            let disp = self.rng.gen_range(0..4) * 8;
+            self.push(Instruction::load(d, addr, disp));
+            self.note_def(d);
+            self.last_load_dest = Some(d);
+            3
+        }
+    }
+
+    fn gen_store(&mut self) -> usize {
+        if self.rng.gen_bool(0.6) {
+            // Pointer-direct store near the stream.
+            let data = self.pick();
+            let disp = self.rng.gen_range(0..8) * 8;
+            self.push(Instruction::store(R_STREAM, data, disp));
+            1
+        } else {
+            // Computed store address via the LCG, biased to the hot set.
+            let mask = self.access_mask();
+            let off = self.fresh();
+            self.push(Instruction::alu_ri(Opcode::AndI, off, R_LCG, mask));
+            let addr = self.fresh();
+            self.push(Instruction::add(addr, R_DATA, off));
+            let data = self.pick();
+            self.push(Instruction::store(addr, data, 0));
+            3
+        }
+    }
+
+    fn build_init_mem(&mut self) -> Vec<(u64, u64)> {
+        let p = &self.spec.params;
+        let mut mem = Vec::with_capacity(p.ring_words + p.footprint_words);
+        // Ring: a random cyclic permutation of the ring slots, so chasing
+        // visits every slot without hardware-predictable strides.
+        let mut order: Vec<u64> = (0..p.ring_words as u64).collect();
+        let mut rng = StdRng::seed_from_u64(self.spec.seed ^ self.input.data_seed);
+        for i in (1..order.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        for w in 0..order.len() {
+            let cur = order[w];
+            let next = order[(w + 1) % order.len()];
+            mem.push((RING_BASE + cur * 8, RING_BASE + next * 8));
+        }
+        // Data region: pseudo-random values.
+        for w in 0..p.footprint_words as u64 {
+            let v = rng.gen::<u64>();
+            mem.push((DATA_BASE + w * 8, v));
+        }
+        mem
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::exec::Executor;
+    use crate::suite::{suite, BenchmarkSpec, Suite};
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = BenchmarkSpec::new(Suite::MiBench, "sha");
+        let a = spec.generate();
+        let b = spec.generate();
+        assert_eq!(a.program.static_count(), b.program.static_count());
+        assert_eq!(a.init_mem, b.init_mem);
+    }
+
+    #[test]
+    fn generated_programs_validate_and_run() {
+        for spec in suite().into_iter().take(8) {
+            let w = spec.generate();
+            let exec = Executor::new(&w.program).with_limit(2_000_000);
+            let (trace, _) = exec.run_with_mem(&w.init_mem).unwrap();
+            assert!(!trace.truncated, "{} truncated", spec.name);
+            assert!(trace.len() > 1000, "{} too short: {}", spec.name, trace.len());
+        }
+    }
+
+    #[test]
+    fn dynamic_length_near_target() {
+        let spec = BenchmarkSpec::new(Suite::MediaBench, "jpeg_enc");
+        let w = spec.generate();
+        let (trace, _) = Executor::new(&w.program)
+            .with_limit(5_000_000)
+            .run_with_mem(&w.init_mem)
+            .unwrap();
+        let target = spec.params.target_dyn as f64;
+        let got = trace.len() as f64;
+        assert!(
+            got > target * 0.4 && got < target * 2.5,
+            "dynamic length {got} vs target {target}"
+        );
+    }
+
+    #[test]
+    fn inputs_change_behaviour_not_code() {
+        let spec = BenchmarkSpec::new(Suite::SpecInt, "mcf");
+        let a = spec.generate_with_input(&spec.primary_input());
+        let b = spec.generate_with_input(&spec.alternate_input());
+        assert_eq!(a.program.static_count(), b.program.static_count());
+        let (ta, _) = Executor::new(&a.program)
+            .with_limit(5_000_000)
+            .run_with_mem(&a.init_mem)
+            .unwrap();
+        let (tb, _) = Executor::new(&b.program)
+            .with_limit(5_000_000)
+            .run_with_mem(&b.init_mem)
+            .unwrap();
+        assert_ne!(ta.len(), tb.len());
+    }
+}

@@ -1,0 +1,118 @@
+//! Program input data sets.
+//!
+//! Real benchmarks run on different inputs across invocations; the paper's
+//! robustness study (Figure 9, bottom) trains slack profiles on one input
+//! and evaluates on another. An [`InputSet`] plays that role here: it
+//! perturbs the initialized data memory, the loop trip counts, and which
+//! loop nests are exercised (code coverage), without changing the static
+//! code.
+
+use serde::{Deserialize, Serialize};
+
+/// A named input data set for a benchmark.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InputSet {
+    /// Input-set name (`train`, `ref`, `large`, `small`, ...).
+    pub name: String,
+    /// Seed perturbing initialized data values.
+    pub data_seed: u64,
+    /// Scale applied to loop trip counts, in percent (100 = nominal).
+    pub trip_scale_pct: u32,
+    /// Per-mille probability that any given loop nest is skipped by its
+    /// input guard (code-coverage differences between inputs).
+    pub skip_per_mille: u32,
+}
+
+impl InputSet {
+    /// The default/primary input a benchmark self-trains on.
+    pub fn primary() -> InputSet {
+        InputSet {
+            name: "train".into(),
+            data_seed: 0x5eed_0001,
+            trip_scale_pct: 100,
+            skip_per_mille: 30,
+        }
+    }
+
+    /// The alternate input used for cross-input robustness studies.
+    pub fn alternate() -> InputSet {
+        InputSet {
+            name: "ref".into(),
+            data_seed: 0xa17e_4a7e,
+            trip_scale_pct: 140,
+            skip_per_mille: 80,
+        }
+    }
+
+    /// Trip-count scale as a float factor.
+    pub fn trip_scale(&self) -> f64 {
+        self.trip_scale_pct as f64 / 100.0
+    }
+}
+
+impl Default for InputSet {
+    fn default() -> InputSet {
+        InputSet::primary()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primary_and_alternate_differ() {
+        let p = InputSet::primary();
+        let a = InputSet::alternate();
+        assert_ne!(p.data_seed, a.data_seed);
+        assert_ne!(p.trip_scale_pct, a.trip_scale_pct);
+        assert_eq!(p, InputSet::default());
+    }
+
+    #[test]
+    fn trip_scale_conversion() {
+        assert!((InputSet::alternate().trip_scale() - 1.4).abs() < 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod guard_tests {
+    use super::*;
+    use crate::exec::Executor;
+    use crate::suite::{BenchmarkSpec, Suite};
+
+    /// An input that skips every nest yields a drastically shorter run
+    /// with the same static code.
+    #[test]
+    fn skip_guards_control_code_coverage() {
+        let mut spec = BenchmarkSpec::new(Suite::MiBench, "guard_probe");
+        spec.params.target_dyn = 20_000;
+        let normal = InputSet::primary();
+        let all_skipped = InputSet {
+            name: "empty".into(),
+            skip_per_mille: 1000,
+            ..InputSet::primary()
+        };
+        let w_norm = spec.generate_with_input(&normal);
+        let w_skip = spec.generate_with_input(&all_skipped);
+        assert_eq!(w_norm.program.static_count(), w_skip.program.static_count());
+        let (t_norm, _) = Executor::new(&w_norm.program).run_with_mem(&w_norm.init_mem).unwrap();
+        let (t_skip, _) = Executor::new(&w_skip.program).run_with_mem(&w_skip.init_mem).unwrap();
+        assert!(
+            (t_skip.len() as f64) < 0.2 * t_norm.len() as f64,
+            "skipped run {} vs normal {}",
+            t_skip.len(),
+            t_norm.len()
+        );
+        // Some static instructions executed in the normal run never run
+        // in the skipped one: the cross-input code-coverage effect.
+        let f_norm = t_norm.static_freqs(&w_norm.program);
+        let f_skip = t_skip.static_freqs(&w_skip.program);
+        let newly_dead = f_norm
+            .iter()
+            .zip(&f_skip)
+            .filter(|(a, b)| **a > 0 && **b == 0)
+            .count();
+        assert!(newly_dead > 10, "only {newly_dead} newly-dead statics");
+    }
+}

@@ -1,0 +1,52 @@
+//! Synthetic benchmark suites, input sets, and functional execution.
+//!
+//! The mini-graphs paper evaluates 78 benchmarks from SPECint2000,
+//! MediaBench, CommBench, and MiBench. Those binaries are not available
+//! here, so this crate provides deterministic *synthetic analogues*: a
+//! [`suite`] of 78 generated programs whose per-suite character
+//! (instruction mix, branch behaviour, memory footprint, loop structure)
+//! matches the families the paper draws from. See `DESIGN.md` at the
+//! repository root for the substitution rationale.
+//!
+//! The crate also provides the *functional* half of simulation: the
+//! [`Executor`] runs a program architecturally and emits the
+//! committed-path [`Trace`] that the timing simulator (`mg-sim`) replays.
+//!
+//! # Example
+//!
+//! ```
+//! use mg_workloads::{suite, Executor};
+//!
+//! let spec = &suite()[0];
+//! let workload = spec.generate();
+//! let (trace, _state) = Executor::new(&workload.program)
+//!     .with_limit(1_000_000)
+//!     .run_with_mem(&workload.init_mem)
+//!     .expect("generated programs run to completion");
+//! assert!(!trace.is_empty());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod exec;
+pub mod gen;
+pub mod input;
+pub mod params;
+pub mod suite;
+pub mod trace;
+
+pub use exec::{ArchState, ExecError, Executor};
+pub use gen::{Workload, DATA_BASE, RING_BASE};
+pub use input::InputSet;
+pub use params::{GenParams, OpMix};
+pub use suite::{benchmark, limit_study_benchmark, suite, BenchmarkSpec, Suite};
+pub use trace::{DynInst, Trace};
+
+/// Commonly used items, for glob import via the facade prelude.
+pub mod prelude {
+    pub use crate::{
+        benchmark, suite, ArchState, BenchmarkSpec, DynInst, Executor, InputSet, Suite, Trace,
+        Workload,
+    };
+}

@@ -1,0 +1,149 @@
+//! Generation parameters controlling a synthetic benchmark's character.
+
+use serde::{Deserialize, Serialize};
+
+/// Relative frequencies of instruction kinds in generated block bodies.
+///
+/// The remaining probability mass (1 − load − store − mul) is split
+/// between register-register and register-immediate ALU operations.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OpMix {
+    /// Fraction of loads.
+    pub load: f64,
+    /// Fraction of stores.
+    pub store: f64,
+    /// Fraction of multi-cycle multiplies.
+    pub mul: f64,
+}
+
+impl OpMix {
+    /// Validates that fractions are sane.
+    pub fn is_valid(&self) -> bool {
+        let vals = [self.load, self.store, self.mul];
+        vals.iter().all(|v| (0.0..=1.0).contains(v)) && vals.iter().sum::<f64>() <= 0.9
+    }
+}
+
+/// Knobs that shape a generated benchmark.
+///
+/// Suite profiles supply the base values (see
+/// [`Suite::base_params`](crate::Suite::base_params)); per-benchmark
+/// jitter then diversifies individual programs within a suite.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GenParams {
+    /// Number of top-level loop nests in `main`.
+    pub loop_nests: usize,
+    /// Whether nests may contain one inner loop (depth 2).
+    pub allow_inner_loops: bool,
+    /// Probability that a nest gets an inner loop.
+    pub inner_loop_prob: f64,
+    /// Inner loop trip count.
+    pub inner_trips: u64,
+    /// Number of body segments per loop body.
+    pub body_segments: (usize, usize),
+    /// Instructions per straight-line segment, inclusive range.
+    pub block_len: (usize, usize),
+    /// Probability that a segment is an if-then-else diamond.
+    pub diamond_prob: f64,
+    /// Probability that a segment is a call to a leaf function.
+    pub call_prob: f64,
+    /// Number of callable leaf functions.
+    pub leaf_funcs: usize,
+    /// Probability that an operand comes from a recent in-block
+    /// definition (dependence-chain density; higher = less ILP).
+    pub chain_bias: f64,
+    /// Probability that a block-body instruction extends the loop-carried
+    /// accumulator chain.
+    pub acc_prob: f64,
+    /// Instruction-kind mix.
+    pub mix: OpMix,
+    /// Probability that a diamond's condition depends on loaded data /
+    /// LCG entropy rather than the loop counter.
+    pub data_branch_prob: f64,
+    /// Taken bias of data-dependent branches (0.5 = unpredictable).
+    pub data_branch_bias: f64,
+    /// Fraction of loads that pointer-chase through the ring region.
+    pub pointer_chase_prob: f64,
+    /// Size of the data region in 8-byte words (power of two).
+    pub footprint_words: usize,
+    /// Size of the pointer-chase ring in words (power of two).
+    pub ring_words: usize,
+    /// Stride, in words, of streaming accesses.
+    pub stride_words: usize,
+    /// Approximate committed dynamic instructions to aim for.
+    pub target_dyn: usize,
+}
+
+impl GenParams {
+    /// Validates parameter consistency.
+    pub fn is_valid(&self) -> bool {
+        self.loop_nests >= 1
+            && self.body_segments.0 >= 1
+            && self.body_segments.0 <= self.body_segments.1
+            && self.block_len.0 >= 1
+            && self.block_len.0 <= self.block_len.1
+            && self.footprint_words.is_power_of_two()
+            && self.ring_words.is_power_of_two()
+            && self.stride_words >= 1
+            && self.mix.is_valid()
+            && (0.0..=1.0).contains(&self.diamond_prob)
+            && (0.0..=1.0).contains(&self.call_prob)
+            && (0.0..=1.0).contains(&self.chain_bias)
+            && (0.0..=1.0).contains(&self.data_branch_prob)
+            && (0.0..=1.0).contains(&self.data_branch_bias)
+            && (0.0..=1.0).contains(&self.pointer_chase_prob)
+            && self.target_dyn >= 1000
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> GenParams {
+        GenParams {
+            loop_nests: 4,
+            allow_inner_loops: true,
+            inner_loop_prob: 0.3,
+            inner_trips: 8,
+            body_segments: (3, 6),
+            block_len: (4, 10),
+            diamond_prob: 0.3,
+            call_prob: 0.1,
+            leaf_funcs: 2,
+            chain_bias: 0.55,
+            acc_prob: 0.1,
+            mix: OpMix {
+                load: 0.2,
+                store: 0.08,
+                mul: 0.04,
+            },
+            data_branch_prob: 0.35,
+            data_branch_bias: 0.3,
+            pointer_chase_prob: 0.2,
+            footprint_words: 1 << 14,
+            ring_words: 1 << 10,
+            stride_words: 3,
+            target_dyn: 50_000,
+        }
+    }
+
+    #[test]
+    fn base_params_validate() {
+        assert!(base().is_valid());
+    }
+
+    #[test]
+    fn invalid_footprint_rejected() {
+        let mut p = base();
+        p.footprint_words = 1000; // not a power of two
+        assert!(!p.is_valid());
+    }
+
+    #[test]
+    fn invalid_mix_rejected() {
+        let mut p = base();
+        p.mix.load = 0.9;
+        assert!(!p.is_valid());
+    }
+}

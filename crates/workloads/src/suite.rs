@@ -1,0 +1,392 @@
+//! Benchmark suites and the 78-benchmark registry.
+//!
+//! The paper evaluates 78 benchmarks from SPECint2000, MediaBench,
+//! CommBench, and MiBench. The synthetic analogues here reproduce each
+//! suite's *character* — instruction mix, control behaviour, memory
+//! footprint and access patterns — via per-suite base [`GenParams`] plus
+//! deterministic per-benchmark jitter, so the population exhibits the
+//! diversity the paper's S-curves depend on.
+
+use crate::input::InputSet;
+use crate::params::{GenParams, OpMix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Benchmark suite family.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Suite {
+    /// SPECint2000-like: irregular control flow, pointer chasing, large
+    /// footprints, hard-to-predict branches.
+    SpecInt,
+    /// MediaBench-like: long arithmetic blocks, regular loops, small hot
+    /// footprints, predictable control.
+    MediaBench,
+    /// CommBench-like: streaming header/payload processing, strided
+    /// access, moderate control.
+    CommBench,
+    /// MiBench-like: small embedded kernels, small footprints, short
+    /// blocks.
+    MiBench,
+}
+
+impl Suite {
+    /// All suites, in the paper's order.
+    pub const ALL: [Suite; 4] = [
+        Suite::SpecInt,
+        Suite::MediaBench,
+        Suite::CommBench,
+        Suite::MiBench,
+    ];
+
+    /// Suite display prefix.
+    pub fn prefix(self) -> &'static str {
+        match self {
+            Suite::SpecInt => "spec",
+            Suite::MediaBench => "media",
+            Suite::CommBench => "comm",
+            Suite::MiBench => "mib",
+        }
+    }
+
+    /// The suite's base generation parameters, before per-benchmark
+    /// jitter.
+    pub fn base_params(self) -> GenParams {
+        match self {
+            Suite::SpecInt => GenParams {
+                loop_nests: 8,
+                allow_inner_loops: true,
+                inner_loop_prob: 0.35,
+                inner_trips: 6,
+                body_segments: (4, 7),
+                block_len: (4, 9),
+                diamond_prob: 0.40,
+                call_prob: 0.12,
+                leaf_funcs: 3,
+                chain_bias: 0.42,
+                acc_prob: 0.13,
+                mix: OpMix {
+                    load: 0.24,
+                    store: 0.09,
+                    mul: 0.03,
+                },
+                data_branch_prob: 0.55,
+                data_branch_bias: 0.45,
+                pointer_chase_prob: 0.15,
+                footprint_words: 1 << 15, // 256 KB: spills the 32KB L1
+                ring_words: 1 << 12,      // 32 KB chase ring: L1-capacity, miss-prone
+                stride_words: 5,
+                target_dyn: 120_000,
+            },
+            Suite::MediaBench => GenParams {
+                loop_nests: 6,
+                allow_inner_loops: true,
+                inner_loop_prob: 0.5,
+                inner_trips: 12,
+                body_segments: (4, 8),
+                block_len: (7, 16),
+                diamond_prob: 0.15,
+                call_prob: 0.06,
+                leaf_funcs: 2,
+                chain_bias: 0.45,
+                acc_prob: 0.11,
+                mix: OpMix {
+                    load: 0.20,
+                    store: 0.12,
+                    mul: 0.06,
+                },
+                data_branch_prob: 0.20,
+                data_branch_bias: 0.12,
+                pointer_chase_prob: 0.05,
+                footprint_words: 1 << 12, // 32 KB: mostly L1-resident
+                ring_words: 1 << 9,
+                stride_words: 1,
+                target_dyn: 100_000,
+            },
+            Suite::CommBench => GenParams {
+                loop_nests: 7,
+                allow_inner_loops: true,
+                inner_loop_prob: 0.4,
+                inner_trips: 8,
+                body_segments: (3, 6),
+                block_len: (5, 12),
+                diamond_prob: 0.25,
+                call_prob: 0.08,
+                leaf_funcs: 2,
+                chain_bias: 0.38,
+                acc_prob: 0.11,
+                mix: OpMix {
+                    load: 0.22,
+                    store: 0.11,
+                    mul: 0.02,
+                },
+                data_branch_prob: 0.30,
+                data_branch_bias: 0.30,
+                pointer_chase_prob: 0.08,
+                footprint_words: 1 << 14, // 128 KB streaming
+                ring_words: 1 << 10,
+                stride_words: 3,
+                target_dyn: 90_000,
+            },
+            Suite::MiBench => GenParams {
+                loop_nests: 6,
+                allow_inner_loops: true,
+                inner_loop_prob: 0.3,
+                inner_trips: 6,
+                body_segments: (3, 5),
+                block_len: (3, 8),
+                diamond_prob: 0.28,
+                call_prob: 0.10,
+                leaf_funcs: 2,
+                chain_bias: 0.40,
+                acc_prob: 0.13,
+                mix: OpMix {
+                    load: 0.20,
+                    store: 0.08,
+                    mul: 0.04,
+                },
+                data_branch_prob: 0.30,
+                data_branch_bias: 0.28,
+                pointer_chase_prob: 0.09,
+                footprint_words: 1 << 11, // 16 KB: L1-resident
+                ring_words: 1 << 9,
+                stride_words: 3,
+                target_dyn: 60_000,
+            },
+        }
+    }
+
+    /// The primary input set used by benchmarks of this suite (SPEC
+    /// self-trains on `train`, the embedded suites on their largest
+    /// available input, as in the paper).
+    pub fn primary_input(self) -> InputSet {
+        match self {
+            Suite::SpecInt => InputSet::primary(),
+            _ => InputSet {
+                name: "large".into(),
+                ..InputSet::primary()
+            },
+        }
+    }
+
+    /// The cross-training input set (`ref` for SPEC, `small` for the
+    /// embedded suites).
+    pub fn alternate_input(self) -> InputSet {
+        match self {
+            Suite::SpecInt => InputSet::alternate(),
+            _ => InputSet {
+                name: "small".into(),
+                trip_scale_pct: 60,
+                ..InputSet::alternate()
+            },
+        }
+    }
+}
+
+impl fmt::Display for Suite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Suite::SpecInt => "SPECint2000",
+            Suite::MediaBench => "MediaBench",
+            Suite::CommBench => "CommBench",
+            Suite::MiBench => "MiBench",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A benchmark: a named, seeded point in a suite's generation space.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BenchmarkSpec {
+    /// Full benchmark name, e.g. `spec_gcc` or `mib_adpcm_c`.
+    pub name: String,
+    /// Owning suite.
+    pub suite: Suite,
+    /// Generation seed (derives structure, mixes, and trip counts).
+    pub seed: u64,
+    /// Generation parameters after per-benchmark jitter.
+    pub params: GenParams,
+}
+
+impl BenchmarkSpec {
+    /// Creates the spec for a named benchmark of a suite, applying
+    /// deterministic per-benchmark jitter to the suite's base parameters.
+    pub fn new(suite: Suite, short_name: &str) -> BenchmarkSpec {
+        let name = format!("{}_{}", suite.prefix(), short_name);
+        let seed = fnv1a(name.as_bytes());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut p = suite.base_params();
+
+        // Jitter: structural knobs scale by ~±35%, probabilities by ±40%,
+        // footprints by a factor of 1/2..2. Deterministic in the name.
+        let jf = |rng: &mut StdRng, lo: f64, hi: f64| rng.gen_range(lo..hi);
+        p.loop_nests = ((p.loop_nests as f64) * jf(&mut rng, 0.7, 1.4)).round().max(2.0) as usize;
+        p.body_segments.1 = (p.body_segments.1 as f64 * jf(&mut rng, 0.8, 1.3)).round() as usize;
+        p.body_segments.1 = p.body_segments.1.max(p.body_segments.0);
+        p.block_len.1 = (p.block_len.1 as f64 * jf(&mut rng, 0.8, 1.3)).round() as usize;
+        p.block_len.1 = p.block_len.1.max(p.block_len.0);
+        p.diamond_prob = (p.diamond_prob * jf(&mut rng, 0.6, 1.4)).min(0.7);
+        p.chain_bias = (p.chain_bias * jf(&mut rng, 0.75, 1.25)).min(0.85);
+        p.acc_prob = (p.acc_prob * jf(&mut rng, 0.6, 1.5)).min(0.4);
+        p.mix.load = (p.mix.load * jf(&mut rng, 0.7, 1.3)).min(0.35);
+        p.mix.store = (p.mix.store * jf(&mut rng, 0.7, 1.3)).min(0.2);
+        p.mix.mul = (p.mix.mul * jf(&mut rng, 0.5, 1.6)).min(0.12);
+        p.data_branch_prob = (p.data_branch_prob * jf(&mut rng, 0.6, 1.4)).min(0.9);
+        p.data_branch_bias = (p.data_branch_bias * jf(&mut rng, 0.6, 1.5)).min(0.5);
+        p.pointer_chase_prob = (p.pointer_chase_prob * jf(&mut rng, 0.5, 1.6)).min(0.6);
+        let shift: i32 = rng.gen_range(-1..=1);
+        p.footprint_words = shift_pow2(p.footprint_words, shift);
+        p.ring_words = shift_pow2(p.ring_words, rng.gen_range(-1..=1)).min(p.footprint_words);
+        p.inner_loop_prob = (p.inner_loop_prob * jf(&mut rng, 0.7, 1.3)).min(0.8);
+        p.target_dyn = ((p.target_dyn as f64) * jf(&mut rng, 0.75, 1.35)) as usize;
+        debug_assert!(p.is_valid(), "jittered params invalid for {name}");
+
+        BenchmarkSpec {
+            name,
+            suite,
+            seed,
+            params: p,
+        }
+    }
+
+    /// The input set the benchmark self-trains on.
+    pub fn primary_input(&self) -> InputSet {
+        self.suite.primary_input()
+    }
+
+    /// The input set used for cross-input studies.
+    pub fn alternate_input(&self) -> InputSet {
+        self.suite.alternate_input()
+    }
+}
+
+fn shift_pow2(v: usize, shift: i32) -> usize {
+    match shift {
+        i32::MIN..=-1 => (v >> shift.unsigned_abs()).max(256),
+        0 => v,
+        _ => (v << shift as usize).min(1 << 17),
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+const SPEC_NAMES: [&str; 12] = [
+    "gzip", "vpr", "gcc", "mcf", "crafty", "parser", "eon", "perlbmk", "gap", "vortex", "bzip2",
+    "twolf",
+];
+
+const MEDIA_NAMES: [&str; 24] = [
+    "adpcm_enc", "adpcm_dec", "epic", "unepic", "g721_enc", "g721_dec", "gs", "gsm_enc",
+    "gsm_dec", "jpeg_enc", "jpeg_dec", "mesa_mipmap", "mesa_osdemo", "mesa_texgen", "mpeg2_enc",
+    "mpeg2_dec", "pegwit_enc", "pegwit_dec", "pgp_enc", "pgp_dec", "rasta", "h263_enc",
+    "h263_dec", "g728_enc",
+];
+
+const COMM_NAMES: [&str; 16] = [
+    "rtr", "frag", "drr", "tcp", "cast_enc", "cast_dec", "zip_enc", "zip_dec", "reed_enc",
+    "reed_dec", "jpeg_hdr", "crc", "md5", "ipchains", "url", "ssl_hs",
+];
+
+const MIB_NAMES: [&str; 26] = [
+    "basicmath", "bitcount", "qsort", "susan_s", "susan_e", "susan_c", "cjpeg", "djpeg", "lame",
+    "tiff2bw", "tiff2rgba", "tiffdither", "tiffmedian", "dijkstra", "patricia", "ispell",
+    "rsynth", "stringsearch", "blowfish_e", "blowfish_d", "sha", "adpcm_c", "adpcm_d", "crc32",
+    "fft", "gsm_toast",
+];
+
+/// The full 78-benchmark registry: 12 SPECint + 24 MediaBench +
+/// 16 CommBench + 26 MiBench analogues.
+pub fn suite() -> Vec<BenchmarkSpec> {
+    let mut v = Vec::with_capacity(78);
+    v.extend(SPEC_NAMES.iter().map(|n| BenchmarkSpec::new(Suite::SpecInt, n)));
+    v.extend(MEDIA_NAMES.iter().map(|n| BenchmarkSpec::new(Suite::MediaBench, n)));
+    v.extend(COMM_NAMES.iter().map(|n| BenchmarkSpec::new(Suite::CommBench, n)));
+    v.extend(MIB_NAMES.iter().map(|n| BenchmarkSpec::new(Suite::MiBench, n)));
+    v
+}
+
+/// Looks up a benchmark by full name (e.g. `"mib_adpcm_c"`).
+pub fn benchmark(name: &str) -> Option<BenchmarkSpec> {
+    suite().into_iter().find(|b| b.name == name)
+}
+
+/// The short-running benchmark used for the paper's exhaustive limit
+/// study (Figure 8): the `adpcm.c` analogue.
+pub fn limit_study_benchmark() -> BenchmarkSpec {
+    let mut spec = benchmark("mib_adpcm_c").expect("registry contains mib_adpcm_c");
+    // The limit study wants a short, single-region program.
+    spec.params.target_dyn = 25_000;
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_78_unique_benchmarks() {
+        let all = suite();
+        assert_eq!(all.len(), 78);
+        let mut names: Vec<&str> = all.iter().map(|b| b.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 78);
+    }
+
+    #[test]
+    fn suite_counts_match_paper_families() {
+        let all = suite();
+        let count = |s: Suite| all.iter().filter(|b| b.suite == s).count();
+        assert_eq!(count(Suite::SpecInt), 12);
+        assert_eq!(count(Suite::MediaBench), 24);
+        assert_eq!(count(Suite::CommBench), 16);
+        assert_eq!(count(Suite::MiBench), 26);
+    }
+
+    #[test]
+    fn specs_are_deterministic() {
+        let a = BenchmarkSpec::new(Suite::SpecInt, "gcc");
+        let b = BenchmarkSpec::new(Suite::SpecInt, "gcc");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_benchmarks_get_different_params() {
+        let a = BenchmarkSpec::new(Suite::SpecInt, "gcc");
+        let b = BenchmarkSpec::new(Suite::SpecInt, "mcf");
+        assert_ne!(a.seed, b.seed);
+        assert_ne!(a.params, b.params);
+    }
+
+    #[test]
+    fn all_jittered_params_are_valid() {
+        for b in suite() {
+            assert!(b.params.is_valid(), "invalid params for {}", b.name);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(benchmark("spec_mcf").is_some());
+        assert!(benchmark("nonexistent").is_none());
+        assert_eq!(limit_study_benchmark().suite, Suite::MiBench);
+    }
+
+    #[test]
+    fn embedded_suites_use_large_small_inputs() {
+        let m = BenchmarkSpec::new(Suite::MiBench, "sha");
+        assert_eq!(m.primary_input().name, "large");
+        assert_eq!(m.alternate_input().name, "small");
+        let s = BenchmarkSpec::new(Suite::SpecInt, "gap");
+        assert_eq!(s.primary_input().name, "train");
+        assert_eq!(s.alternate_input().name, "ref");
+    }
+}

@@ -1,0 +1,106 @@
+//! Committed-path execution traces.
+
+use mg_isa::{Program, StaticId};
+use serde::{Deserialize, Serialize};
+
+/// One committed dynamic instruction.
+///
+/// The trace is deliberately thin: opcode, operands, and layout come from
+/// the [`Program`] via the `id`; the trace adds only the execution-specific
+/// facts the timing model cannot derive statically.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct DynInst {
+    /// The static instruction executed.
+    pub id: StaticId,
+    /// Effective address, for loads and stores (0 otherwise).
+    pub addr: u64,
+    /// For control transfers: whether the transfer left the fall-through
+    /// path (unconditional transfers are always `true`). `false` for
+    /// non-control instructions.
+    pub taken: bool,
+}
+
+/// A committed-path instruction trace plus summary counts.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Trace {
+    /// The committed instructions, in program order.
+    pub insts: Vec<DynInst>,
+    /// Whether execution was cut off at the dynamic-instruction limit.
+    pub truncated: bool,
+}
+
+impl Trace {
+    /// Number of committed instructions.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Per-static-instruction dynamic execution counts.
+    ///
+    /// This is the frequency profile `f` used by mini-graph selection's
+    /// coverage scores.
+    pub fn static_freqs(&self, program: &Program) -> Vec<u64> {
+        let mut freqs = vec![0u64; program.static_count()];
+        for d in &self.insts {
+            freqs[d.id.index()] += 1;
+        }
+        freqs
+    }
+
+    /// Fraction of committed instructions that are loads or stores.
+    pub fn mem_fraction(&self, program: &Program) -> f64 {
+        if self.insts.is_empty() {
+            return 0.0;
+        }
+        let mem = self
+            .insts
+            .iter()
+            .filter(|d| program.inst(d.id).op.is_mem())
+            .count();
+        mem as f64 / self.insts.len() as f64
+    }
+
+    /// Fraction of committed instructions that are conditional branches.
+    pub fn branch_fraction(&self, program: &Program) -> f64 {
+        if self.insts.is_empty() {
+            return 0.0;
+        }
+        let br = self
+            .insts
+            .iter()
+            .filter(|d| program.inst(d.id).op.is_cond_branch())
+            .count();
+        br as f64 / self.insts.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mg_isa::{Instruction, ProgramBuilder, Reg};
+
+    #[test]
+    fn static_freqs_counts_occurrences() {
+        let mut pb = ProgramBuilder::new("t");
+        let f = pb.func("main");
+        let b = pb.block(f);
+        pb.push(b, Instruction::li(Reg::R1, 1));
+        pb.push(b, Instruction::halt());
+        let p = pb.build().unwrap();
+        let t = Trace {
+            insts: vec![
+                DynInst { id: StaticId(0), addr: 0, taken: false },
+                DynInst { id: StaticId(0), addr: 0, taken: false },
+                DynInst { id: StaticId(1), addr: 0, taken: true },
+            ],
+            truncated: false,
+        };
+        assert_eq!(t.static_freqs(&p), vec![2, 1]);
+        assert_eq!(t.len(), 3);
+    }
+}

@@ -1,0 +1,78 @@
+//! Build a program by hand with the `mg-isa` builder API, embed a
+//! mini-graph manually, and watch the bandwidth amplification on a very
+//! narrow machine — the library as a toolkit rather than a harness.
+//!
+//! Run with: `cargo run --release --example custom_program`
+
+use minigraphs::isa::{BrCond, Instruction, MgTag, ProgramBuilder, Reg};
+use minigraphs::sim::{simulate, MachineConfig, MgConfig, SimOptions};
+use minigraphs::workloads::Executor;
+
+fn build(tagged: bool) -> minigraphs::isa::Program {
+    let mut pb = ProgramBuilder::new(if tagged { "dotpr+mg" } else { "dotpr" });
+    let main = pb.func("main");
+    let head = pb.block(main);
+    let body = pb.block(main);
+    let exit = pb.block(main);
+
+    // A toy dot-product-ish kernel: two strided loads, multiply-free
+    // combine (shift/add), accumulate, loop.
+    pb.push(head, Instruction::li(Reg::R1, 2000)); // trip count
+    pb.push(head, Instruction::li(Reg::R2, 0x10_0000)); // a*
+    pb.push(head, Instruction::li(Reg::R3, 0x20_0000)); // b*
+    pb.push(head, Instruction::li(Reg::R4, 0)); // acc
+    pb.set_fallthrough(head, body);
+
+    let tag = |pos, len| MgTag {
+        instance: 0,
+        template: 0,
+        pos,
+        len,
+    };
+    let mk = |inst: Instruction, pos: u8| if tagged { inst.with_mg(tag(pos, 3)) } else { inst };
+
+    pb.push(body, Instruction::load(Reg::R5, Reg::R2, 0));
+    pb.push(body, Instruction::load(Reg::R6, Reg::R3, 0));
+    // The embedded mini-graph: shift, combine, fold into the accumulator.
+    pb.push(body, mk(Instruction::shli(Reg::R7, Reg::R5, 1), 0));
+    pb.push(body, mk(Instruction::add(Reg::R8, Reg::R7, Reg::R6), 1));
+    pb.push(body, mk(Instruction::add(Reg::R4, Reg::R4, Reg::R8), 2));
+    pb.push(body, Instruction::addi(Reg::R2, Reg::R2, 8));
+    pb.push(body, Instruction::addi(Reg::R3, Reg::R3, 8));
+    pb.push(body, Instruction::addi(Reg::R1, Reg::R1, -1));
+    pb.push(body, Instruction::br(BrCond::Ne, Reg::R1, Reg::ZERO, body));
+    pb.set_fallthrough(body, exit);
+    pb.push(exit, Instruction::halt());
+    pb.build().expect("hand-built program is valid")
+}
+
+fn main() {
+    let plain = build(false);
+    let tagged = build(true);
+
+    let (pt, ps) = Executor::new(&plain).run().expect("runs");
+    let (tt, ts) = Executor::new(&tagged).run().expect("runs");
+    assert_eq!(ps.read(Reg::R4), ts.read(Reg::R4), "tagging preserves semantics");
+    println!("kernel result: {}", ps.read(Reg::R4));
+
+    let narrow = MachineConfig::two_way();
+    let r_plain = simulate(&plain, &pt, &narrow, SimOptions::default());
+    let r_mg = simulate(
+        &tagged,
+        &tt,
+        &narrow.clone().with_mg(MgConfig::paper()),
+        SimOptions::default(),
+    );
+    println!(
+        "2-wide machine: {:.3} IPC singleton vs {:.3} IPC with the mini-graph \
+         ({:.1}% faster, coverage {:.0}%)",
+        r_plain.ipc(),
+        r_mg.ipc(),
+        100.0 * (r_mg.ipc() / r_plain.ipc() - 1.0),
+        100.0 * r_mg.stats.coverage(),
+    );
+    println!(
+        "handles committed: {}, instructions embedded: {}",
+        r_mg.stats.mg_handles, r_mg.stats.mg_embedded_instrs
+    );
+}

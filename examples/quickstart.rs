@@ -1,0 +1,72 @@
+//! Quickstart: generate a benchmark, select mini-graphs with every
+//! selector, and compare the reduced machine against the full baseline.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use minigraphs::core::candidate::SelectionConfig;
+use minigraphs::core::pipeline::{prepare, profile_workload};
+use minigraphs::core::select::Selector;
+use minigraphs::sim::{simulate, MachineConfig, MgConfig, SimOptions};
+use minigraphs::workloads::{benchmark, Executor};
+
+fn main() {
+    // 1. Pick a benchmark from the 78-entry suite and generate it.
+    let spec = benchmark("mib_sha").expect("registry contains mib_sha");
+    let workload = spec.generate();
+    println!(
+        "benchmark {}: {} static instructions",
+        spec.name,
+        workload.program.static_count()
+    );
+
+    // 2. Profile a singleton run on the target (reduced) machine: this
+    //    yields the committed trace, per-instruction frequencies, and the
+    //    local slack profile the Slack-Profile selector needs.
+    let baseline = MachineConfig::baseline();
+    let reduced = MachineConfig::reduced();
+    let (trace, freqs, slack) = profile_workload(&workload, &reduced);
+    println!("profiled {} dynamic instructions", trace.len());
+
+    // 3. Reference points: both machines without mini-graphs.
+    let base_run = simulate(&workload.program, &trace, &baseline, SimOptions::default());
+    let red_run = simulate(&workload.program, &trace, &reduced, SimOptions::default());
+    println!(
+        "no mini-graphs: baseline IPC {:.3}, reduced IPC {:.3} ({:+.1}%)",
+        base_run.ipc(),
+        red_run.ipc(),
+        100.0 * (red_run.ipc() / base_run.ipc() - 1.0)
+    );
+
+    // 4. Select + embed mini-graphs with each selector, then run the
+    //    rewritten program on the reduced machine with MG support.
+    let selectors = [
+        Selector::StructAll,
+        Selector::StructNone,
+        Selector::StructBounded,
+        Selector::SlackProfile(Default::default(), slack),
+    ];
+    for selector in selectors {
+        let prepared = prepare(
+            &workload.program,
+            &freqs,
+            &selector,
+            &SelectionConfig::default(),
+        );
+        // Mini-graph tags do not change semantics, but the rewriter may
+        // reorder within blocks, so re-derive the committed path.
+        let (mg_trace, _) = Executor::new(&prepared.program)
+            .run_with_mem(&workload.init_mem)
+            .expect("rewritten program runs");
+        let mg_machine = reduced.clone().with_mg(MgConfig::paper());
+        let run = simulate(&prepared.program, &mg_trace, &mg_machine, SimOptions::default());
+        println!(
+            "{:<16} {:>4} instances, {:>3} templates, coverage {:>5.1}%, reduced IPC {:.3} ({:+.1}% vs baseline)",
+            selector.name(),
+            prepared.instances,
+            prepared.templates,
+            100.0 * run.stats.coverage(),
+            run.ipc(),
+            100.0 * (run.ipc() / base_run.ipc() - 1.0),
+        );
+    }
+}

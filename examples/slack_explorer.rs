@@ -1,0 +1,100 @@
+//! Slack explorer: dig into one benchmark's local slack profile and see
+//! how the Slack-Profile model judges individual mini-graph candidates
+//! (rules #1-#4, as in the paper's Figure 5 walk-through).
+//!
+//! Run with: `cargo run --release --example slack_explorer [benchmark]`
+
+use minigraphs::core::candidate::{enumerate, SelectionConfig};
+use minigraphs::core::classify::{classify, Serialization};
+use minigraphs::core::pipeline::profile_workload;
+use minigraphs::core::select::{delay_model, slack_profile_admits, SlackProfileModel};
+use minigraphs::sim::MachineConfig;
+use minigraphs::workloads::benchmark;
+
+fn main() {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "comm_md5".to_string());
+    let spec = benchmark(&name).expect("benchmark exists (e.g. comm_md5, spec_mcf)");
+    let workload = spec.generate();
+    let reduced = MachineConfig::reduced();
+    let (_, freqs, slack) = profile_workload(&workload, &reduced);
+
+    // Slack distribution over executed instructions.
+    let mut hist = [0usize; 8]; // 0, 1-2, 3-4, 5-8, 9-16, 17-32, 33-63, 64
+    for (i, rec) in slack.per_static.iter().enumerate() {
+        if rec.count == 0 || freqs[i] == 0 {
+            continue;
+        }
+        let s = rec.local_slack;
+        let bucket = if s < 0.5 {
+            0
+        } else if s <= 2.0 {
+            1
+        } else if s <= 4.0 {
+            2
+        } else if s <= 8.0 {
+            3
+        } else if s <= 16.0 {
+            4
+        } else if s <= 32.0 {
+            5
+        } else if s < 64.0 {
+            6
+        } else {
+            7
+        };
+        hist[bucket] += 1;
+    }
+    println!("local slack distribution for {name} (static instructions):");
+    for (label, n) in ["0", "1-2", "3-4", "5-8", "9-16", "17-32", "33-63", ">=64"]
+        .iter()
+        .zip(hist)
+    {
+        println!("  {label:>6}: {n}");
+    }
+
+    // Candidate verdicts by structural class.
+    let pool = enumerate(&workload.program, &SelectionConfig::default());
+    let model = SlackProfileModel::default();
+    let mut stats = [[0usize; 2]; 3]; // [class][accepted?]
+    for c in &pool {
+        let class = match classify(&c.shape) {
+            Serialization::None => 0,
+            Serialization::Bounded(_) => 1,
+            Serialization::Unbounded => 2,
+        };
+        let ok = slack_profile_admits(&workload.program, c, &slack, &model);
+        stats[class][ok as usize] += 1;
+    }
+    println!("\nSlack-Profile verdicts over {} candidates:", pool.len());
+    for (label, row) in ["non-serializing", "bounded", "unbounded"].iter().zip(stats) {
+        println!(
+            "  {label:<16} accepted {:>5}  rejected {:>5}",
+            row[1], row[0]
+        );
+    }
+
+    // Walk one interesting rejected candidate through the model, like the
+    // paper's Figure 5 example.
+    if let Some(c) = pool.iter().find(|c| {
+        c.shape.potentially_serializing()
+            && !slack_profile_admits(&workload.program, c, &slack, &model)
+            && freqs[workload.program.id_of(c.block, c.positions[0]).index()] > 0
+    }) {
+        let dm = delay_model(&workload.program, c, &slack);
+        println!("\nworked example: rejected candidate in {} at {:?}", c.block, c.positions);
+        for (p, &pos) in c.positions.iter().enumerate() {
+            let id = workload.program.id_of(c.block, pos);
+            let rec = slack.get(id);
+            println!(
+                "  [{p}] {:<24} issue {:>6.2} -> issue_mg {:>6.2}  delay {:>5.2}  slack {:>5.2}",
+                workload.program.inst(id).to_string(),
+                rec.issue_rel,
+                dm.issue_mg[p],
+                dm.delay[p],
+                rec.local_slack,
+            );
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Cross-crate integration tests: the full pipeline from benchmark
+//! generation through selection, rewriting, and timing simulation.
+
+use minigraphs::core::candidate::{enumerate, SelectionConfig};
+use minigraphs::core::classify::{classify, Serialization};
+use minigraphs::core::pipeline::{prepare, profile_workload};
+use minigraphs::core::select::{Selector, SlackProfileModel, SpKind};
+use minigraphs::sim::{simulate, MachineConfig, MgConfig, SimOptions};
+use minigraphs::workloads::{benchmark, suite, Executor};
+
+fn small(name: &str) -> minigraphs::workloads::BenchmarkSpec {
+    let mut spec = benchmark(name).expect("benchmark exists");
+    spec.params.target_dyn = 20_000;
+    spec
+}
+
+#[test]
+fn selector_pools_nest_structurally() {
+    let spec = small("mib_dijkstra");
+    let w = spec.generate();
+    let pool = enumerate(&w.program, &SelectionConfig::default());
+    assert!(!pool.is_empty());
+    let all = Selector::StructAll.filter(&w.program, pool.clone());
+    let bounded = Selector::StructBounded.filter(&w.program, pool.clone());
+    let none = Selector::StructNone.filter(&w.program, pool.clone());
+    assert_eq!(all.len(), pool.len());
+    assert!(none.len() <= bounded.len());
+    assert!(bounded.len() <= all.len());
+    // Struct-None admits exactly the structurally safe candidates.
+    for c in &none {
+        assert!(!c.shape.potentially_serializing());
+    }
+    // Struct-Bounded rejects exactly the unbounded ones.
+    for c in &bounded {
+        assert_ne!(classify(&c.shape), Serialization::Unbounded);
+    }
+}
+
+#[test]
+fn slack_profile_is_between_none_and_all_in_coverage() {
+    let spec = small("comm_crc");
+    let w = spec.generate();
+    let red = MachineConfig::reduced();
+    let (_, freqs, slack) = profile_workload(&w, &red);
+    let cfg = SelectionConfig::default();
+    let all = prepare(&w.program, &freqs, &Selector::StructAll, &cfg);
+    let none = prepare(&w.program, &freqs, &Selector::StructNone, &cfg);
+    let sp = prepare(
+        &w.program,
+        &freqs,
+        &Selector::SlackProfile(Default::default(), slack),
+        &cfg,
+    );
+    assert!(none.est_coverage <= sp.est_coverage + 1e-9);
+    assert!(sp.est_coverage <= all.est_coverage + 1e-9);
+}
+
+#[test]
+fn sial_and_delay_variants_are_more_conservative_orderings() {
+    let spec = small("spec_parser");
+    let w = spec.generate();
+    let red = MachineConfig::reduced();
+    let (_, _freqs, slack) = profile_workload(&w, &red);
+    let pool = enumerate(&w.program, &SelectionConfig::default());
+    let count = |kind: SpKind| {
+        Selector::SlackProfile(
+            SlackProfileModel {
+                kind,
+                ..Default::default()
+            },
+            slack.clone(),
+        )
+        .filter(&w.program, pool.clone())
+        .len()
+    };
+    // Delay-only rejects a superset of what the full model rejects (any
+    // delayed output vs only unabsorbable delay).
+    assert!(count(SpKind::DelayOnly) <= count(SpKind::Full));
+}
+
+#[test]
+fn rewritten_programs_preserve_architectural_state() {
+    for name in ["mib_fft", "media_epic", "comm_frag"] {
+        let spec = small(name);
+        let w = spec.generate();
+        let red = MachineConfig::reduced();
+        let (_, freqs, slack) = profile_workload(&w, &red);
+        for selector in [
+            Selector::StructAll,
+            Selector::SlackProfile(Default::default(), slack),
+        ] {
+            let prepared = prepare(&w.program, &freqs, &selector, &SelectionConfig::default());
+            let (t0, s0) = Executor::new(&w.program).run_with_mem(&w.init_mem).unwrap();
+            let (t1, s1) = Executor::new(&prepared.program)
+                .run_with_mem(&w.init_mem)
+                .unwrap();
+            assert_eq!(t0.len(), t1.len(), "{name}: dynamic length changed");
+            assert_eq!(s0.regs[..31], s1.regs[..31], "{name}: registers diverged");
+            assert_eq!(s0.mem, s1.mem, "{name}: memory diverged");
+        }
+    }
+}
+
+#[test]
+fn committed_instructions_are_invariant_across_machines_and_schemes() {
+    let spec = small("mib_bitcount");
+    let w = spec.generate();
+    let red = MachineConfig::reduced();
+    let (trace, freqs, _) = profile_workload(&w, &red);
+    let expected = trace.len() as u64;
+    for m in [
+        MachineConfig::two_way(),
+        MachineConfig::reduced(),
+        MachineConfig::baseline(),
+        MachineConfig::eight_way(),
+    ] {
+        let r = simulate(&w.program, &trace, &m, SimOptions::default());
+        assert!(!r.hit_cycle_cap);
+        assert_eq!(r.stats.committed_instrs, expected, "machine {}", m.name);
+    }
+    // With mini-graphs embedded, the committed instruction count is
+    // unchanged (handles expand to their constituents).
+    let prepared = prepare(&w.program, &freqs, &Selector::StructAll, &Default::default());
+    let (t, _) = Executor::new(&prepared.program)
+        .run_with_mem(&w.init_mem)
+        .unwrap();
+    let r = simulate(
+        &prepared.program,
+        &t,
+        &red.clone().with_mg(MgConfig::paper()),
+        SimOptions::default(),
+    );
+    assert_eq!(r.stats.committed_instrs, expected);
+    assert!(r.stats.mg_handles > 0);
+}
+
+#[test]
+fn wider_machines_never_lose_meaningfully() {
+    let spec = small("media_gs");
+    let w = spec.generate();
+    let (t, _) = Executor::new(&w.program).run_with_mem(&w.init_mem).unwrap();
+    let two = simulate(&w.program, &t, &MachineConfig::two_way(), SimOptions::default());
+    let four = simulate(&w.program, &t, &MachineConfig::baseline(), SimOptions::default());
+    let eight = simulate(&w.program, &t, &MachineConfig::eight_way(), SimOptions::default());
+    assert!(four.ipc() >= two.ipc() * 0.99);
+    assert!(eight.ipc() >= four.ipc() * 0.99);
+}
+
+#[test]
+fn whole_suite_generates_and_validates() {
+    // Every registry entry must produce a structurally valid program with
+    // candidates to offer.
+    for spec in suite() {
+        let w = spec.generate();
+        assert!(w.program.static_count() > 50, "{} too small", spec.name);
+        let pool = enumerate(&w.program, &SelectionConfig::default());
+        assert!(!pool.is_empty(), "{} has no candidates", spec.name);
+    }
+}
+
+#[test]
+fn profiles_are_deterministic() {
+    let spec = small("comm_url");
+    let w = spec.generate();
+    let red = MachineConfig::reduced();
+    let (t1, f1, s1) = profile_workload(&w, &red);
+    let (t2, f2, s2) = profile_workload(&w, &red);
+    assert_eq!(t1.len(), t2.len());
+    assert_eq!(f1, f2);
+    assert_eq!(s1.per_static.len(), s2.per_static.len());
+    for (a, b) in s1.per_static.iter().zip(s2.per_static.iter()) {
+        assert_eq!(a.count, b.count);
+        assert!((a.local_slack - b.local_slack).abs() < 1e-12);
+        assert!((a.issue_rel - b.issue_rel).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn mg_with_single_handle_per_cycle() {
+    // Mini-graph machine with an extremely constrained MGT interface
+    // stays deadlock-free and commits everything.
+    let mut spec = benchmark("mib_qsort").unwrap();
+    spec.params.target_dyn = 8_000;
+    let w = spec.generate();
+    let (trace, _) = Executor::new(&w.program).run_with_mem(&w.init_mem).unwrap();
+    let freqs = trace.static_freqs(&w.program);
+    let prepared = prepare(&w.program, &freqs, &Selector::StructAll, &Default::default());
+    let (t, _) = Executor::new(&prepared.program).run_with_mem(&w.init_mem).unwrap();
+    let cfg = MachineConfig::reduced().with_mg(MgConfig {
+        max_mg_issue: 1,
+        max_mem_mg_issue: 1,
+        ..MgConfig::paper()
+    });
+    let r = simulate(&prepared.program, &t, &cfg, SimOptions::default());
+    assert!(!r.hit_cycle_cap);
+    assert_eq!(r.stats.committed_instrs, t.len() as u64);
+    assert!(r.stats.mg_handles > 0);
+}

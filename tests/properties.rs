@@ -1,0 +1,181 @@
+//! Property-based tests over the core invariants.
+//!
+//! Strategy: rather than synthesizing raw instruction soup (most of which
+//! would be invalid), properties are driven through the workload
+//! generator's seed space — every seed yields a structurally valid
+//! program — plus randomized candidate subsets for the rewriter.
+
+use minigraphs::core::candidate::{enumerate, Candidate, SelectionConfig};
+use minigraphs::core::depgraph::{schedule_with_groups, BlockDeps};
+use minigraphs::core::rewrite::{rewrite, ChosenInstance};
+use minigraphs::core::select::greedy_select;
+use minigraphs::isa::dataflow::RegSet;
+use minigraphs::isa::{Program, Reg};
+use minigraphs::workloads::{Executor, GenParams, InputSet, OpMix, Suite};
+use proptest::prelude::*;
+
+/// A small randomized benchmark spec driven by a seed.
+fn program_for(seed: u64) -> (Program, Vec<(u64, u64)>) {
+    let mut spec = minigraphs::workloads::BenchmarkSpec::new(
+        match seed % 4 {
+            0 => Suite::SpecInt,
+            1 => Suite::MediaBench,
+            2 => Suite::CommBench,
+            _ => Suite::MiBench,
+        },
+        &format!("prop{seed}"),
+    );
+    spec.params.target_dyn = 4_000;
+    spec.params.loop_nests = 2 + (seed % 3) as usize;
+    let w = spec.generate_with_input(&InputSet::primary());
+    (w.program, w.init_mem)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Generated programs execute deterministically.
+    #[test]
+    fn execution_is_deterministic(seed in 0u64..5000) {
+        let (program, mem) = program_for(seed);
+        let (t1, s1) = Executor::new(&program).run_with_mem(&mem).unwrap();
+        let (t2, s2) = Executor::new(&program).run_with_mem(&mem).unwrap();
+        prop_assert_eq!(t1.len(), t2.len());
+        prop_assert_eq!(s1.regs, s2.regs);
+    }
+
+    /// Every enumerated candidate satisfies the mini-graph interface.
+    #[test]
+    fn candidates_satisfy_interface(seed in 0u64..5000) {
+        let (program, _) = program_for(seed);
+        let cfg = SelectionConfig::default();
+        for c in enumerate(&program, &cfg) {
+            prop_assert!(c.len() >= 2 && c.len() <= cfg.max_size);
+            prop_assert!(c.shape.ext_inputs.len() <= cfg.max_ext_inputs);
+            prop_assert!(c.shape.total_latency() <= cfg.max_latency);
+            prop_assert!(c.positions.windows(2).all(|w| w[0] < w[1]));
+            // At most one memory op, control only last.
+            if let Some(p) = c.shape.control {
+                prop_assert_eq!(p as usize, c.len() - 1);
+            }
+        }
+    }
+
+    /// Rewriting with a random subset of greedily chosen instances
+    /// preserves architectural semantics and dynamic instruction count.
+    #[test]
+    fn rewrite_preserves_semantics(seed in 0u64..5000, keep_mask in any::<u64>()) {
+        let (program, mem) = program_for(seed);
+        let (trace, s0) = Executor::new(&program).run_with_mem(&mem).unwrap();
+        let freqs = trace.static_freqs(&program);
+        let pool = enumerate(&program, &SelectionConfig::default());
+        let result = greedy_select(&program, &pool, &freqs, &SelectionConfig::default());
+        // Drop a pseudo-random subset of the chosen instances.
+        let chosen: Vec<ChosenInstance> = result
+            .chosen
+            .into_iter()
+            .enumerate()
+            .filter(|(i, _)| keep_mask & (1 << (i % 64)) != 0)
+            .map(|(_, c)| c)
+            .collect();
+        let rewritten = rewrite(&program, &chosen);
+        let (t1, s1) = Executor::new(&rewritten).run_with_mem(&mem).unwrap();
+        prop_assert_eq!(trace.len(), t1.len());
+        prop_assert_eq!(&s0.regs[..31], &s1.regs[..31]);
+        prop_assert_eq!(s0.mem, s1.mem);
+    }
+
+    /// Greedy selection yields disjoint instances within budget.
+    #[test]
+    fn selection_is_disjoint_and_budgeted(seed in 0u64..5000, budget in 1usize..64) {
+        let (program, mem) = program_for(seed);
+        let (trace, _) = Executor::new(&program).run_with_mem(&mem).unwrap();
+        let freqs = trace.static_freqs(&program);
+        let pool = enumerate(&program, &SelectionConfig::default());
+        let cfg = SelectionConfig { mgt_budget: budget, ..Default::default() };
+        let result = greedy_select(&program, &pool, &freqs, &cfg);
+        prop_assert!(result.templates <= budget);
+        let mut used = std::collections::HashSet::new();
+        for c in &result.chosen {
+            prop_assert!((c.template as usize) < result.templates);
+            for &p in &c.candidate.positions {
+                prop_assert!(used.insert((c.candidate.block.0, p)), "overlap");
+            }
+        }
+    }
+
+    /// `schedule_with_groups` emits a permutation that keeps every group
+    /// contiguous and respects the dependence graph.
+    #[test]
+    fn grouped_schedules_are_valid(seed in 0u64..5000) {
+        let (program, _) = program_for(seed);
+        let pool = enumerate(&program, &SelectionConfig::default());
+        // Group the first few pairwise-disjoint candidates of one block.
+        let Some(first) = pool.first() else { return Ok(()); };
+        let block = first.block;
+        let mut groups: Vec<&Candidate> = Vec::new();
+        for c in pool.iter().filter(|c| c.block == block) {
+            if groups.iter().all(|g| g.positions.iter().all(|p| !c.positions.contains(p))) {
+                groups.push(c);
+                if groups.len() == 3 { break; }
+            }
+        }
+        let deps = BlockDeps::build(program.block(block));
+        let slices: Vec<&[usize]> = groups.iter().map(|g| g.positions.as_slice()).collect();
+        if let Some(order) = schedule_with_groups(&deps, &slices) {
+            // Permutation check.
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(sorted, (0..program.block(block).insts.len()).collect::<Vec<_>>());
+            // Contiguity check.
+            for g in &slices {
+                let idxs: Vec<usize> = g
+                    .iter()
+                    .map(|p| order.iter().position(|x| x == p).unwrap())
+                    .collect();
+                for w in idxs.windows(2) {
+                    prop_assert_eq!(w[1], w[0] + 1, "group split in {:?}", order);
+                }
+            }
+            // Dependence check.
+            for (i, &p) in order.iter().enumerate() {
+                for &succ in deps.succs(p) {
+                    let j = order.iter().position(|&x| x == succ).unwrap();
+                    prop_assert!(j > i, "dependence violated");
+                }
+            }
+        }
+    }
+
+    /// RegSet behaves like a set of registers.
+    #[test]
+    fn regset_models_a_set(bits in any::<u32>()) {
+        let mut s = RegSet::EMPTY;
+        let mut reference = std::collections::BTreeSet::new();
+        for r in Reg::all() {
+            if bits & (1 << r.index()) != 0 {
+                s.insert(r);
+                reference.insert(r.index());
+            }
+        }
+        prop_assert_eq!(s.len(), reference.len());
+        for r in Reg::all() {
+            prop_assert_eq!(s.contains(r), reference.contains(&r.index()));
+        }
+        prop_assert_eq!(
+            s.iter().map(|r| r.index()).collect::<Vec<_>>(),
+            reference.into_iter().collect::<Vec<_>>()
+        );
+    }
+
+    /// Generation parameters stay valid under the jitter applied to any
+    /// suite/name combination.
+    #[test]
+    fn jittered_params_always_valid(seed in 0u64..100_000) {
+        let spec = minigraphs::workloads::BenchmarkSpec::new(Suite::SpecInt, &format!("x{seed}"));
+        prop_assert!(spec.params.is_valid());
+        let base: GenParams = Suite::SpecInt.base_params();
+        let m: OpMix = base.mix;
+        prop_assert!(m.is_valid());
+    }
+}
