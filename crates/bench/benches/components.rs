@@ -54,13 +54,22 @@ fn timing_simulation(c: &mut Criterion) {
     let mut g = c.benchmark_group("timing");
     g.throughput(Throughput::Elements(trace.len() as u64));
     g.bench_function("singleton", |b| {
-        b.iter(|| simulate(&w.program, &trace, &red, SimOptions::default()).stats.cycles)
+        b.iter(|| {
+            simulate(&w.program, &trace, &red, SimOptions::default())
+                .stats
+                .cycles
+        })
     });
     g.bench_function("with-minigraphs", |b| {
         b.iter(|| {
-            simulate(&prepared.program, &mg_trace, &mg_machine, SimOptions::default())
-                .stats
-                .cycles
+            simulate(
+                &prepared.program,
+                &mg_trace,
+                &mg_machine,
+                SimOptions::default(),
+            )
+            .stats
+            .cycles
         })
     });
     g.bench_function("slack-profiling", |b| {
@@ -91,7 +100,9 @@ fn selection(c: &mut Criterion) {
     let pool = enumerate(&w.program, &cfg);
 
     let mut g = c.benchmark_group("selection");
-    g.bench_function("enumerate", |b| b.iter(|| enumerate(&w.program, &cfg).len()));
+    g.bench_function("enumerate", |b| {
+        b.iter(|| enumerate(&w.program, &cfg).len())
+    });
     g.bench_function("greedy", |b| {
         b.iter_batched(
             || pool.clone(),

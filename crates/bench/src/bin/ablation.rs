@@ -9,12 +9,10 @@
 //! Usage: `ablation [N]` limits the sweep to the first N benchmarks
 //! (default 20 — ablations multiply simulations).
 
-use mg_bench::{mean, save_json, BenchContext, Scheme};
+use mg_bench::{mean, save_json, Scheme, SweepCell, SweepSpec};
 use mg_core::candidate::SelectionConfig;
-use mg_core::pipeline::prepare;
-use mg_core::select::Selector;
-use mg_sim::{simulate, MachineConfig, MgConfig, SimOptions};
-use mg_workloads::{suite, Executor};
+use mg_sim::{MachineConfig, MgConfig};
+use mg_workloads::suite;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -37,21 +35,30 @@ fn main() {
         let mut v = Vec::new();
         for budget in [32usize, 128, 512, 4096] {
             v.push((
-                SelectionConfig { mgt_budget: budget, ..Default::default() },
+                SelectionConfig {
+                    mgt_budget: budget,
+                    ..Default::default()
+                },
                 MgConfig::paper(),
                 format!("mgt-budget-{budget}"),
             ));
         }
         for size in [2usize, 3, 4] {
             v.push((
-                SelectionConfig { max_size: size, ..Default::default() },
+                SelectionConfig {
+                    max_size: size,
+                    ..Default::default()
+                },
                 MgConfig::paper(),
                 format!("max-size-{size}"),
             ));
         }
         v.push((
             Default::default(),
-            MgConfig { internal_serialization: false, ..MgConfig::paper() },
+            MgConfig {
+                internal_serialization: false,
+                ..MgConfig::paper()
+            },
             "no-internal-serialization".into(),
         ));
         for pipes in [1u32, 2, 4] {
@@ -69,23 +76,32 @@ fn main() {
         v
     };
 
+    // Cell 0 is the no-mg baseline; cell 1+vi is variant vi as a
+    // Slack-Profile run on the reduced machine with its overrides.
+    let result = SweepSpec::new(&red)
+        .benches(suite().iter().take(take).cloned())
+        .cell(SweepCell::new(Scheme::NoMg, &base))
+        .cells(variants.iter().map(|(sel_cfg, mg_cfg, _)| {
+            SweepCell::new(Scheme::SlackProfile, &red)
+                .with_mg(*mg_cfg)
+                .with_sel(*sel_cfg)
+        }))
+        .run();
     let mut acc: Vec<(Vec<f64>, Vec<f64>)> = vec![(Vec::new(), Vec::new()); variants.len()];
-    for spec in suite().iter().take(take) {
-        let ctx = BenchContext::new(spec, &red);
-        let b = ctx.run(Scheme::NoMg, &base);
-        for (vi, (sel_cfg, mg_cfg, _)) in variants.iter().enumerate() {
-            let selector = Selector::SlackProfile(Default::default(), ctx.slack.clone());
-            let prepared = prepare(&ctx.workload.program, &ctx.freqs, &selector, sel_cfg);
-            let (t, _) = Executor::new(&prepared.program)
-                .run_with_mem(&ctx.workload.init_mem)
-                .unwrap();
-            let r = simulate(&prepared.program, &t, &red.clone().with_mg(*mg_cfg), SimOptions::default());
-            acc[vi].0.push(r.ipc() / b.ipc);
-            acc[vi].1.push(r.stats.coverage());
+    for bench in &result.rows {
+        let ok = match bench.all_ok() {
+            Ok(runs) => runs,
+            Err(e) => {
+                eprintln!("skipped: {e}");
+                continue;
+            }
+        };
+        let b = ok[0];
+        for (vi, cell) in ok[1..].iter().enumerate() {
+            acc[vi].0.push(cell.ipc / b.ipc);
+            acc[vi].1.push(cell.coverage);
         }
-        eprint!(".");
     }
-    eprintln!();
 
     println!("ABLATIONS (Slack-Profile on the reduced machine, {take} benchmarks)");
     println!("{:<28} {:>10} {:>10}", "variant", "rel-perf", "coverage");

@@ -1,49 +1,96 @@
 //! Full-suite calibration sweep: every benchmark, every scheme, both
 //! machines; prints suite-wide summary statistics against paper targets.
-use mg_bench::{mean, BenchContext, Scheme};
+use mg_bench::{mean, Scheme, SweepCell, SweepSpec};
 use mg_sim::MachineConfig;
 use mg_workloads::suite;
 use std::time::Instant;
 
 fn main() {
-    let take: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(78);
+    let take: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(78);
     let base = MachineConfig::baseline();
     let red = MachineConfig::reduced();
     let schemes = [
-        Scheme::StructAll, Scheme::StructNone, Scheme::StructBounded,
-        Scheme::SlackProfile, Scheme::SlackDynamic,
+        Scheme::StructAll,
+        Scheme::StructNone,
+        Scheme::StructBounded,
+        Scheme::SlackProfile,
+        Scheme::SlackDynamic,
     ];
+    // Cells: no-mg on both machines, then a (reduced, baseline) pair per
+    // scheme at indices (2 + 2*si, 3 + 2*si).
+    let mut spec = SweepSpec::new(&red)
+        .benches(suite().iter().take(take).cloned())
+        .cell(SweepCell::new(Scheme::NoMg, &base))
+        .cell(SweepCell::new(Scheme::NoMg, &red));
+    for s in schemes {
+        spec = spec
+            .cell(SweepCell::new(s, &red))
+            .cell(SweepCell::new(s, &base));
+    }
+    let t0 = Instant::now();
+    let result = spec.run();
     let mut rel_red: Vec<Vec<f64>> = vec![vec![]; schemes.len()];
     let mut rel_full: Vec<Vec<f64>> = vec![vec![]; schemes.len()];
     let mut cov: Vec<Vec<f64>> = vec![vec![]; schemes.len()];
     let mut nomg_red = vec![];
     let mut slower_than_nomg_red = vec![0usize; schemes.len()];
     let mut slowdown_full = vec![0usize; schemes.len()];
-    let t0 = Instant::now();
-    for (bi, spec) in suite().iter().take(take).enumerate() {
-        let ctx = BenchContext::new(spec, &red);
-        let b = ctx.run(Scheme::NoMg, &base);
-        let r = ctx.run(Scheme::NoMg, &red);
+    for bench in &result.rows {
+        let ok = match bench.all_ok() {
+            Ok(runs) => runs,
+            Err(e) => {
+                eprintln!("skipped: {e}");
+                continue;
+            }
+        };
+        let b = ok[0];
+        let r = ok[1];
         nomg_red.push(r.ipc / b.ipc);
-        for (si, s) in schemes.iter().enumerate() {
-            let rr = ctx.run(*s, &red);
-            let rf = ctx.run(*s, &base);
+        for si in 0..schemes.len() {
+            let rr = ok[2 + 2 * si];
+            let rf = ok[3 + 2 * si];
             rel_red[si].push(rr.ipc / b.ipc);
             rel_full[si].push(rf.ipc / b.ipc);
             cov[si].push(rr.coverage);
-            if rr.ipc < r.ipc { slower_than_nomg_red[si] += 1; }
-            if rf.ipc < b.ipc * 0.995 { slowdown_full[si] += 1; }
+            if rr.ipc < r.ipc {
+                slower_than_nomg_red[si] += 1;
+            }
+            if rf.ipc < b.ipc * 0.995 {
+                slowdown_full[si] += 1;
+            }
         }
-        if bi % 10 == 0 { eprintln!("[{bi}] {} {:.1}s", spec.name, t0.elapsed().as_secs_f32()); }
     }
     let n = nomg_red.len();
     println!("n={n}  elapsed {:.1}s", t0.elapsed().as_secs_f32());
-    println!("no-mg reduced: mean rel {:.3}   (paper 0.82)", mean(&nomg_red));
-    println!("{:<16} {:>8} {:>8} {:>8} {:>10} {:>10}", "scheme", "red-rel", "full-rel", "cov", "<nomg(red)", "slow(full)");
-    let paper = [("Struct-All", 0.90, 0.38), ("Struct-None", 0.95, 0.20), ("Struct-Bounded", 0.98, 0.30), ("Slack-Profile", 1.02, 0.34), ("Slack-Dynamic", 0.94, 0.30)];
+    println!(
+        "no-mg reduced: mean rel {:.3}   (paper 0.82)",
+        mean(&nomg_red)
+    );
+    println!(
+        "{:<16} {:>8} {:>8} {:>8} {:>10} {:>10}",
+        "scheme", "red-rel", "full-rel", "cov", "<nomg(red)", "slow(full)"
+    );
+    let paper = [
+        ("Struct-All", 0.90, 0.38),
+        ("Struct-None", 0.95, 0.20),
+        ("Struct-Bounded", 0.98, 0.30),
+        ("Slack-Profile", 1.02, 0.34),
+        ("Slack-Dynamic", 0.94, 0.30),
+    ];
     for (si, s) in schemes.iter().enumerate() {
-        println!("{:<16} {:>8.3} {:>8.3} {:>8.3} {:>10} {:>10}   paper: rel {:.2} cov {:.2}",
-            s.name(), mean(&rel_red[si]), mean(&rel_full[si]), mean(&cov[si]),
-            slower_than_nomg_red[si], slowdown_full[si], paper[si].1, paper[si].2);
+        println!(
+            "{:<16} {:>8.3} {:>8.3} {:>8.3} {:>10} {:>10}   paper: rel {:.2} cov {:.2}",
+            s.name(),
+            mean(&rel_red[si]),
+            mean(&rel_full[si]),
+            mean(&cov[si]),
+            slower_than_nomg_red[si],
+            slowdown_full[si],
+            paper[si].1,
+            paper[si].2
+        );
     }
 }

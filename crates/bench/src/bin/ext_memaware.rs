@@ -10,8 +10,8 @@
 //!
 //! Usage: `ext_memaware [N]`.
 
-use mg_bench::{mean, save_json, BenchContext, Scheme};
-use mg_sim::{simulate, MachineConfig, SimOptions};
+use mg_bench::{mean, save_json, Scheme, SweepCell, SweepSpec};
+use mg_sim::MachineConfig;
 use mg_workloads::suite;
 use serde::Serialize;
 
@@ -32,42 +32,73 @@ fn main() {
         .unwrap_or(usize::MAX);
     let base = MachineConfig::baseline();
     let red = MachineConfig::reduced();
+    let result = SweepSpec::new(&red)
+        .benches(suite().iter().take(take).cloned())
+        .cell(SweepCell::new(Scheme::NoMg, &base))
+        .cell(SweepCell::new(Scheme::NoMg, &red))
+        .cell(SweepCell::new(Scheme::SlackProfile, &red))
+        .cell(SweepCell::new(Scheme::SlackProfileMem, &red))
+        .cell(SweepCell::new(Scheme::SlackProfile, &base))
+        .cell(SweepCell::new(Scheme::SlackProfileMem, &base))
+        .run();
     let mut rows = Vec::new();
-    for spec in suite().iter().take(take) {
-        let ctx = BenchContext::new(spec, &red);
-        let b = ctx.run(Scheme::NoMg, &base);
-        let miss = {
-            let r = simulate(&ctx.workload.program, &ctx.trace, &red, SimOptions::default());
-            r.stats.dl1.miss_rate()
+    for bench in &result.rows {
+        let ok = match bench.all_ok() {
+            Ok(runs) => runs,
+            Err(e) => {
+                eprintln!("skipped: {e}");
+                continue;
+            }
         };
+        let b = ok[0];
         rows.push(Row {
-            bench: spec.name.clone(),
-            dl1_miss_rate: miss,
-            sp_red: ctx.run(Scheme::SlackProfile, &red).ipc / b.ipc,
-            sp_mem_red: ctx.run(Scheme::SlackProfileMem, &red).ipc / b.ipc,
-            sp_full: ctx.run(Scheme::SlackProfile, &base).ipc / b.ipc,
-            sp_mem_full: ctx.run(Scheme::SlackProfileMem, &base).ipc / b.ipc,
+            bench: bench.bench.clone(),
+            // The no-mg run on the reduced machine observes the D-L1 the
+            // selectors contend with.
+            dl1_miss_rate: ok[1].dl1_miss_rate,
+            sp_red: ok[2].ipc / b.ipc,
+            sp_mem_red: ok[3].ipc / b.ipc,
+            sp_full: ok[4].ipc / b.ipc,
+            sp_mem_full: ok[5].ipc / b.ipc,
         });
-        eprint!(".");
     }
-    eprintln!();
 
-    let (hot, cold): (Vec<&Row>, Vec<&Row>) =
-        rows.iter().partition(|r| r.dl1_miss_rate > 0.10);
+    let (hot, cold): (Vec<&Row>, Vec<&Row>) = rows.iter().partition(|r| r.dl1_miss_rate > 0.10);
     println!("EXTENSION: miss-aware Slack-Profile (observed rule-#2 latencies)");
-    println!("\nmemory-bound benchmarks (D-L1 miss rate > 10%): {}", hot.len());
-    println!("{:<18} {:>7} {:>9} {:>9} {:>9} {:>9}", "bench", "dl1m%", "SP(red)", "Mem(red)", "SP(full)", "Mem(full)");
+    println!(
+        "\nmemory-bound benchmarks (D-L1 miss rate > 10%): {}",
+        hot.len()
+    );
+    println!(
+        "{:<18} {:>7} {:>9} {:>9} {:>9} {:>9}",
+        "bench", "dl1m%", "SP(red)", "Mem(red)", "SP(full)", "Mem(full)"
+    );
     for r in &hot {
         println!(
             "{:<18} {:>7.1} {:>9.3} {:>9.3} {:>9.3} {:>9.3}",
-            r.bench, 100.0 * r.dl1_miss_rate, r.sp_red, r.sp_mem_red, r.sp_full, r.sp_mem_full
+            r.bench,
+            100.0 * r.dl1_miss_rate,
+            r.sp_red,
+            r.sp_mem_red,
+            r.sp_full,
+            r.sp_mem_full
         );
     }
     let m = |v: &[&Row], f: &dyn Fn(&Row) -> f64| mean(&v.iter().map(|r| f(r)).collect::<Vec<_>>());
-    println!("\nmeans (memory-bound):   SP(red) {:.3}  Mem(red) {:.3}  SP(full) {:.3}  Mem(full) {:.3}",
-        m(&hot, &|r| r.sp_red), m(&hot, &|r| r.sp_mem_red), m(&hot, &|r| r.sp_full), m(&hot, &|r| r.sp_mem_full));
-    println!("means (everything else): SP(red) {:.3}  Mem(red) {:.3}  SP(full) {:.3}  Mem(full) {:.3}",
-        m(&cold, &|r| r.sp_red), m(&cold, &|r| r.sp_mem_red), m(&cold, &|r| r.sp_full), m(&cold, &|r| r.sp_mem_full));
+    println!(
+        "\nmeans (memory-bound):   SP(red) {:.3}  Mem(red) {:.3}  SP(full) {:.3}  Mem(full) {:.3}",
+        m(&hot, &|r| r.sp_red),
+        m(&hot, &|r| r.sp_mem_red),
+        m(&hot, &|r| r.sp_full),
+        m(&hot, &|r| r.sp_mem_full)
+    );
+    println!(
+        "means (everything else): SP(red) {:.3}  Mem(red) {:.3}  SP(full) {:.3}  Mem(full) {:.3}",
+        m(&cold, &|r| r.sp_red),
+        m(&cold, &|r| r.sp_mem_red),
+        m(&cold, &|r| r.sp_full),
+        m(&cold, &|r| r.sp_mem_full)
+    );
     println!("\nThe extension should help (or at least not hurt) the memory-bound set\nwhile leaving the rest unchanged.");
     let path = save_json("ext_memaware", &rows);
     eprintln!("rows written to {}", path.display());

@@ -6,7 +6,7 @@
 //!
 //! Usage: `fig1 [N]` limits the sweep to the first N benchmarks.
 
-use mg_bench::{mean, s_curve, save_json, BenchContext, Scheme};
+use mg_bench::{mean, s_curve, save_json, Scheme, SweepCell, SweepSpec};
 use mg_sim::MachineConfig;
 use mg_workloads::suite;
 use serde::Serialize;
@@ -27,20 +27,32 @@ fn main() {
         .unwrap_or(usize::MAX);
     let base = MachineConfig::baseline();
     let red = MachineConfig::reduced();
+    let result = SweepSpec::new(&red)
+        .benches(suite().iter().take(take).cloned())
+        .cell(SweepCell::new(Scheme::NoMg, &base))
+        .cell(SweepCell::new(Scheme::NoMg, &red))
+        .cell(SweepCell::new(Scheme::StructAll, &red))
+        .cell(SweepCell::new(Scheme::StructNone, &red))
+        .cell(SweepCell::new(Scheme::SlackProfile, &red))
+        .run();
     let mut rows = Vec::new();
-    for spec in suite().iter().take(take) {
-        let ctx = BenchContext::new(spec, &red);
-        let b = ctx.run(Scheme::NoMg, &base);
+    for bench in &result.rows {
+        let ok = match bench.all_ok() {
+            Ok(runs) => runs,
+            Err(e) => {
+                eprintln!("skipped: {e}");
+                continue;
+            }
+        };
+        let b = ok[0];
         rows.push(Row {
-            bench: spec.name.clone(),
-            nomg: ctx.run(Scheme::NoMg, &red).ipc / b.ipc,
-            struct_all: ctx.run(Scheme::StructAll, &red).ipc / b.ipc,
-            struct_none: ctx.run(Scheme::StructNone, &red).ipc / b.ipc,
-            slack_profile: ctx.run(Scheme::SlackProfile, &red).ipc / b.ipc,
+            bench: bench.bench.clone(),
+            nomg: ok[1].ipc / b.ipc,
+            struct_all: ok[2].ipc / b.ipc,
+            struct_none: ok[3].ipc / b.ipc,
+            slack_profile: ok[4].ipc / b.ipc,
         });
-        eprint!(".");
     }
-    eprintln!();
 
     println!("FIGURE 1: performance on the reduced processor relative to the full one");
     println!(
@@ -55,10 +67,15 @@ fn main() {
     ]
     .into_iter()
     .map(|v| {
-        s_curve(v.into_iter().enumerate().map(|(i, x)| (i.to_string(), x)).collect())
-            .into_iter()
-            .map(|(_, x)| x)
-            .collect()
+        s_curve(
+            v.into_iter()
+                .enumerate()
+                .map(|(i, x)| (i.to_string(), x))
+                .collect(),
+        )
+        .into_iter()
+        .map(|(_, x)| x)
+        .collect()
     })
     .collect();
     for (i, (((a, b), c), d)) in curves[0]
@@ -80,7 +97,11 @@ fn main() {
     println!(
         "\nSlack-Profile lets the reduced machine {} the full one on average \
          (paper: outperforms by 2%).",
-        if mean(&curves[3]) >= 1.0 { "outperform" } else { "approach" }
+        if mean(&curves[3]) >= 1.0 {
+            "outperform"
+        } else {
+            "approach"
+        }
     );
     let path = save_json("fig1", &rows);
     eprintln!("rows written to {}", path.display());

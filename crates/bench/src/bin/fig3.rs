@@ -7,7 +7,7 @@
 //!
 //! Usage: `fig3 [N]` limits the sweep to the first N benchmarks.
 
-use mg_bench::{mean, s_curve, save_json, BenchContext, Scheme};
+use mg_bench::{mean, s_curve, save_json, Scheme, SweepCell, SweepSpec};
 use mg_sim::MachineConfig;
 use mg_workloads::suite;
 use serde::Serialize;
@@ -31,28 +31,36 @@ fn main() {
         .unwrap_or(usize::MAX);
     let base = MachineConfig::baseline();
     let red = MachineConfig::reduced();
+    let result = SweepSpec::new(&red)
+        .benches(suite().iter().take(take).cloned())
+        .cell(SweepCell::new(Scheme::NoMg, &base))
+        .cell(SweepCell::new(Scheme::NoMg, &red))
+        .cell(SweepCell::new(Scheme::StructAll, &red))
+        .cell(SweepCell::new(Scheme::StructNone, &red))
+        .cell(SweepCell::new(Scheme::StructAll, &base))
+        .cell(SweepCell::new(Scheme::StructNone, &base))
+        .run();
     let mut rows = Vec::new();
-    for spec in suite().iter().take(take) {
-        let ctx = BenchContext::new(spec, &red);
-        let b = ctx.run(Scheme::NoMg, &base);
-        let r = ctx.run(Scheme::NoMg, &red);
-        let sa_r = ctx.run(Scheme::StructAll, &red);
-        let sn_r = ctx.run(Scheme::StructNone, &red);
-        let sa_f = ctx.run(Scheme::StructAll, &base);
-        let sn_f = ctx.run(Scheme::StructNone, &base);
+    for bench in &result.rows {
+        let ok = match bench.all_ok() {
+            Ok(runs) => runs,
+            Err(e) => {
+                eprintln!("skipped: {e}");
+                continue;
+            }
+        };
+        let b = ok[0];
         rows.push(Row {
-            bench: spec.name.clone(),
-            nomg_red: r.ipc / b.ipc,
-            sa_red: sa_r.ipc / b.ipc,
-            sn_red: sn_r.ipc / b.ipc,
-            sa_full: sa_f.ipc / b.ipc,
-            sn_full: sn_f.ipc / b.ipc,
-            sa_cov: sa_r.coverage,
-            sn_cov: sn_r.coverage,
+            bench: bench.bench.clone(),
+            nomg_red: ok[1].ipc / b.ipc,
+            sa_red: ok[2].ipc / b.ipc,
+            sn_red: ok[3].ipc / b.ipc,
+            sa_full: ok[4].ipc / b.ipc,
+            sn_full: ok[5].ipc / b.ipc,
+            sa_cov: ok[2].coverage,
+            sn_cov: ok[3].coverage,
         });
-        eprint!(".");
     }
-    eprintln!();
 
     let curve = |f: &dyn Fn(&Row) -> f64| -> Vec<f64> {
         s_curve(rows.iter().map(|r| (r.bench.clone(), f(r))).collect())
@@ -66,9 +74,15 @@ fn main() {
         ("Struct-None", curve(&|r| r.sn_red)),
     ];
     println!("FIGURE 3 TOP: performance on the reduced processor");
-    println!("{:>4} {:>10} {:>12} {:>12}", "idx", "no-mg", "Struct-All", "Struct-None");
+    println!(
+        "{:>4} {:>10} {:>12} {:>12}",
+        "idx", "no-mg", "Struct-All", "Struct-None"
+    );
     for i in 0..rows.len() {
-        println!("{:>4} {:>10.3} {:>12.3} {:>12.3}", i, tops[0].1[i], tops[1].1[i], tops[2].1[i]);
+        println!(
+            "{:>4} {:>10.3} {:>12.3} {:>12.3}",
+            i, tops[0].1[i], tops[1].1[i], tops[2].1[i]
+        );
     }
     for (name, c) in &tops {
         println!("mean {name:<14} {:.3}", mean(c));
@@ -90,12 +104,21 @@ fn main() {
     let sn_worse_than_nomg = rows.iter().filter(|r| r.sn_red < r.nomg_red).count();
     let crossover = rows.iter().filter(|r| r.sa_red > r.sn_red).count();
     println!("\nANALYSIS (paper in parentheses)");
-    println!("  Struct-All coverage:  {:.0}%  (38%, range 18-60%)", 100.0 * mean(&rows.iter().map(|r| r.sa_cov).collect::<Vec<_>>()));
-    println!("  Struct-None coverage: {:.0}%  (20%, range 6-38%)", 100.0 * mean(&rows.iter().map(|r| r.sn_cov).collect::<Vec<_>>()));
+    println!(
+        "  Struct-All coverage:  {:.0}%  (38%, range 18-60%)",
+        100.0 * mean(&rows.iter().map(|r| r.sa_cov).collect::<Vec<_>>())
+    );
+    println!(
+        "  Struct-None coverage: {:.0}%  (20%, range 6-38%)",
+        100.0 * mean(&rows.iter().map(|r| r.sn_cov).collect::<Vec<_>>())
+    );
     println!("  SA below no-mg on reduced:   {sa_worse_than_nomg} programs (7)");
     println!("  SA degrading on full:        {sa_degrading_full} programs (29)");
     println!("  SN below no-mg on reduced:   {sn_worse_than_nomg} programs (0)");
-    println!("  SA beats SN on reduced for:  {crossover} of {} programs (about half)", rows.len());
+    println!(
+        "  SA beats SN on reduced for:  {crossover} of {} programs (about half)",
+        rows.len()
+    );
     let path = save_json("fig3", &rows);
     eprintln!("rows written to {}", path.display());
 }

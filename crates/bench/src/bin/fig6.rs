@@ -8,67 +8,19 @@
 //!
 //! Usage: `fig6 [N]` limits the sweep to the first N benchmarks.
 
-use mg_bench::{mean, s_curve, save_json, BenchContext, Scheme};
-use mg_sim::MachineConfig;
-use mg_workloads::suite;
-use serde::Serialize;
-
-#[derive(Serialize)]
-struct Row {
-    bench: String,
-    nomg_red: f64,
-    per_scheme: Vec<PerScheme>,
-}
-
-#[derive(Serialize)]
-struct PerScheme {
-    scheme: &'static str,
-    rel_red: f64,
-    rel_full: f64,
-    coverage: f64,
-}
-
-const SCHEMES: [Scheme; 5] = [
-    Scheme::StructAll,
-    Scheme::StructNone,
-    Scheme::StructBounded,
-    Scheme::SlackProfile,
-    Scheme::SlackDynamic,
-];
+use mg_bench::figures::{fig6_rows, fig6_spec, FIG6_SCHEMES};
+use mg_bench::{mean, s_curve, save_json, Scheme};
 
 fn main() {
     let take: usize = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(usize::MAX);
-    let base = MachineConfig::baseline();
-    let red = MachineConfig::reduced();
-    let mut rows: Vec<Row> = Vec::new();
-    for spec in suite().iter().take(take) {
-        let ctx = BenchContext::new(spec, &red);
-        let b = ctx.run(Scheme::NoMg, &base);
-        let r = ctx.run(Scheme::NoMg, &red);
-        let per_scheme = SCHEMES
-            .iter()
-            .map(|&s| {
-                let rr = ctx.run(s, &red);
-                let rf = ctx.run(s, &base);
-                PerScheme {
-                    scheme: s.name(),
-                    rel_red: rr.ipc / b.ipc,
-                    rel_full: rf.ipc / b.ipc,
-                    coverage: rr.coverage,
-                }
-            })
-            .collect();
-        rows.push(Row {
-            bench: spec.name.clone(),
-            nomg_red: r.ipc / b.ipc,
-            per_scheme,
-        });
-        eprint!(".");
+    let result = fig6_spec(take).run();
+    let (rows, failures) = fig6_rows(&result);
+    for e in &failures {
+        eprintln!("skipped: {e}");
     }
-    eprintln!();
 
     for (title, get) in [
         ("TOP: relative performance on the REDUCED processor", 0usize),
@@ -77,13 +29,13 @@ fn main() {
     ] {
         println!("\nFIGURE 6 {title}");
         print!("{:>4} {:>9}", "idx", "no-mg");
-        for s in SCHEMES {
+        for s in FIG6_SCHEMES {
             print!(" {:>15}", s.name());
         }
         println!();
         // Independent S-curves per scheme, as in the paper.
         let nomg_curve = s_curve(rows.iter().map(|r| (r.bench.clone(), r.nomg_red)).collect());
-        let curves: Vec<Vec<(String, f64)>> = (0..SCHEMES.len())
+        let curves: Vec<Vec<(String, f64)>> = (0..FIG6_SCHEMES.len())
             .map(|si| {
                 s_curve(
                     rows.iter()
@@ -100,13 +52,24 @@ fn main() {
             })
             .collect();
         for i in 0..rows.len() {
-            print!("{:>4} {:>9.3}", i, if get == 2 { f64::NAN } else { nomg_curve[i].1 });
+            print!(
+                "{:>4} {:>9.3}",
+                i,
+                if get == 2 { f64::NAN } else { nomg_curve[i].1 }
+            );
             for curve in &curves {
                 print!(" {:>15.3}", curve[i].1);
             }
             println!();
         }
-        print!("mean {:>9.3}", if get == 2 { f64::NAN } else { mean(&nomg_curve.iter().map(|x| x.1).collect::<Vec<_>>()) });
+        print!(
+            "mean {:>9.3}",
+            if get == 2 {
+                f64::NAN
+            } else {
+                mean(&nomg_curve.iter().map(|x| x.1).collect::<Vec<_>>())
+            }
+        );
         for curve in &curves {
             let vals: Vec<f64> = curve.iter().map(|x| x.1).collect();
             print!(" {:>15.3}", mean(&vals));
@@ -117,10 +80,23 @@ fn main() {
     // Headline numbers.
     let nomg_mean = mean(&rows.iter().map(|r| r.nomg_red).collect::<Vec<_>>());
     println!("\nHEADLINES (paper in parentheses)");
-    println!("  reduced, no mini-graphs:      {:+.1}%  (-18%)", 100.0 * (nomg_mean - 1.0));
-    for (si, s) in SCHEMES.iter().enumerate() {
-        let m = mean(&rows.iter().map(|r| r.per_scheme[si].rel_red).collect::<Vec<_>>());
-        let c = mean(&rows.iter().map(|r| r.per_scheme[si].coverage).collect::<Vec<_>>());
+    println!(
+        "  reduced, no mini-graphs:      {:+.1}%  (-18%)",
+        100.0 * (nomg_mean - 1.0)
+    );
+    for (si, s) in FIG6_SCHEMES.iter().enumerate() {
+        let m = mean(
+            &rows
+                .iter()
+                .map(|r| r.per_scheme[si].rel_red)
+                .collect::<Vec<_>>(),
+        );
+        let c = mean(
+            &rows
+                .iter()
+                .map(|r| r.per_scheme[si].coverage)
+                .collect::<Vec<_>>(),
+        );
         let paper = match s {
             Scheme::StructAll => "(-10%, cov 38%)",
             Scheme::StructNone => "(-5%, cov 20%)",

@@ -11,7 +11,7 @@
 //!
 //! Usage: `fig7 [N]` limits the sweep to the first N benchmarks.
 
-use mg_bench::{mean, s_curve, save_json, BenchContext, Scheme};
+use mg_bench::{mean, s_curve, save_json, Scheme, SweepCell, SweepSpec};
 use mg_sim::MachineConfig;
 use mg_workloads::suite;
 use serde::Serialize;
@@ -31,6 +31,12 @@ const BOTTOM: [Scheme; 5] = [
     Scheme::StructAll,
 ];
 
+// Cell layout: 0 = no-mg baseline, 1..=5 = TOP schemes on the reduced
+// machine, 6..=9 = the Slack-Dynamic variants (BOTTOM shares Struct-All
+// with TOP rather than re-running it).
+const TOP_CELLS: [usize; 5] = [1, 2, 3, 4, 5];
+const BOTTOM_CELLS: [usize; 5] = [6, 7, 8, 9, 4];
+
 #[derive(Serialize)]
 struct Row {
     bench: String,
@@ -45,20 +51,28 @@ fn main() {
         .unwrap_or(usize::MAX);
     let base = MachineConfig::baseline();
     let red = MachineConfig::reduced();
+    let result = SweepSpec::new(&red)
+        .benches(suite().iter().take(take).cloned())
+        .cell(SweepCell::new(Scheme::NoMg, &base))
+        .cells(TOP.iter().map(|&s| SweepCell::new(s, &red)))
+        .cells(BOTTOM[..4].iter().map(|&s| SweepCell::new(s, &red)))
+        .run();
     let mut rows = Vec::new();
-    for spec in suite().iter().take(take) {
-        let ctx = BenchContext::new(spec, &red);
-        let b = ctx.run(Scheme::NoMg, &base);
-        let top: Vec<f64> = TOP.iter().map(|&s| ctx.run(s, &red).ipc / b.ipc).collect();
-        let bottom: Vec<f64> = BOTTOM.iter().map(|&s| ctx.run(s, &red).ipc / b.ipc).collect();
+    for bench in &result.rows {
+        let ok = match bench.all_ok() {
+            Ok(runs) => runs,
+            Err(e) => {
+                eprintln!("skipped: {e}");
+                continue;
+            }
+        };
+        let b = ok[0];
         rows.push(Row {
-            bench: spec.name.clone(),
-            top,
-            bottom,
+            bench: bench.bench.clone(),
+            top: TOP_CELLS.iter().map(|&c| ok[c].ipc / b.ipc).collect(),
+            bottom: BOTTOM_CELLS.iter().map(|&c| ok[c].ipc / b.ipc).collect(),
         });
-        eprint!(".");
     }
-    eprintln!();
 
     for (title, schemes, get) in [
         ("TOP: Slack-Profile components", &TOP, 0usize),

@@ -6,7 +6,7 @@
 //! set, the exhaustive best, and each selector's per-candidate verdicts
 //! (the paper's bottom table).
 
-use mg_bench::save_json;
+use mg_bench::{default_jobs, par_map, save_json};
 use mg_core::candidate::{enumerate, Candidate};
 use mg_core::classify::{classify, Serialization};
 use mg_core::depgraph::{schedule_with_groups, BlockDeps};
@@ -37,7 +37,9 @@ fn main() {
     // candidates.
     let mut pool = enumerate(&w.program, &Default::default());
     pool.sort_by_key(|c| {
-        std::cmp::Reverse((c.len() as u64 - 1) * freqs[w.program.id_of(c.block, c.positions[0]).index()])
+        std::cmp::Reverse(
+            (c.len() as u64 - 1) * freqs[w.program.id_of(c.block, c.positions[0]).index()],
+        )
     });
     let mut chosen: Vec<Candidate> = Vec::new();
     let mut used: Vec<bool> = vec![false; w.program.static_count()];
@@ -83,7 +85,8 @@ fn main() {
         })
         .collect();
 
-    // Exhaustive sweep.
+    // Exhaustive sweep, parallelized over the 1024 masks: every subset is
+    // an independent rewrite + functional run + simulation.
     let run_subset = |mask: u16| -> (f64, f64) {
         let instances: Vec<ChosenInstance> = chosen
             .iter()
@@ -96,26 +99,30 @@ fn main() {
             .collect();
         let prog = rewrite(&w.program, &instances);
         let (t, _) = Executor::new(&prog).run_with_mem(&w.init_mem).unwrap();
-        let r = simulate(&prog, &t, &red.clone().with_mg(MgConfig::paper()), SimOptions::default());
+        let r = simulate(
+            &prog,
+            &t,
+            &red.clone().with_mg(MgConfig::paper()),
+            SimOptions::default(),
+        );
         (r.stats.coverage(), r.ipc() / base_ipc)
     };
-    let mut points = Vec::with_capacity(1024);
-    let mut best = (0u16, f64::MIN);
-    for mask in 0u16..1024 {
+    let masks: Vec<u16> = (0u16..1024).collect();
+    let points: Vec<Point> = par_map(&masks, default_jobs(), |_, &mask| {
         let (cov, perf) = run_subset(mask);
-        if perf > best.1 {
-            best = (mask, perf);
-        }
-        points.push(Point {
+        Point {
             mask,
             coverage: cov,
             rel_perf: perf,
-        });
-        if mask % 128 == 0 {
-            eprint!(".");
         }
-    }
-    eprintln!();
+    });
+    let best = points.iter().fold((0u16, f64::MIN), |b, p| {
+        if p.rel_perf > b.1 {
+            (p.mask, p.rel_perf)
+        } else {
+            b
+        }
+    });
 
     // Slack-Dynamic: run the full set with the controller and see which
     // templates survive.
@@ -167,9 +174,16 @@ fn main() {
         ("Exhaustive-best", best.0),
     ];
 
-    println!("FIGURE 8: limit study on {} ({} dynamic instructions)", spec.name, trace.len());
+    println!(
+        "FIGURE 8: limit study on {} ({} dynamic instructions)",
+        spec.name,
+        trace.len()
+    );
     println!("\ncandidate table (0-9, by descending score):");
-    println!("{:>3} {:>5} {:>6} {:>10} {:>12} | {:>3} {:>3} {:>3}", "id", "size", "freq", "serial?", "class", "SN", "SB", "SP");
+    println!(
+        "{:>3} {:>5} {:>6} {:>10} {:>12} | {:>3} {:>3} {:>3}",
+        "id", "size", "freq", "serial?", "class", "SN", "SB", "SP"
+    );
     for (i, c) in chosen.iter().enumerate() {
         let f = freqs[w.program.id_of(c.block, c.positions[0]).index()];
         let class = match classify(&c.shape) {
@@ -183,7 +197,11 @@ fn main() {
             i,
             c.len(),
             f,
-            if c.shape.potentially_serializing() { "yes" } else { "no" },
+            if c.shape.potentially_serializing() {
+                "yes"
+            } else {
+                "no"
+            },
             class,
             if v.0 { "y" } else { "-" },
             if v.1 { "y" } else { "-" },
@@ -194,12 +212,18 @@ fn main() {
     for (name, mask) in sel_masks {
         let p = &points[mask as usize];
         let ids: Vec<usize> = (0..10).filter(|&i| mask & (1 << i) != 0).collect();
-        println!("  {:<16} cov {:.3}  perf {:.3}  set {:?}", name, p.coverage, p.rel_perf, ids);
+        println!(
+            "  {:<16} cov {:.3}  perf {:.3}  set {:?}",
+            name, p.coverage, p.rel_perf, ids
+        );
     }
-    let span = points
-        .iter()
-        .fold((f64::MAX, f64::MIN), |a, p| (a.0.min(p.rel_perf), a.1.max(p.rel_perf)));
-    println!("\nscatter: 1024 subsets, perf range [{:.3}, {:.3}]", span.0, span.1);
+    let span = points.iter().fold((f64::MAX, f64::MIN), |a, p| {
+        (a.0.min(p.rel_perf), a.1.max(p.rel_perf))
+    });
+    println!(
+        "\nscatter: 1024 subsets, perf range [{:.3}, {:.3}]",
+        span.0, span.1
+    );
     let path = save_json("fig8", &points);
     eprintln!("scatter written to {}", path.display());
 }

@@ -11,9 +11,9 @@
 //! Usage: `fig9 [N]` limits each half to the first N qualifying
 //! benchmarks.
 
-use mg_bench::{mean, save_json, BenchContext, Scheme};
+use mg_bench::{mean, save_json, InputSel, Scheme, SweepCell, SweepSpec};
 use mg_sim::MachineConfig;
-use mg_workloads::{suite, Suite};
+use mg_workloads::{suite, BenchmarkSpec, Suite};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -32,32 +32,55 @@ struct BottomRow {
     cross_input: f64,
 }
 
+/// A sweep evaluating Slack-Profile on the reduced machine with profiles
+/// trained on `train_cfg` (cross-training: the no-mg baseline cell is
+/// train-independent, so only the self sweep carries it).
+fn sp_sweep(benches: &[BenchmarkSpec], train_cfg: &MachineConfig, with_base: bool) -> SweepSpec {
+    let red = MachineConfig::reduced();
+    let mut spec = SweepSpec::new(train_cfg).benches(benches.iter().cloned());
+    if with_base {
+        spec = spec.cell(SweepCell::new(Scheme::NoMg, &MachineConfig::baseline()));
+    }
+    spec.cell(SweepCell::new(Scheme::SlackProfile, &red))
+}
+
 fn main() {
     let take: usize = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(usize::MAX);
-    let base = MachineConfig::baseline();
     let red = MachineConfig::reduced();
 
     println!("FIGURE 9 TOP: microarchitecture sensitivity (Media+Comm, Slack-Profile on reduced)");
-    let mut top = Vec::new();
-    for spec in suite()
+    let media_comm: Vec<BenchmarkSpec> = suite()
         .iter()
         .filter(|s| matches!(s.suite, Suite::MediaBench | Suite::CommBench))
         .take(take)
-    {
-        let rel = |train_cfg: &MachineConfig| -> f64 {
-            let ctx = BenchContext::new(spec, train_cfg);
-            let b = ctx.run(Scheme::NoMg, &base);
-            ctx.run(Scheme::SlackProfile, &red).ipc / b.ipc
+        .cloned()
+        .collect();
+    let self_r = sp_sweep(&media_comm, &red, true).run();
+    let cross_2 = sp_sweep(&media_comm, &MachineConfig::two_way(), false).run();
+    let cross_8 = sp_sweep(&media_comm, &MachineConfig::eight_way(), false).run();
+    let cross_d = sp_sweep(&media_comm, &MachineConfig::reduced_dmem4(), false).run();
+    let mut top = Vec::new();
+    for (i, bench) in self_r.rows.iter().enumerate() {
+        let cells = (
+            bench.all_ok(),
+            cross_2.rows[i].get(0),
+            cross_8.rows[i].get(0),
+            cross_d.rows[i].get(0),
+        );
+        let (Ok(ok), Ok(c2), Ok(c8), Ok(cd)) = cells else {
+            eprintln!("skipped: {} (a training sweep failed)", bench.bench);
+            continue;
         };
+        let b = ok[0];
         let row = TopRow {
-            bench: spec.name.clone(),
-            self_trained: rel(&red),
-            cross_2way: rel(&MachineConfig::two_way()),
-            cross_8way: rel(&MachineConfig::eight_way()),
-            cross_dmem4: rel(&MachineConfig::reduced_dmem4()),
+            bench: bench.bench.clone(),
+            self_trained: ok[1].ipc / b.ipc,
+            cross_2way: c2.ipc / b.ipc,
+            cross_8way: c8.ipc / b.ipc,
+            cross_dmem4: cd.ipc / b.ipc,
         };
         println!(
             "  {:<20} self {:.3}  2way {:.3}  8way {:.3}  dmem/4 {:.3}",
@@ -84,20 +107,27 @@ fn main() {
     println!("  max |cross - self| deviation: {:.3}", max_dev);
 
     println!("\nFIGURE 9 BOTTOM: input sensitivity (SPEC+MiBench, Slack-Profile on reduced)");
-    let mut bottom = Vec::new();
-    for spec in suite()
+    let spec_mib: Vec<BenchmarkSpec> = suite()
         .iter()
         .filter(|s| matches!(s.suite, Suite::SpecInt | Suite::MiBench))
         .take(take)
-    {
-        let run_input = spec.primary_input();
-        let selfc = BenchContext::with_inputs(spec, &red, &run_input, &run_input);
-        let crossc = BenchContext::with_inputs(spec, &red, &spec.alternate_input(), &run_input);
-        let b = selfc.run(Scheme::NoMg, &base);
+        .cloned()
+        .collect();
+    let self_i = sp_sweep(&spec_mib, &red, true).run();
+    let cross_i = sp_sweep(&spec_mib, &red, false)
+        .train_input(InputSel::Alternate)
+        .run();
+    let mut bottom = Vec::new();
+    for (i, bench) in self_i.rows.iter().enumerate() {
+        let (Ok(ok), Ok(cx)) = (bench.all_ok(), cross_i.rows[i].get(0)) else {
+            eprintln!("skipped: {} (an input sweep failed)", bench.bench);
+            continue;
+        };
+        let b = ok[0];
         let row = BottomRow {
-            bench: spec.name.clone(),
-            self_input: selfc.run(Scheme::SlackProfile, &red).ipc / b.ipc,
-            cross_input: crossc.run(Scheme::SlackProfile, &red).ipc / b.ipc,
+            bench: bench.bench.clone(),
+            self_input: ok[1].ipc / b.ipc,
+            cross_input: cx.ipc / b.ipc,
         };
         println!(
             "  {:<20} self {:.3}  cross-input {:.3}",

@@ -16,36 +16,101 @@ fn main() {
     println!("TABLE 1: simulated processors\n");
     row("parameter", "baseline", "reduced");
     row("----", "----", "----");
-    row("fetch/issue/commit width", base.fetch_width, red.fetch_width);
+    row(
+        "fetch/issue/commit width",
+        base.fetch_width,
+        red.fetch_width,
+    );
     row("issue queue entries", base.iq_entries, red.iq_entries);
     row("physical registers", base.phys_regs, red.phys_regs);
-    row("  (rename registers)", rename_regs(&base), rename_regs(&red));
+    row(
+        "  (rename registers)",
+        rename_regs(&base),
+        rename_regs(&red),
+    );
     row("ROB entries", base.rob_entries, red.rob_entries);
-    row("load/store queue", format!("{}/{}", base.lq_entries, base.sq_entries),
-        format!("{}/{}", red.lq_entries, red.sq_entries));
-    row("simple-int issue/cycle", base.issue_simple, red.issue_simple);
-    row("complex-int issue/cycle", base.issue_complex, red.issue_complex);
+    row(
+        "load/store queue",
+        format!("{}/{}", base.lq_entries, base.sq_entries),
+        format!("{}/{}", red.lq_entries, red.sq_entries),
+    );
+    row(
+        "simple-int issue/cycle",
+        base.issue_simple,
+        red.issue_simple,
+    );
+    row(
+        "complex-int issue/cycle",
+        base.issue_complex,
+        red.issue_complex,
+    );
     row("load issue/cycle", base.issue_load, red.issue_load);
     row("store issue/cycle", base.issue_store, red.issue_store);
-    row("pipeline depth (front+back)", format!("{}+{}", base.front_depth, base.sched_to_exec),
-        format!("{}+{}", red.front_depth, red.sched_to_exec));
-    row("I$ / D$", format!("{}KB/{}KB", base.il1.size_bytes / 1024, base.dl1.size_bytes / 1024),
-        format!("{}KB/{}KB", red.il1.size_bytes / 1024, red.dl1.size_bytes / 1024));
-    row("L2 / mem latency", format!("{}KB/{}cyc", base.l2.size_bytes / 1024, base.mem_lat),
-        format!("{}KB/{}cyc", red.l2.size_bytes / 1024, red.mem_lat));
-    row("bpred (bim/gsh/meta bits)",
-        format!("{}/{}/{}", base.bpred.bimodal_bits, base.bpred.gshare_bits, base.bpred.meta_bits),
-        format!("{}/{}/{}", red.bpred.bimodal_bits, red.bpred.gshare_bits, red.bpred.meta_bits));
-    row("BTB sets x assoc / RAS",
-        format!("{}x{}/{}", base.bpred.btb_sets, base.bpred.btb_assoc, base.bpred.ras_entries),
-        format!("{}x{}/{}", red.bpred.btb_sets, red.bpred.btb_assoc, red.bpred.ras_entries));
-    row("StoreSets SSIT entries", base.storesets.ssit_entries, red.storesets.ssit_entries);
+    row(
+        "pipeline depth (front+back)",
+        format!("{}+{}", base.front_depth, base.sched_to_exec),
+        format!("{}+{}", red.front_depth, red.sched_to_exec),
+    );
+    row(
+        "I$ / D$",
+        format!(
+            "{}KB/{}KB",
+            base.il1.size_bytes / 1024,
+            base.dl1.size_bytes / 1024
+        ),
+        format!(
+            "{}KB/{}KB",
+            red.il1.size_bytes / 1024,
+            red.dl1.size_bytes / 1024
+        ),
+    );
+    row(
+        "L2 / mem latency",
+        format!("{}KB/{}cyc", base.l2.size_bytes / 1024, base.mem_lat),
+        format!("{}KB/{}cyc", red.l2.size_bytes / 1024, red.mem_lat),
+    );
+    row(
+        "bpred (bim/gsh/meta bits)",
+        format!(
+            "{}/{}/{}",
+            base.bpred.bimodal_bits, base.bpred.gshare_bits, base.bpred.meta_bits
+        ),
+        format!(
+            "{}/{}/{}",
+            red.bpred.bimodal_bits, red.bpred.gshare_bits, red.bpred.meta_bits
+        ),
+    );
+    row(
+        "BTB sets x assoc / RAS",
+        format!(
+            "{}x{}/{}",
+            base.bpred.btb_sets, base.bpred.btb_assoc, base.bpred.ras_entries
+        ),
+        format!(
+            "{}x{}/{}",
+            red.bpred.btb_sets, red.bpred.btb_assoc, red.bpred.ras_entries
+        ),
+    );
+    row(
+        "StoreSets SSIT entries",
+        base.storesets.ssit_entries,
+        red.storesets.ssit_entries,
+    );
 
     let mg = MgConfig::paper();
     println!("\nmini-graph support (when enabled):");
     println!("  max constituents            {}", mg.alu_pipeline_depth);
-    println!("  handles issued per cycle    {} (<= {} with memory)", mg.max_mg_issue, mg.max_mem_mg_issue);
+    println!(
+        "  handles issued per cycle    {} (<= {} with memory)",
+        mg.max_mg_issue, mg.max_mem_mg_issue
+    );
     println!("  MGT entries                 {}", mg.mgt_entries);
-    println!("  ALU pipelines x depth       {} x {}", mg.alu_pipelines, mg.alu_pipeline_depth);
-    println!("  internal serialization      {}", mg.internal_serialization);
+    println!(
+        "  ALU pipelines x depth       {} x {}",
+        mg.alu_pipelines, mg.alu_pipeline_depth
+    );
+    println!(
+        "  internal serialization      {}",
+        mg.internal_serialization
+    );
 }

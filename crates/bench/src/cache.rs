@@ -1,0 +1,307 @@
+//! Content-keyed cache for expensive per-benchmark artifacts.
+//!
+//! Building a [`crate::BenchContext`] is the hot path of every sweep: it
+//! generates the train and run workloads, executes both functionally, and
+//! runs a full slack-profiling timing simulation. The artifacts depend
+//! only on (benchmark, generation parameters, train input, run input,
+//! train machine config), so they are cached behind a stable content key:
+//!
+//! * **in memory** (process-wide, shared by all sweep workers), holding
+//!   the complete [`ContextArtifacts`];
+//! * **on disk** under `results/cache/`, holding the *timing-derived*
+//!   half (execution frequencies and the slack profile). The run-input
+//!   workload and committed trace are deterministic and cheap to
+//!   regenerate functionally, and serializing 100k-instruction traces
+//!   would bloat the cache two orders of magnitude for little gain, so a
+//!   disk hit replays only the functional run, skipping the profiling
+//!   simulation that dominates context construction.
+//!
+//! Disk entries are versioned ([`CACHE_SCHEMA`]); mismatched or corrupt
+//! entries are treated as misses and rewritten. All cache I/O is
+//! best-effort: a read-only or missing `results/` directory silently
+//! degrades to the in-memory layer.
+
+use crate::harness::BenchError;
+use mg_core::pipeline::try_profile_workload;
+use mg_sim::{MachineConfig, SlackProfile};
+use mg_workloads::{BenchmarkSpec, Executor, InputSet, Trace, Workload};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Version tag for on-disk cache entries. Bump when the cached payload or
+/// its semantics change; stale entries are then ignored.
+pub const CACHE_SCHEMA: u32 = 1;
+
+/// Directory holding on-disk context cache entries, relative to the
+/// working directory (the workspace root for `cargo run`).
+pub const CACHE_DIR: &str = "results/cache";
+
+/// Everything expensive a [`crate::BenchContext`] needs: the run-input
+/// workload, its committed trace, and the train-input execution
+/// frequencies and slack profile.
+#[derive(Clone, Debug)]
+pub struct ContextArtifacts {
+    /// Workload generated on the run input.
+    pub workload: Workload,
+    /// Committed-path trace of the run workload.
+    pub trace: Trace,
+    /// Per-static execution frequencies from the training run.
+    pub freqs: Vec<u64>,
+    /// Local slack profile trained on the train config.
+    pub slack: SlackProfile,
+}
+
+/// Snapshot of the process-wide cache counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheCounters {
+    /// Context requests served from the in-memory layer.
+    pub mem_hits: u64,
+    /// Context requests served from a disk entry (functional replay only).
+    pub disk_hits: u64,
+    /// Context requests that rebuilt everything.
+    pub misses: u64,
+}
+
+impl CacheCounters {
+    /// Total context requests observed.
+    pub fn total(&self) -> u64 {
+        self.mem_hits + self.disk_hits + self.misses
+    }
+
+    /// Counter-wise difference (`self - earlier`), for per-sweep deltas.
+    pub fn since(&self, earlier: &CacheCounters) -> CacheCounters {
+        CacheCounters {
+            mem_hits: self.mem_hits - earlier.mem_hits,
+            disk_hits: self.disk_hits - earlier.disk_hits,
+            misses: self.misses - earlier.misses,
+        }
+    }
+}
+
+static MEM: OnceLock<Mutex<HashMap<u64, Arc<ContextArtifacts>>>> = OnceLock::new();
+static MEM_HITS: AtomicU64 = AtomicU64::new(0);
+static DISK_HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+
+fn mem() -> &'static Mutex<HashMap<u64, Arc<ContextArtifacts>>> {
+    MEM.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Reads the process-wide cache counters.
+pub fn counters() -> CacheCounters {
+    CacheCounters {
+        mem_hits: MEM_HITS.load(Ordering::Relaxed),
+        disk_hits: DISK_HITS.load(Ordering::Relaxed),
+        misses: MISSES.load(Ordering::Relaxed),
+    }
+}
+
+/// FNV-1a over a byte string: the stable content hash behind cache keys
+/// and the results-file machine fingerprint.
+pub(crate) fn stable_hash64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The stable content key of a context: benchmark name *and* generation
+/// parameters (specs can be locally modified, e.g. the limit study), both
+/// input sets, and the training machine configuration. `Debug` formatting
+/// of these plain-data configs is deterministic, and any change to their
+/// shape conservatively invalidates old entries.
+fn context_key(
+    spec: &BenchmarkSpec,
+    train_cfg: &MachineConfig,
+    train_input: &InputSet,
+    run_input: &InputSet,
+) -> u64 {
+    let repr = format!(
+        "v{}|{}|{:?}|{:?}|{:?}|{:?}",
+        CACHE_SCHEMA, spec.name, spec.params, train_input, run_input, train_cfg
+    );
+    stable_hash64(repr.as_bytes())
+}
+
+/// On-disk cache entry: the timing-derived artifacts plus enough context
+/// to validate the hit.
+#[derive(Serialize, Deserialize)]
+struct DiskEntry {
+    schema_version: u32,
+    bench: String,
+    freqs: Vec<u64>,
+    slack: SlackProfile,
+}
+
+fn disk_path(key: u64) -> PathBuf {
+    PathBuf::from(CACHE_DIR).join(format!("ctx-{key:016x}.json"))
+}
+
+fn disk_load(key: u64, spec: &BenchmarkSpec) -> Option<(Vec<u64>, SlackProfile)> {
+    let bytes = std::fs::read(disk_path(key)).ok()?;
+    let entry: DiskEntry = serde_json::from_slice(&bytes).ok()?;
+    if entry.schema_version != CACHE_SCHEMA || entry.bench != spec.name {
+        return None;
+    }
+    Some((entry.freqs, entry.slack))
+}
+
+fn disk_store(key: u64, spec: &BenchmarkSpec, freqs: &[u64], slack: &SlackProfile) {
+    let entry = DiskEntry {
+        schema_version: CACHE_SCHEMA,
+        bench: spec.name.clone(),
+        freqs: freqs.to_vec(),
+        slack: slack.clone(),
+    };
+    let Ok(json) = serde_json::to_vec(&entry) else {
+        return;
+    };
+    // Best-effort: write via a unique temp file + rename so concurrent
+    // writers of the same key never expose a torn entry.
+    if std::fs::create_dir_all(CACHE_DIR).is_err() {
+        return;
+    }
+    static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+    let tmp = PathBuf::from(CACHE_DIR).join(format!(
+        "ctx-{key:016x}.tmp.{}.{}",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    if std::fs::write(&tmp, json).is_ok() {
+        let _ = std::fs::rename(&tmp, disk_path(key));
+    }
+}
+
+fn exec_err(
+    spec: &BenchmarkSpec,
+    stage: &'static str,
+    source: mg_workloads::ExecError,
+) -> BenchError {
+    BenchError::Exec {
+        bench: spec.name.clone(),
+        stage,
+        detail: source.to_string(),
+    }
+}
+
+/// Generates the run-input workload and derives its committed trace (the
+/// functional half of a context; cheap relative to profiling).
+fn run_side(spec: &BenchmarkSpec, run_input: &InputSet) -> Result<(Workload, Trace), BenchError> {
+    let workload = spec.generate_with_input(run_input);
+    let (trace, _) = Executor::new(&workload.program)
+        .run_with_mem(&workload.init_mem)
+        .map_err(|e| exec_err(spec, "run-input execution", e))?;
+    Ok((workload, trace))
+}
+
+/// Builds the full artifact set with no cache involvement.
+pub(crate) fn compute_uncached(
+    spec: &BenchmarkSpec,
+    train_cfg: &MachineConfig,
+    train_input: &InputSet,
+    run_input: &InputSet,
+) -> Result<ContextArtifacts, BenchError> {
+    let train_w = spec.generate_with_input(train_input);
+    let (_, freqs, slack) = try_profile_workload(&train_w, train_cfg)
+        .map_err(|e| exec_err(spec, "train-input execution", e))?;
+    let (workload, trace) = run_side(spec, run_input)?;
+    Ok(ContextArtifacts {
+        workload,
+        trace,
+        freqs,
+        slack,
+    })
+}
+
+/// Fetches (or builds and caches) the artifacts for a context request.
+///
+/// Lookup order: in-memory, then disk (if `use_disk`), then a full
+/// rebuild. The corresponding counter is bumped exactly once per call.
+pub(crate) fn context(
+    spec: &BenchmarkSpec,
+    train_cfg: &MachineConfig,
+    train_input: &InputSet,
+    run_input: &InputSet,
+    use_disk: bool,
+) -> Result<Arc<ContextArtifacts>, BenchError> {
+    let key = context_key(spec, train_cfg, train_input, run_input);
+    if let Some(hit) = mem().lock().expect("context cache lock").get(&key) {
+        MEM_HITS.fetch_add(1, Ordering::Relaxed);
+        return Ok(Arc::clone(hit));
+    }
+    let disk_entry = if use_disk { disk_load(key, spec) } else { None };
+    let (artifacts, from_disk) = match disk_entry {
+        Some((freqs, slack)) => {
+            let (workload, trace) = run_side(spec, run_input)?;
+            (
+                ContextArtifacts {
+                    workload,
+                    trace,
+                    freqs,
+                    slack,
+                },
+                true,
+            )
+        }
+        None => (
+            compute_uncached(spec, train_cfg, train_input, run_input)?,
+            false,
+        ),
+    };
+    if from_disk {
+        DISK_HITS.fetch_add(1, Ordering::Relaxed);
+    } else {
+        MISSES.fetch_add(1, Ordering::Relaxed);
+        if use_disk {
+            disk_store(key, spec, &artifacts.freqs, &artifacts.slack);
+        }
+    }
+    let arc = Arc::new(artifacts);
+    mem()
+        .lock()
+        .expect("context cache lock")
+        .entry(key)
+        .or_insert_with(|| Arc::clone(&arc));
+    Ok(arc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mg_workloads::Suite;
+
+    #[test]
+    fn keys_separate_specs_inputs_and_configs() {
+        let a = BenchmarkSpec::new(Suite::MiBench, "sha");
+        let b = BenchmarkSpec::new(Suite::MiBench, "crc32");
+        let red = MachineConfig::reduced();
+        let base = MachineConfig::baseline();
+        let pi = a.primary_input();
+        let ai = a.alternate_input();
+        let k = context_key(&a, &red, &pi, &pi);
+        assert_eq!(k, context_key(&a, &red, &pi, &pi), "key is stable");
+        assert_ne!(
+            k,
+            context_key(&b, &red, &b.primary_input(), &b.primary_input())
+        );
+        assert_ne!(k, context_key(&a, &base, &pi, &pi));
+        assert_ne!(k, context_key(&a, &red, &ai, &pi));
+        assert_ne!(k, context_key(&a, &red, &pi, &ai));
+        // Same name, locally modified params (the limit-study pattern).
+        let mut short = a.clone();
+        short.params.target_dyn = 1_000;
+        assert_ne!(k, context_key(&short, &red, &pi, &pi));
+    }
+
+    #[test]
+    fn stable_hash_matches_fnv1a_reference() {
+        // Reference value for the empty string is the FNV-1a offset basis.
+        assert_eq!(stable_hash64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_ne!(stable_hash64(b"a"), stable_hash64(b"b"));
+    }
+}

@@ -1,0 +1,101 @@
+//! Sweep definitions shared between figure binaries and tests.
+//!
+//! Only Figure 6 lives here for now: it is the headline experiment, and
+//! the runner's determinism and cache tests exercise exactly the sweep
+//! the binary ships, so the two can never drift apart.
+
+use crate::harness::{BenchError, Scheme};
+use crate::runner::{SweepCell, SweepResult, SweepSpec};
+use mg_sim::MachineConfig;
+use mg_workloads::suite;
+use serde::Serialize;
+
+/// The five selectors Figure 6 compares.
+pub const FIG6_SCHEMES: [Scheme; 5] = [
+    Scheme::StructAll,
+    Scheme::StructNone,
+    Scheme::StructBounded,
+    Scheme::SlackProfile,
+    Scheme::SlackDynamic,
+];
+
+/// One benchmark row of Figure 6.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig6Row {
+    /// Benchmark name.
+    pub bench: String,
+    /// Reduced-machine IPC without mini-graphs, relative to baseline.
+    pub nomg_red: f64,
+    /// Per-scheme relative performance and coverage.
+    pub per_scheme: Vec<Fig6PerScheme>,
+}
+
+/// One scheme's numbers within a [`Fig6Row`].
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig6PerScheme {
+    /// Paper-style scheme name.
+    pub scheme: &'static str,
+    /// Reduced-machine IPC relative to the no-mg baseline machine.
+    pub rel_red: f64,
+    /// Baseline-machine IPC relative to the no-mg baseline machine.
+    pub rel_full: f64,
+    /// Measured dynamic coverage on the reduced machine.
+    pub coverage: f64,
+}
+
+/// The Figure 6 sweep over the first `take` benchmarks of the suite:
+/// cell 0 is no-mg on the baseline machine, cell 1 no-mg on the reduced
+/// machine, then each scheme contributes a (reduced, baseline) cell pair.
+pub fn fig6_spec(take: usize) -> SweepSpec {
+    let base = MachineConfig::baseline();
+    let red = MachineConfig::reduced();
+    let mut spec = SweepSpec::new(&red)
+        .benches(suite().iter().take(take).cloned())
+        .cell(SweepCell::new(Scheme::NoMg, &base))
+        .cell(SweepCell::new(Scheme::NoMg, &red));
+    for s in FIG6_SCHEMES {
+        spec = spec
+            .cell(SweepCell::new(s, &red))
+            .cell(SweepCell::new(s, &base));
+    }
+    spec
+}
+
+/// Converts a [`fig6_spec`] sweep result into figure rows. Benchmarks
+/// with any failed cell are skipped and their first error returned
+/// alongside the rows.
+pub fn fig6_rows(result: &SweepResult) -> (Vec<Fig6Row>, Vec<BenchError>) {
+    let mut rows = Vec::new();
+    let mut failures = Vec::new();
+    for bench in &result.rows {
+        let ok = match bench.all_ok() {
+            Ok(runs) => runs,
+            Err(e) => {
+                failures.push(e.clone());
+                continue;
+            }
+        };
+        let b = ok[0];
+        let r = ok[1];
+        let per_scheme = FIG6_SCHEMES
+            .iter()
+            .enumerate()
+            .map(|(si, &s)| {
+                let rr = ok[2 + 2 * si];
+                let rf = ok[3 + 2 * si];
+                Fig6PerScheme {
+                    scheme: s.name(),
+                    rel_red: rr.ipc / b.ipc,
+                    rel_full: rf.ipc / b.ipc,
+                    coverage: rr.coverage,
+                }
+            })
+            .collect();
+        rows.push(Fig6Row {
+            bench: bench.bench.clone(),
+            nomg_red: r.ipc / b.ipc,
+            per_scheme,
+        });
+    }
+    (rows, failures)
+}

@@ -1,12 +1,25 @@
 //! Shared experiment harness: runs benchmarks under every selector and
 //! machine configuration, producing the rows behind each figure.
+//!
+//! The harness API is *fallible*: contexts are built with
+//! [`BenchContext::builder`] (or [`BenchContext::try_new`]) and runs
+//! executed with [`BenchContext::try_run`], both returning
+//! [`Result`]s over [`BenchError`] so a sweep can record a failed cell
+//! and continue. The panicking [`BenchContext::new`] / [`BenchContext::run`]
+//! are kept as deprecated `expect`-wrappers for one release.
 
+use crate::cache::{self, ContextArtifacts};
 use mg_core::candidate::SelectionConfig;
-use mg_core::pipeline::{prepare, profile_workload};
+use mg_core::pipeline::prepare;
 use mg_core::select::{Selector, SlackProfileModel, SpKind};
 use mg_sim::{simulate, DynMgConfig, MachineConfig, MgConfig, SimOptions, SimResult};
 use mg_workloads::{BenchmarkSpec, Executor, InputSet, Trace, Workload};
 use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Version of the JSON results schema written by [`save_json`]. Bump on
+/// any change to row shapes or envelope fields.
+pub const SCHEMA_VERSION: u32 = 1;
 
 /// Which selection scheme a run uses.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
@@ -69,8 +82,141 @@ impl Scheme {
     }
 }
 
-/// One benchmark, fully prepared: workload, trace, profile, and the
-/// tagged programs for each static selector (prepared lazily).
+/// Why a benchmark context could not be built or a cell could not run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BenchError {
+    /// A functional execution failed (`stage` says which one).
+    Exec {
+        /// Benchmark name.
+        bench: String,
+        /// Which execution failed (train input, run input, rewritten
+        /// program).
+        stage: &'static str,
+        /// The underlying executor error, rendered.
+        detail: String,
+    },
+    /// The timing simulation hit its cycle cap — the run's numbers are
+    /// meaningless, but the sweep can record the failure and continue.
+    CycleCap {
+        /// Benchmark name.
+        bench: String,
+        /// The scheme whose simulation hit the cap.
+        scheme: Scheme,
+    },
+}
+
+impl fmt::Display for BenchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BenchError::Exec {
+                bench,
+                stage,
+                detail,
+            } => {
+                write!(f, "{bench}: {stage} failed: {detail}")
+            }
+            BenchError::CycleCap { bench, scheme } => {
+                write!(
+                    f,
+                    "{bench}: simulation hit its cycle cap under {}",
+                    scheme.name()
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for BenchError {}
+
+/// Configures and builds a [`BenchContext`].
+///
+/// Defaults: train and run on the benchmark's primary input, the default
+/// [`SelectionConfig`], context caching on (memory + disk).
+#[derive(Clone, Debug)]
+pub struct BenchContextBuilder {
+    spec: BenchmarkSpec,
+    train_cfg: MachineConfig,
+    train_input: Option<InputSet>,
+    run_input: Option<InputSet>,
+    sel_cfg: SelectionConfig,
+    cache: bool,
+    disk_cache: bool,
+}
+
+impl BenchContextBuilder {
+    /// The input set profiling runs on (default: the primary input).
+    pub fn train_input(mut self, input: InputSet) -> BenchContextBuilder {
+        self.train_input = Some(input);
+        self
+    }
+
+    /// The input set the evaluated execution runs on (default: the
+    /// primary input).
+    pub fn run_input(mut self, input: InputSet) -> BenchContextBuilder {
+        self.run_input = Some(input);
+        self
+    }
+
+    /// The selection configuration (ablations).
+    pub fn selection_config(mut self, cfg: SelectionConfig) -> BenchContextBuilder {
+        self.sel_cfg = cfg;
+        self
+    }
+
+    /// Enables/disables the context cache entirely (default on).
+    pub fn cache(mut self, on: bool) -> BenchContextBuilder {
+        self.cache = on;
+        self
+    }
+
+    /// Enables/disables only the on-disk cache layer (default on).
+    pub fn disk_cache(mut self, on: bool) -> BenchContextBuilder {
+        self.disk_cache = on;
+        self
+    }
+
+    /// Generates, executes, and profiles the benchmark.
+    pub fn build(self) -> Result<BenchContext, BenchError> {
+        let train_input = self
+            .train_input
+            .unwrap_or_else(|| self.spec.primary_input());
+        let run_input = self.run_input.unwrap_or_else(|| self.spec.primary_input());
+        let (workload, trace, freqs, slack) = if self.cache {
+            let a = cache::context(
+                &self.spec,
+                &self.train_cfg,
+                &train_input,
+                &run_input,
+                self.disk_cache,
+            )?;
+            (
+                a.workload.clone(),
+                a.trace.clone(),
+                a.freqs.clone(),
+                a.slack.clone(),
+            )
+        } else {
+            let ContextArtifacts {
+                workload,
+                trace,
+                freqs,
+                slack,
+            } = cache::compute_uncached(&self.spec, &self.train_cfg, &train_input, &run_input)?;
+            (workload, trace, freqs, slack)
+        };
+        Ok(BenchContext {
+            spec: self.spec,
+            workload,
+            trace,
+            freqs,
+            slack,
+            sel_cfg: self.sel_cfg,
+        })
+    }
+}
+
+/// One benchmark, fully prepared: workload, trace, frequency profile, and
+/// slack profile, ready to run any scheme on any machine.
 pub struct BenchContext {
     /// The benchmark spec.
     pub spec: BenchmarkSpec,
@@ -86,37 +232,48 @@ pub struct BenchContext {
 }
 
 impl BenchContext {
-    /// Generates, executes, and profiles a benchmark on its primary
-    /// input, training the slack profile on `train_cfg` (the paper
-    /// self-trains on the reduced target machine).
-    pub fn new(spec: &BenchmarkSpec, train_cfg: &MachineConfig) -> BenchContext {
-        Self::with_inputs(spec, train_cfg, &spec.primary_input(), &spec.primary_input())
+    /// Starts building a context that trains its slack profile on
+    /// `train_cfg` (the paper self-trains on the reduced target machine).
+    pub fn builder(spec: &BenchmarkSpec, train_cfg: &MachineConfig) -> BenchContextBuilder {
+        BenchContextBuilder {
+            spec: spec.clone(),
+            train_cfg: train_cfg.clone(),
+            train_input: None,
+            run_input: None,
+            sel_cfg: SelectionConfig::default(),
+            cache: true,
+            disk_cache: true,
+        }
     }
 
-    /// Full control: `train_input` drives profiling, `run_input` drives
-    /// the evaluated execution (for cross-input robustness studies).
+    /// Generates, executes, and profiles a benchmark on its primary
+    /// input. Shorthand for `builder(spec, train_cfg).build()`.
+    pub fn try_new(
+        spec: &BenchmarkSpec,
+        train_cfg: &MachineConfig,
+    ) -> Result<BenchContext, BenchError> {
+        Self::builder(spec, train_cfg).build()
+    }
+
+    /// Panicking shorthand, kept for one release.
+    #[deprecated(note = "use `BenchContext::try_new` or `BenchContext::builder`")]
+    pub fn new(spec: &BenchmarkSpec, train_cfg: &MachineConfig) -> BenchContext {
+        Self::try_new(spec, train_cfg).expect("benchmark context builds")
+    }
+
+    /// Panicking two-input constructor, kept for one release.
+    #[deprecated(note = "use `BenchContext::builder` with `train_input`/`run_input`")]
     pub fn with_inputs(
         spec: &BenchmarkSpec,
         train_cfg: &MachineConfig,
         train_input: &InputSet,
         run_input: &InputSet,
     ) -> BenchContext {
-        let train_w = spec.generate_with_input(train_input);
-        let (_, freqs, slack) = profile_workload(&train_w, train_cfg);
-        let workload = spec.generate_with_input(run_input);
-        let (trace, _) = Executor::new(&workload.program)
-            .run_with_mem(&workload.init_mem)
-            .expect("workload executes");
-        // Frequencies for selection come from the training run; the
-        // static layout is input-independent, so ids align.
-        BenchContext {
-            spec: spec.clone(),
-            workload,
-            trace,
-            freqs,
-            slack,
-            sel_cfg: SelectionConfig::default(),
-        }
+        Self::builder(spec, train_cfg)
+            .train_input(train_input.clone())
+            .run_input(run_input.clone())
+            .build()
+            .expect("benchmark context builds")
     }
 
     /// The selection configuration in use.
@@ -159,7 +316,24 @@ impl BenchContext {
     }
 
     /// Runs one scheme on one machine configuration.
-    pub fn run(&self, scheme: Scheme, machine: &MachineConfig) -> SchemeRun {
+    pub fn try_run(
+        &self,
+        scheme: Scheme,
+        machine: &MachineConfig,
+    ) -> Result<SchemeRun, BenchError> {
+        self.try_run_with(scheme, machine, None, None)
+    }
+
+    /// Runs one scheme on one machine with optional overrides for the
+    /// mini-graph hardware (default [`MgConfig::paper`]) and the
+    /// selection configuration (default: the context's).
+    pub fn try_run_with(
+        &self,
+        scheme: Scheme,
+        machine: &MachineConfig,
+        mg: Option<MgConfig>,
+        sel: Option<&SelectionConfig>,
+    ) -> Result<SchemeRun, BenchError> {
         match self.selector_for(scheme) {
             None => {
                 let r = simulate(
@@ -168,29 +342,39 @@ impl BenchContext {
                     machine,
                     SimOptions::default(),
                 );
-                SchemeRun::from_sim(scheme, r, 0.0)
+                SchemeRun::try_from_sim(&self.spec.name, scheme, r, 0.0)
             }
             Some(selector) => {
                 let prepared = prepare(
                     &self.workload.program,
                     &self.freqs,
                     &selector,
-                    &self.sel_cfg,
+                    sel.unwrap_or(&self.sel_cfg),
                 );
                 // The tagged program reorders blocks; its committed path
                 // must be re-derived functionally.
                 let (trace, _) = Executor::new(&prepared.program)
                     .run_with_mem(&self.workload.init_mem)
-                    .expect("rewritten workload executes");
-                let mg_machine = machine.clone().with_mg(MgConfig::paper());
+                    .map_err(|e| BenchError::Exec {
+                        bench: self.spec.name.clone(),
+                        stage: "rewritten-program execution",
+                        detail: e.to_string(),
+                    })?;
+                let mg_machine = machine.clone().with_mg(mg.unwrap_or_else(MgConfig::paper));
                 let opts = SimOptions {
                     dyn_mg: scheme.dyn_config(),
                     ..SimOptions::default()
                 };
                 let r = simulate(&prepared.program, &trace, &mg_machine, opts);
-                SchemeRun::from_sim(scheme, r, prepared.est_coverage)
+                SchemeRun::try_from_sim(&self.spec.name, scheme, r, prepared.est_coverage)
             }
         }
+    }
+
+    /// Panicking run, kept for one release.
+    #[deprecated(note = "use `BenchContext::try_run`")]
+    pub fn run(&self, scheme: Scheme, machine: &MachineConfig) -> SchemeRun {
+        self.try_run(scheme, machine).expect("scheme run succeeds")
     }
 }
 
@@ -211,12 +395,24 @@ pub struct SchemeRun {
     pub disabled_templates: u64,
     /// Serialized handle executions observed.
     pub serialized_handles: u64,
+    /// Data-L1 miss rate observed in the run.
+    pub dl1_miss_rate: f64,
 }
 
 impl SchemeRun {
-    fn from_sim(scheme: Scheme, r: SimResult, est_coverage: f64) -> SchemeRun {
-        assert!(!r.hit_cycle_cap, "simulation hit its cycle cap");
-        SchemeRun {
+    fn try_from_sim(
+        bench: &str,
+        scheme: Scheme,
+        r: SimResult,
+        est_coverage: f64,
+    ) -> Result<SchemeRun, BenchError> {
+        if r.hit_cycle_cap {
+            return Err(BenchError::CycleCap {
+                bench: bench.to_string(),
+                scheme,
+            });
+        }
+        Ok(SchemeRun {
             scheme,
             ipc: r.ipc(),
             cycles: r.stats.cycles,
@@ -224,43 +420,53 @@ impl SchemeRun {
             est_coverage,
             disabled_templates: r.stats.disabled_templates,
             serialized_handles: r.stats.serialized_handles,
-        }
+            dl1_miss_rate: r.stats.dl1.miss_rate(),
+        })
     }
+}
+
+/// The envelope every results file is wrapped in: a schema version and a
+/// fingerprint of the simulated machine family, so downstream consumers
+/// can reject rows produced by an incompatible harness.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Envelope<T> {
+    /// [`SCHEMA_VERSION`] at write time.
+    pub schema_version: u32,
+    /// [`machine_fingerprint`] at write time.
+    pub machine_fingerprint: String,
+    /// The figure's rows.
+    pub rows: T,
+}
+
+/// A stable fingerprint of the simulated machine family (baseline +
+/// reduced configurations and the paper's mini-graph support). Results
+/// with different fingerprints came from different modeled hardware and
+/// must not be compared.
+pub fn machine_fingerprint() -> String {
+    let repr = format!(
+        "{:?}|{:?}|{:?}",
+        MachineConfig::baseline(),
+        MachineConfig::reduced(),
+        MgConfig::paper()
+    );
+    format!("{:016x}", cache::stable_hash64(repr.as_bytes()))
 }
 
 /// Writes a JSON result file under `results/` at the workspace root,
-/// creating the directory if needed. Returns the path written.
-pub fn save_json<T: Serialize>(name: &str, value: &T) -> std::path::PathBuf {
+/// wrapping `rows` in the versioned [`Envelope`] and creating the
+/// directory if needed. Returns the path written.
+pub fn save_json<T: Serialize>(name: &str, rows: &T) -> std::path::PathBuf {
     let dir = std::path::Path::new("results");
     std::fs::create_dir_all(dir).expect("create results dir");
     let path = dir.join(format!("{name}.json"));
-    let json = serde_json::to_string_pretty(value).expect("serialize results");
+    let envelope = Envelope {
+        schema_version: SCHEMA_VERSION,
+        machine_fingerprint: machine_fingerprint(),
+        rows,
+    };
+    let json = serde_json::to_string_pretty(&envelope).expect("serialize results");
     std::fs::write(&path, json).expect("write results file");
     path
-}
-
-/// Geometric mean of a non-empty slice of positive values.
-pub fn geomean(values: &[f64]) -> f64 {
-    if values.is_empty() {
-        return 0.0;
-    }
-    let sum: f64 = values.iter().map(|v| v.ln()).sum();
-    (sum / values.len() as f64).exp()
-}
-
-/// Arithmetic mean.
-pub fn mean(values: &[f64]) -> f64 {
-    if values.is_empty() {
-        0.0
-    } else {
-        values.iter().sum::<f64>() / values.len() as f64
-    }
-}
-
-/// Formats an S-curve: values sorted ascending, one line per program.
-pub fn s_curve(mut values: Vec<(String, f64)>) -> Vec<(String, f64)> {
-    values.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
-    values
 }
 
 #[cfg(test)]
@@ -268,15 +474,39 @@ mod tests {
     use super::*;
 
     #[test]
-    fn geomean_and_mean() {
-        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
-        assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-12);
-        assert_eq!(geomean(&[]), 0.0);
+    fn machine_fingerprint_is_stable_and_hex() {
+        let a = machine_fingerprint();
+        assert_eq!(a, machine_fingerprint());
+        assert_eq!(a.len(), 16);
+        assert!(a.chars().all(|c| c.is_ascii_hexdigit()));
     }
 
     #[test]
-    fn s_curve_sorts() {
-        let v = s_curve(vec![("b".into(), 2.0), ("a".into(), 1.0)]);
-        assert_eq!(v[0].0, "a");
+    fn envelope_roundtrips() {
+        let e = Envelope {
+            schema_version: SCHEMA_VERSION,
+            machine_fingerprint: machine_fingerprint(),
+            rows: vec![1u32, 2, 3],
+        };
+        let json = serde_json::to_string(&e).unwrap();
+        let back: Envelope<Vec<u32>> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.schema_version, SCHEMA_VERSION);
+        assert_eq!(back.rows, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn bench_error_displays_context() {
+        let e = BenchError::CycleCap {
+            bench: "spec_mcf".into(),
+            scheme: Scheme::StructAll,
+        };
+        let s = e.to_string();
+        assert!(s.contains("spec_mcf") && s.contains("Struct-All"));
+        let x = BenchError::Exec {
+            bench: "mib_sha".into(),
+            stage: "run-input execution",
+            detail: "boom".into(),
+        };
+        assert!(x.to_string().contains("run-input execution"));
     }
 }

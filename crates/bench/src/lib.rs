@@ -2,12 +2,25 @@
 //! *"Serialization-Aware Mini-Graphs"* (MICRO 2006).
 //!
 //! Each figure has a binary under `src/bin/`; the shared machinery lives
-//! in [`harness`]. See `EXPERIMENTS.md` at the repository root for the
-//! paper-vs-measured record.
+//! in [`harness`] (benchmark contexts and scheme runs), [`runner`] (the
+//! parallel [`SweepSpec`] executor), [`cache`] (content-keyed context
+//! memoization), and [`stats`]. See `EXPERIMENTS.md` at the repository
+//! root for the paper-vs-measured record.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cache;
+pub mod figures;
 pub mod harness;
+pub mod runner;
+pub mod stats;
 
-pub use harness::{geomean, mean, s_curve, save_json, BenchContext, Scheme, SchemeRun};
+pub use harness::{
+    machine_fingerprint, save_json, BenchContext, BenchContextBuilder, BenchError, Envelope,
+    Scheme, SchemeRun, SCHEMA_VERSION,
+};
+pub use runner::{
+    default_jobs, par_map, BenchRows, InputSel, SweepCell, SweepResult, SweepSpec, SweepSummary,
+};
+pub use stats::{geomean, mean, s_curve};

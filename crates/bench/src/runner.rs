@@ -1,0 +1,398 @@
+//! The parallel sweep runner.
+//!
+//! Every figure binary runs the same shape of experiment: a cross product
+//! of (benchmarks × scheme/machine cells), where per-benchmark context
+//! construction is expensive and every cell is independent. A
+//! [`SweepSpec`] declares that sweep; [`SweepSpec::run`] executes it on a
+//! pool of [`std::thread::scope`] workers pulling benchmark tasks from a
+//! shared queue (worker count = available parallelism, overridable with
+//! the `MG_JOBS` environment variable or [`SweepSpec::jobs`]), with
+//! per-benchmark artifacts memoized by [`crate::cache`].
+//!
+//! Results are collected in deterministic sweep order — row `i` is always
+//! benchmark `i` of the spec, cell `j` always the `j`-th added cell — so
+//! the JSON a parallel sweep produces is byte-identical to a serial
+//! (`MG_JOBS=1`) run.
+//!
+//! A cell that fails ([`BenchError::CycleCap`], a workload execution
+//! error) is recorded as a failure row; the sweep continues. Each
+//! [`SweepResult`] carries a [`SweepSummary`] with per-task wall times and
+//! context-cache counters, printed as a footer unless the spec is
+//! [`SweepSpec::quiet`].
+
+use crate::cache::{self, CacheCounters};
+use crate::harness::{BenchContext, BenchError, Scheme, SchemeRun};
+use mg_core::candidate::SelectionConfig;
+use mg_sim::{MachineConfig, MgConfig};
+use mg_workloads::{BenchmarkSpec, InputSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// One (scheme, machine) cell of a sweep, with optional per-cell
+/// overrides for the mini-graph hardware and the selection configuration
+/// (ablations).
+#[derive(Clone, Debug)]
+pub struct SweepCell {
+    /// The selection scheme to run.
+    pub scheme: Scheme,
+    /// The machine to run it on.
+    pub machine: MachineConfig,
+    /// Mini-graph hardware override (default: [`MgConfig::paper`]).
+    pub mg: Option<MgConfig>,
+    /// Selection-configuration override (default: the context's).
+    pub sel: Option<SelectionConfig>,
+}
+
+impl SweepCell {
+    /// A cell with the default mini-graph hardware and selection knobs.
+    pub fn new(scheme: Scheme, machine: &MachineConfig) -> SweepCell {
+        SweepCell {
+            scheme,
+            machine: machine.clone(),
+            mg: None,
+            sel: None,
+        }
+    }
+
+    /// Overrides the mini-graph hardware configuration.
+    pub fn with_mg(mut self, mg: MgConfig) -> SweepCell {
+        self.mg = Some(mg);
+        self
+    }
+
+    /// Overrides the selection configuration.
+    pub fn with_sel(mut self, sel: SelectionConfig) -> SweepCell {
+        self.sel = Some(sel);
+        self
+    }
+}
+
+/// How a sweep picks an input set for each benchmark.
+#[derive(Clone, Debug, Default)]
+pub enum InputSel {
+    /// Each benchmark's primary input ([`BenchmarkSpec::primary_input`]).
+    #[default]
+    Primary,
+    /// Each benchmark's alternate input ([`BenchmarkSpec::alternate_input`]).
+    Alternate,
+    /// One fixed input set for every benchmark.
+    Fixed(InputSet),
+}
+
+impl InputSel {
+    fn resolve(&self, spec: &BenchmarkSpec) -> InputSet {
+        match self {
+            InputSel::Primary => spec.primary_input(),
+            InputSel::Alternate => spec.alternate_input(),
+            InputSel::Fixed(input) => input.clone(),
+        }
+    }
+}
+
+/// A declarative benchmark sweep: benchmarks × cells, plus the training
+/// setup shared by every benchmark context.
+#[derive(Clone, Debug)]
+pub struct SweepSpec {
+    benches: Vec<BenchmarkSpec>,
+    cells: Vec<SweepCell>,
+    train_cfg: MachineConfig,
+    train_input: InputSel,
+    run_input: InputSel,
+    jobs: Option<usize>,
+    disk_cache: bool,
+    quiet: bool,
+}
+
+impl SweepSpec {
+    /// An empty sweep training slack profiles on `train_cfg`.
+    pub fn new(train_cfg: &MachineConfig) -> SweepSpec {
+        SweepSpec {
+            benches: Vec::new(),
+            cells: Vec::new(),
+            train_cfg: train_cfg.clone(),
+            train_input: InputSel::Primary,
+            run_input: InputSel::Primary,
+            jobs: None,
+            disk_cache: true,
+            quiet: false,
+        }
+    }
+
+    /// Adds one benchmark.
+    pub fn bench(mut self, spec: &BenchmarkSpec) -> SweepSpec {
+        self.benches.push(spec.clone());
+        self
+    }
+
+    /// Adds benchmarks in order.
+    pub fn benches<I: IntoIterator<Item = BenchmarkSpec>>(mut self, specs: I) -> SweepSpec {
+        self.benches.extend(specs);
+        self
+    }
+
+    /// Adds one cell.
+    pub fn cell(mut self, cell: SweepCell) -> SweepSpec {
+        self.cells.push(cell);
+        self
+    }
+
+    /// Adds cells in order.
+    pub fn cells<I: IntoIterator<Item = SweepCell>>(mut self, cells: I) -> SweepSpec {
+        self.cells.extend(cells);
+        self
+    }
+
+    /// Selects the training input (default: each benchmark's primary).
+    pub fn train_input(mut self, sel: InputSel) -> SweepSpec {
+        self.train_input = sel;
+        self
+    }
+
+    /// Selects the evaluation input (default: each benchmark's primary).
+    pub fn run_input(mut self, sel: InputSel) -> SweepSpec {
+        self.run_input = sel;
+        self
+    }
+
+    /// Forces the worker count (otherwise `MG_JOBS`, then available
+    /// parallelism).
+    pub fn jobs(mut self, jobs: usize) -> SweepSpec {
+        self.jobs = Some(jobs.max(1));
+        self
+    }
+
+    /// Enables/disables the on-disk context cache layer (default on; the
+    /// in-memory layer is always active).
+    pub fn disk_cache(mut self, on: bool) -> SweepSpec {
+        self.disk_cache = on;
+        self
+    }
+
+    /// Suppresses progress dots and the summary footer.
+    pub fn quiet(mut self, on: bool) -> SweepSpec {
+        self.quiet = on;
+        self
+    }
+
+    /// The benchmarks of the sweep, in row order.
+    pub fn bench_specs(&self) -> &[BenchmarkSpec] {
+        &self.benches
+    }
+
+    /// Executes the sweep and collects rows in deterministic order.
+    pub fn run(&self) -> SweepResult {
+        let jobs = self.jobs.unwrap_or_else(default_jobs);
+        let before = cache::counters();
+        let t0 = Instant::now();
+        let quiet = self.quiet;
+        let rows: Vec<BenchRows> = par_map(&self.benches, jobs, |_, spec| {
+            let task0 = Instant::now();
+            let ctx = BenchContext::builder(spec, &self.train_cfg)
+                .train_input(self.train_input.resolve(spec))
+                .run_input(self.run_input.resolve(spec))
+                .disk_cache(self.disk_cache)
+                .build();
+            let runs: Vec<Result<SchemeRun, BenchError>> = match &ctx {
+                Ok(ctx) => self
+                    .cells
+                    .iter()
+                    .map(|cell| {
+                        ctx.try_run_with(cell.scheme, &cell.machine, cell.mg, cell.sel.as_ref())
+                    })
+                    .collect(),
+                Err(e) => self.cells.iter().map(|_| Err(e.clone())).collect(),
+            };
+            if !quiet {
+                eprint!(".");
+            }
+            BenchRows {
+                bench: spec.name.clone(),
+                runs,
+                wall: task0.elapsed(),
+            }
+        });
+        if !quiet {
+            eprintln!();
+        }
+        let failures = rows
+            .iter()
+            .map(|r| r.runs.iter().filter(|c| c.is_err()).count())
+            .sum();
+        let summary = SweepSummary {
+            benches: self.benches.len(),
+            cells: self.cells.len(),
+            failures,
+            jobs,
+            wall: t0.elapsed(),
+            task_wall_total: rows.iter().map(|r| r.wall).sum(),
+            cache: cache::counters().since(&before),
+        };
+        if !quiet {
+            summary.print_footer();
+        }
+        SweepResult { rows, summary }
+    }
+}
+
+/// All cell results for one benchmark, in cell order.
+#[derive(Clone, Debug)]
+pub struct BenchRows {
+    /// Benchmark name.
+    pub bench: String,
+    /// One result per spec cell, in the order cells were added.
+    pub runs: Vec<Result<SchemeRun, BenchError>>,
+    /// Wall time this benchmark's task took (context + all cells).
+    pub wall: Duration,
+}
+
+impl BenchRows {
+    /// The run of cell `idx`, or the error that felled it.
+    pub fn get(&self, idx: usize) -> Result<&SchemeRun, &BenchError> {
+        self.runs[idx].as_ref()
+    }
+
+    /// All runs, or the first failure (for binaries that skip a
+    /// benchmark when any of its cells failed).
+    pub fn all_ok(&self) -> Result<Vec<&SchemeRun>, &BenchError> {
+        self.runs.iter().map(|r| r.as_ref()).collect()
+    }
+}
+
+/// Everything a sweep produced.
+#[derive(Clone, Debug)]
+pub struct SweepResult {
+    /// Per-benchmark rows, in spec order (deterministic).
+    pub rows: Vec<BenchRows>,
+    /// Execution metadata: timings, worker count, cache behaviour.
+    pub summary: SweepSummary,
+}
+
+/// Sweep execution metadata — the first observability hooks for the
+/// sweep hot path.
+#[derive(Clone, Debug)]
+pub struct SweepSummary {
+    /// Number of benchmarks swept.
+    pub benches: usize,
+    /// Number of cells per benchmark.
+    pub cells: usize,
+    /// Number of failed cells recorded (sweep continued past them).
+    pub failures: usize,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// End-to-end wall time.
+    pub wall: Duration,
+    /// Sum of per-task wall times (≈ serial cost; compare with `wall`
+    /// for the realized speedup).
+    pub task_wall_total: Duration,
+    /// Context-cache counter deltas for this sweep.
+    pub cache: CacheCounters,
+}
+
+impl SweepSummary {
+    /// Prints the standard summary footer to stderr.
+    pub fn print_footer(&self) {
+        eprintln!(
+            "sweep: {} benchmarks x {} cells on {} workers in {:.1}s \
+             (task time {:.1}s, speedup {:.1}x); \
+             context cache: {} memory hits, {} disk hits, {} misses{}",
+            self.benches,
+            self.cells,
+            self.jobs,
+            self.wall.as_secs_f64(),
+            self.task_wall_total.as_secs_f64(),
+            self.task_wall_total.as_secs_f64() / self.wall.as_secs_f64().max(1e-9),
+            self.cache.mem_hits,
+            self.cache.disk_hits,
+            self.cache.misses,
+            if self.failures > 0 {
+                format!("; {} FAILED cells", self.failures)
+            } else {
+                String::new()
+            },
+        );
+    }
+}
+
+/// Worker count: `MG_JOBS` if set (≥1), else available parallelism.
+pub fn default_jobs() -> usize {
+    std::env::var("MG_JOBS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Maps `f` over `items` on `jobs` scoped worker threads, returning
+/// results in item order. Workers pull the next index from a shared
+/// atomic queue, so uneven task costs balance automatically. With
+/// `jobs <= 1` this degenerates to a plain serial map (no threads), which
+/// is the reference order the parallel path must reproduce.
+pub fn par_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let jobs = jobs.max(1).min(items.len().max(1));
+    if jobs <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    std::thread::scope(|s| {
+        for _ in 0..jobs {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(i, &items[i]);
+                if tx.send((i, r)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        let mut out: Vec<Option<R>> = std::iter::repeat_with(|| None).take(items.len()).collect();
+        for (i, r) in rx {
+            out[i] = Some(r);
+        }
+        out.into_iter()
+            .map(|r| r.expect("every task delivers a result"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_item_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let serial = par_map(&items, 1, |i, &x| (i as u64) * 1000 + x * x);
+        let parallel = par_map(&items, 8, |i, &x| (i as u64) * 1000 + x * x);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial[3], 3009);
+    }
+
+    #[test]
+    fn par_map_handles_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, 4, |_, &x| x).is_empty());
+        assert_eq!(par_map(&[7u32], 4, |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn default_jobs_is_at_least_one() {
+        assert!(default_jobs() >= 1);
+    }
+}

@@ -1,0 +1,85 @@
+//! Integration tests for the parallel sweep runner: determinism of
+//! parallel output, context-cache behaviour, and the deprecated
+//! compatibility wrappers.
+//!
+//! The context cache and its counters are process-wide, so every test
+//! that touches them serializes on [`LOCK`].
+
+use mg_bench::cache;
+use mg_bench::figures::{fig6_rows, fig6_spec};
+use mg_bench::{Scheme, SweepCell, SweepSpec};
+use mg_sim::MachineConfig;
+use mg_workloads::suite;
+use std::sync::Mutex;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+/// The acceptance bar of the runner: a parallel sweep's JSON is
+/// byte-identical to a serial (`MG_JOBS=1`-equivalent) sweep's.
+#[test]
+fn parallel_fig6_json_is_byte_identical_to_serial() {
+    let _guard = LOCK.lock().unwrap();
+    let parallel = {
+        let result = fig6_spec(6).jobs(4).disk_cache(false).quiet(true).run();
+        let (rows, failures) = fig6_rows(&result);
+        assert!(failures.is_empty(), "failures: {failures:?}");
+        serde_json::to_string_pretty(&rows).unwrap()
+    };
+    let serial = {
+        let result = fig6_spec(6).jobs(1).disk_cache(false).quiet(true).run();
+        let (rows, failures) = fig6_rows(&result);
+        assert!(failures.is_empty(), "failures: {failures:?}");
+        serde_json::to_string_pretty(&rows).unwrap()
+    };
+    assert_eq!(parallel, serial);
+}
+
+/// A second sweep over the same spec rebuilds nothing: every context
+/// comes from the in-memory cache.
+#[test]
+fn second_sweep_is_all_context_cache_hits() {
+    let _guard = LOCK.lock().unwrap();
+    let benches: Vec<_> = suite().iter().skip(10).take(3).cloned().collect();
+    let red = MachineConfig::reduced();
+    let spec = SweepSpec::new(&red)
+        .benches(benches.clone())
+        .cell(SweepCell::new(Scheme::NoMg, &red))
+        .disk_cache(false)
+        .quiet(true);
+
+    let before = cache::counters();
+    let first = spec.run();
+    let after_first = cache::counters();
+    let second = spec.run();
+    let after_second = cache::counters();
+
+    assert_eq!(first.summary.failures, 0);
+    assert_eq!(second.summary.failures, 0);
+    // The first sweep may hit contexts other tests built, but the second
+    // sweep must be 100% in-memory hits with zero rebuilds.
+    let d1 = after_first.since(&before);
+    let d2 = after_second.since(&after_first);
+    assert_eq!(d1.total(), benches.len() as u64);
+    assert_eq!(d2.misses, 0);
+    assert_eq!(d2.disk_hits, 0);
+    assert_eq!(d2.mem_hits, benches.len() as u64);
+}
+
+/// The deprecated panicking API still works and agrees with the fallible
+/// path it wraps.
+#[test]
+#[allow(deprecated)]
+fn deprecated_wrappers_match_fallible_api() {
+    use mg_bench::BenchContext;
+    let _guard = LOCK.lock().unwrap();
+    let spec = mg_workloads::limit_study_benchmark();
+    let red = MachineConfig::reduced();
+    let old = BenchContext::new(&spec, &red).run(Scheme::StructAll, &red);
+    let new = BenchContext::try_new(&spec, &red)
+        .unwrap()
+        .try_run(Scheme::StructAll, &red)
+        .unwrap();
+    assert_eq!(old.cycles, new.cycles);
+    assert_eq!(old.ipc, new.ipc);
+    assert_eq!(old.coverage, new.coverage);
+}

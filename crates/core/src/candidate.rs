@@ -493,7 +493,10 @@ mod tests {
         let b0 = pb.block(f);
         let b1 = pb.block(f);
         pb.push(b0, Instruction::li(Reg::R1, 1));
-        pb.push(b0, Instruction::alu_rr(mg_isa::Opcode::CmpLt, Reg::R2, Reg::R1, Reg::R9));
+        pb.push(
+            b0,
+            Instruction::alu_rr(mg_isa::Opcode::CmpLt, Reg::R2, Reg::R1, Reg::R9),
+        );
         pb.push(b0, Instruction::br(BrCond::Ne, Reg::R2, Reg::ZERO, b0));
         pb.set_fallthrough(b0, b1);
         pb.push(b1, Instruction::halt());

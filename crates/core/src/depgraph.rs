@@ -23,13 +23,14 @@ impl BlockDeps {
         let n = block.insts.len();
         let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
         let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
-        let add = |from: usize, to: usize, preds: &mut Vec<Vec<usize>>, succs: &mut Vec<Vec<usize>>| {
-            debug_assert!(from < to);
-            if !succs[from].contains(&to) {
-                succs[from].push(to);
-                preds[to].push(from);
-            }
-        };
+        let add =
+            |from: usize, to: usize, preds: &mut Vec<Vec<usize>>, succs: &mut Vec<Vec<usize>>| {
+                debug_assert!(from < to);
+                if !succs[from].contains(&to) {
+                    succs[from].push(to);
+                    preds[to].push(from);
+                }
+            };
 
         let mut last_def: [Option<usize>; NUM_ARCH_REGS] = [None; NUM_ARCH_REGS];
         let mut readers_since_def: Vec<Vec<usize>> = vec![Vec::new(); NUM_ARCH_REGS];
@@ -210,10 +211,10 @@ mod tests {
     #[test]
     fn raw_war_waw_edges() {
         let b = block_of(vec![
-            Instruction::li(Reg::R1, 1),             // 0
-            Instruction::addi(Reg::R2, Reg::R1, 1),  // 1: RAW on 0
-            Instruction::li(Reg::R1, 2),             // 2: WAW with 0, WAR with 1
-            Instruction::addi(Reg::R3, Reg::R1, 1),  // 3: RAW on 2
+            Instruction::li(Reg::R1, 1),            // 0
+            Instruction::addi(Reg::R2, Reg::R1, 1), // 1: RAW on 0
+            Instruction::li(Reg::R1, 2),            // 2: WAW with 0, WAR with 1
+            Instruction::addi(Reg::R3, Reg::R1, 1), // 3: RAW on 2
         ]);
         let d = BlockDeps::build(&b);
         assert!(d.succs(0).contains(&1));
@@ -226,9 +227,9 @@ mod tests {
     #[test]
     fn memory_edges_are_conservative() {
         let b = block_of(vec![
-            Instruction::load(Reg::R1, Reg::R10, 0),  // 0
-            Instruction::store(Reg::R10, Reg::R1, 8), // 1: load->store + RAW
-            Instruction::load(Reg::R2, Reg::R10, 16), // 2: store->load
+            Instruction::load(Reg::R1, Reg::R10, 0),   // 0
+            Instruction::store(Reg::R10, Reg::R1, 8),  // 1: load->store + RAW
+            Instruction::load(Reg::R2, Reg::R10, 16),  // 2: store->load
             Instruction::store(Reg::R10, Reg::R2, 24), // 3: store->store etc.
         ]);
         let d = BlockDeps::build(&b);

@@ -58,7 +58,7 @@ pub mod template;
 
 pub use candidate::{enumerate, Candidate, CandidateShape, SelectionConfig};
 pub use classify::{classify, Serialization};
-pub use pipeline::{prepare, profile_workload, Prepared};
+pub use pipeline::{prepare, profile_workload, try_profile_workload, Prepared};
 pub use rewrite::{rewrite, ChosenInstance};
 pub use select::{greedy_select, SelectionResult, Selector, SlackProfileModel, SpKind};
 pub use template::{group_templates, Template, TemplateSig};
@@ -70,3 +70,12 @@ pub mod prelude {
         SlackProfileModel, SpKind,
     };
 }
+
+// The sweep runner hands these to worker threads by reference; keep them
+// structurally thread-safe.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Prepared>();
+    assert_send_sync::<Selector>();
+    assert_send_sync::<SelectionConfig>();
+};

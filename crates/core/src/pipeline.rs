@@ -6,7 +6,7 @@ use crate::rewrite::rewrite;
 use crate::select::{greedy_select, Selector};
 use mg_isa::Program;
 use mg_sim::{simulate, MachineConfig, SimOptions, SlackProfile};
-use mg_workloads::{Executor, Trace, Workload};
+use mg_workloads::{ExecError, Executor, Trace, Workload};
 
 /// Everything produced by preparing a workload with a selector.
 #[derive(Clone, Debug)]
@@ -22,19 +22,13 @@ pub struct Prepared {
 }
 
 /// Profiles a workload on `cfg`: returns the committed trace, per-static
-/// frequencies, and the local slack profile.
-///
-/// # Panics
-///
-/// Panics if the workload fails to execute (generated workloads always
-/// run to completion).
-pub fn profile_workload(
+/// frequencies, and the local slack profile. Fails if the workload's
+/// functional execution fails.
+pub fn try_profile_workload(
     workload: &Workload,
     cfg: &MachineConfig,
-) -> (Trace, Vec<u64>, SlackProfile) {
-    let (trace, _) = Executor::new(&workload.program)
-        .run_with_mem(&workload.init_mem)
-        .expect("workload executes");
+) -> Result<(Trace, Vec<u64>, SlackProfile), ExecError> {
+    let (trace, _) = Executor::new(&workload.program).run_with_mem(&workload.init_mem)?;
     let freqs = trace.static_freqs(&workload.program);
     let result = simulate(
         &workload.program,
@@ -46,7 +40,20 @@ pub fn profile_workload(
         },
     );
     let slack = result.slack.expect("profiling requested");
-    (trace, freqs, slack)
+    Ok((trace, freqs, slack))
+}
+
+/// Panicking wrapper around [`try_profile_workload`].
+///
+/// # Panics
+///
+/// Panics if the workload fails to execute (generated workloads always
+/// run to completion).
+pub fn profile_workload(
+    workload: &Workload,
+    cfg: &MachineConfig,
+) -> (Trace, Vec<u64>, SlackProfile) {
+    try_profile_workload(workload, cfg).expect("workload executes")
 }
 
 /// Enumerates, filters, selects, and rewrites in one call.
@@ -100,7 +107,9 @@ mod tests {
 
         // Rewritten programs preserve semantics.
         let (t0, s0) = Executor::new(&w.program).run_with_mem(&w.init_mem).unwrap();
-        let (t1, s1) = Executor::new(&all.program).run_with_mem(&w.init_mem).unwrap();
+        let (t1, s1) = Executor::new(&all.program)
+            .run_with_mem(&w.init_mem)
+            .unwrap();
         assert_eq!(t0.len(), t1.len());
         // The link register holds a layout-dependent return token; all
         // data registers must match exactly.

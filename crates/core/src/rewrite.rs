@@ -30,7 +30,10 @@ pub struct ChosenInstance {
 pub fn rewrite(program: &Program, chosen: &[ChosenInstance]) -> Program {
     let mut by_block: HashMap<u32, Vec<&ChosenInstance>> = HashMap::new();
     for inst in chosen {
-        by_block.entry(inst.candidate.block.0).or_default().push(inst);
+        by_block
+            .entry(inst.candidate.block.0)
+            .or_default()
+            .push(inst);
     }
 
     let mut next_instance = 0u32;
@@ -48,8 +51,8 @@ pub fn rewrite(program: &Program, chosen: &[ChosenInstance]) -> Program {
                 .iter()
                 .map(|c| c.candidate.positions.as_slice())
                 .collect();
-            let order = schedule_with_groups(&deps, &groups)
-                .expect("selector validated schedulability");
+            let order =
+                schedule_with_groups(&deps, &groups).expect("selector validated schedulability");
             // Position -> (instance-local index, tag template) for members.
             let mut member_of: HashMap<usize, (usize, usize)> = HashMap::new();
             for (ii, inst) in instances.iter().enumerate() {
@@ -110,7 +113,10 @@ mod tests {
         let b = pb.block(f);
         pb.push(b, mg_isa::Instruction::li(Reg::R1, 5));
         pb.push(b, mg_isa::Instruction::addi(Reg::R2, Reg::R1, 3));
-        pb.push(b, mg_isa::Instruction::alu_ri(mg_isa::Opcode::XorI, Reg::R3, Reg::R2, 6));
+        pb.push(
+            b,
+            mg_isa::Instruction::alu_ri(mg_isa::Opcode::XorI, Reg::R3, Reg::R2, 6),
+        );
         pb.push(b, mg_isa::Instruction::store(Reg::R10, Reg::R3, 0));
         pb.push(b, mg_isa::Instruction::halt());
         let p = pb.build().unwrap();

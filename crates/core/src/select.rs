@@ -96,9 +96,7 @@ impl Selector {
         match self {
             Selector::StructAll => true,
             Selector::StructNone => !candidate.shape.potentially_serializing(),
-            Selector::StructBounded => {
-                classify(&candidate.shape) != Serialization::Unbounded
-            }
+            Selector::StructBounded => classify(&candidate.shape) != Serialization::Unbounded,
             Selector::SlackProfile(model, profile) => {
                 slack_profile_admits(program, candidate, profile, model)
             }
@@ -130,11 +128,7 @@ pub struct DelayModel {
 
 /// Evaluates rules #1–#3 for a candidate against a slack profile, using
 /// optimistic constituent latencies (the paper's model).
-pub fn delay_model(
-    program: &Program,
-    candidate: &Candidate,
-    profile: &SlackProfile,
-) -> DelayModel {
+pub fn delay_model(program: &Program, candidate: &Candidate, profile: &SlackProfile) -> DelayModel {
     delay_model_with(program, candidate, profile, false)
 }
 
@@ -169,9 +163,7 @@ pub fn delay_model_with(
 
     // Rule #1: external serialization.
     let issue0 = profile.get(ids[0]).issue_rel;
-    let all_ready = ext_ready
-        .iter()
-        .fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+    let all_ready = ext_ready.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
     let first_floor = {
         let mut floor = issue0;
         for (k, &(_, pos)) in shape.ext_inputs.iter().enumerate() {
@@ -214,7 +206,9 @@ pub fn delay_model_with(
         .enumerate()
         .filter(|(_, &(_, pos))| pos > 0)
         .map(|(k, _)| ext_ready[k])
-        .fold(None, |acc: Option<f64>, v| Some(acc.map_or(v, |a| a.max(v))));
+        .fold(None, |acc: Option<f64>, v| {
+            Some(acc.map_or(v, |a| a.max(v)))
+        });
 
     DelayModel {
         issue_mg,
@@ -314,9 +308,7 @@ pub fn greedy_select(
 ) -> SelectionResult {
     let total_dyn: u64 = freqs.iter().sum();
     let templates = group_templates(program, pool);
-    let freq_of = |c: &Candidate| -> u64 {
-        freqs[program.id_of(c.block, c.positions[0]).index()]
-    };
+    let freq_of = |c: &Candidate| -> u64 { freqs[program.id_of(c.block, c.positions[0]).index()] };
     let score_of_member = |c: &Candidate| -> u64 { (c.len() as u64 - 1) * freq_of(c) };
 
     // used[static index] = claimed by an instance.
@@ -444,13 +436,19 @@ mod tests {
         pb.push(head, Instruction::li(Reg::R1, 100));
         pb.set_fallthrough(head, hot);
         pb.push(hot, Instruction::addi(Reg::R2, Reg::R1, 1));
-        pb.push(hot, Instruction::alu_ri(mg_isa::Opcode::XorI, Reg::R3, Reg::R2, 3));
+        pb.push(
+            hot,
+            Instruction::alu_ri(mg_isa::Opcode::XorI, Reg::R3, Reg::R2, 3),
+        );
         pb.push(hot, Instruction::add(Reg::R4, Reg::R4, Reg::R3));
         pb.push(hot, Instruction::addi(Reg::R1, Reg::R1, -1));
         pb.push(hot, Instruction::br(BrCond::Ne, Reg::R1, Reg::ZERO, hot));
         pb.set_fallthrough(hot, cold);
         pb.push(cold, Instruction::addi(Reg::R5, Reg::R4, 7));
-        pb.push(cold, Instruction::alu_ri(mg_isa::Opcode::ShlI, Reg::R6, Reg::R5, 2));
+        pb.push(
+            cold,
+            Instruction::alu_ri(mg_isa::Opcode::ShlI, Reg::R6, Reg::R5, 2),
+        );
         pb.push(cold, Instruction::store(Reg::R10, Reg::R6, 0));
         pb.set_fallthrough(cold, exit);
         pb.push(exit, Instruction::halt());

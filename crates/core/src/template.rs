@@ -91,20 +91,23 @@ mod tests {
         let b1 = pb.block(f);
         let b2 = pb.block(f);
         pb.push(b0, Instruction::addi(Reg::R1, Reg::R10, 7));
-        pb.push(b0, Instruction::alu_ri(mg_isa::Opcode::XorI, Reg::R2, Reg::R1, 9));
+        pb.push(
+            b0,
+            Instruction::alu_ri(mg_isa::Opcode::XorI, Reg::R2, Reg::R1, 9),
+        );
         pb.push(b0, Instruction::store(Reg::R20, Reg::R2, 0));
         pb.set_fallthrough(b0, b1);
         pb.push(b1, Instruction::addi(Reg::R3, Reg::R11, 7));
-        pb.push(b1, Instruction::alu_ri(mg_isa::Opcode::XorI, Reg::R4, Reg::R3, 9));
+        pb.push(
+            b1,
+            Instruction::alu_ri(mg_isa::Opcode::XorI, Reg::R4, Reg::R3, 9),
+        );
         pb.push(b1, Instruction::store(Reg::R21, Reg::R4, 0));
         pb.set_fallthrough(b1, b2);
         pb.push(b2, Instruction::halt());
         let p = pb.build().unwrap();
         let pool = enumerate(&p, &SelectionConfig::default());
-        let pairs: Vec<&Candidate> = pool
-            .iter()
-            .filter(|c| c.positions == vec![0, 1])
-            .collect();
+        let pairs: Vec<&Candidate> = pool.iter().filter(|c| c.positions == vec![0, 1]).collect();
         assert_eq!(pairs.len(), 2);
         let templates = group_templates(&p, &pool);
         let t = templates
@@ -133,11 +136,8 @@ mod tests {
         let templates = group_templates(&p, &pool);
         // No template groups candidates across the two blocks.
         for t in &templates {
-            let blocks: std::collections::HashSet<u32> = t
-                .members
-                .iter()
-                .map(|&m| pool[m].block.0)
-                .collect();
+            let blocks: std::collections::HashSet<u32> =
+                t.members.iter().map(|&m| pool[m].block.0).collect();
             assert_eq!(blocks.len(), 1);
         }
     }

@@ -112,7 +112,9 @@ fn sial_variant_keys_on_arrival_order() {
     };
     // Serializing input (C at 6) arrives after A's (2): SIAL rejects.
     let profile = figure5_profile(&program, 2.0);
-    assert!(!slack_profile_admits(&program, &candidate, &profile, &model));
+    assert!(!slack_profile_admits(
+        &program, &candidate, &profile, &model
+    ));
     // If C's value were ready *before* A's, SIAL accepts.
     let mut early_c = figure5_profile(&program, 2.0);
     early_c.per_static[1].src_ready_rel[1] = 1.0; // C ready at 1

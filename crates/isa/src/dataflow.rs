@@ -259,10 +259,7 @@ impl BlockDataflow {
     /// position set `within` (either by an in-block consumer outside the
     /// set or by escaping the block).
     pub fn value_visible_outside(&self, pos: usize, within: &[usize]) -> bool {
-        self.escapes[pos]
-            || self.consumers[pos]
-                .iter()
-                .any(|c| !within.contains(c))
+        self.escapes[pos] || self.consumers[pos].iter().any(|c| !within.contains(c))
     }
 }
 

@@ -52,10 +52,7 @@ impl fmt::Display for Instruction {
             write!(
                 f,
                 "  ; mg{}[{}/{}] t{}",
-                tag.instance,
-                tag.pos,
-                tag.len,
-                tag.template
+                tag.instance, tag.pos, tag.len, tag.template
             )?;
         }
         Ok(())
@@ -105,11 +102,23 @@ mod tests {
 
     #[test]
     fn instruction_formats() {
-        assert_eq!(Instruction::add(Reg::R1, Reg::R2, Reg::R3).to_string(), "add r1, r2, r3");
-        assert_eq!(Instruction::addi(Reg::R1, Reg::R2, -4).to_string(), "addi r1, r2, -4");
+        assert_eq!(
+            Instruction::add(Reg::R1, Reg::R2, Reg::R3).to_string(),
+            "add r1, r2, r3"
+        );
+        assert_eq!(
+            Instruction::addi(Reg::R1, Reg::R2, -4).to_string(),
+            "addi r1, r2, -4"
+        );
         assert_eq!(Instruction::li(Reg::R5, 10).to_string(), "li r5, 10");
-        assert_eq!(Instruction::load(Reg::R1, Reg::R2, 8).to_string(), "ld r1, 8(r2)");
-        assert_eq!(Instruction::store(Reg::R2, Reg::R1, 8).to_string(), "st r1, 8(r2)");
+        assert_eq!(
+            Instruction::load(Reg::R1, Reg::R2, 8).to_string(),
+            "ld r1, 8(r2)"
+        );
+        assert_eq!(
+            Instruction::store(Reg::R2, Reg::R1, 8).to_string(),
+            "st r1, 8(r2)"
+        );
         assert_eq!(
             Instruction::br(BrCond::Eq, Reg::R1, Reg::R0, BlockId(4)).to_string(),
             "beq r1, r0, bb4"

@@ -35,7 +35,10 @@ impl fmt::Display for IsaError {
         match self {
             IsaError::EmptyBlock(b) => write!(f, "block {b} is empty"),
             IsaError::ControlNotLast(b, i) => {
-                write!(f, "control instruction at {b}[{i}] is not last in its block")
+                write!(
+                    f,
+                    "control instruction at {b}[{i}] is not last in its block"
+                )
             }
             IsaError::BadFallthrough(b) => {
                 write!(f, "block {b} has an inconsistent fall-through successor")
@@ -44,10 +47,16 @@ impl fmt::Display for IsaError {
             IsaError::BadFunction(id) => write!(f, "function {id} has an invalid block list"),
             IsaError::BadEntryFunc(id) => write!(f, "entry function {id} does not exist"),
             IsaError::BadOperands(b, i) => {
-                write!(f, "instruction {b}[{i}] has operands inconsistent with its opcode")
+                write!(
+                    f,
+                    "instruction {b}[{i}] has operands inconsistent with its opcode"
+                )
             }
             IsaError::BadMgTag(b, i, why) => {
-                write!(f, "instruction {b}[{i}] has a malformed mini-graph tag: {why}")
+                write!(
+                    f,
+                    "instruction {b}[{i}] has a malformed mini-graph tag: {why}"
+                )
             }
         }
     }

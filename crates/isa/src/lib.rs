@@ -57,3 +57,11 @@ pub use inst::{CfTarget, Instruction, MgTag};
 pub use op::{BrCond, ExecClass, Opcode};
 pub use program::{FuncId, Function, InstrLoc, Program, StaticId};
 pub use reg::Reg;
+
+// Programs are shared across sweep-runner worker threads by reference;
+// this fails to compile if a non-thread-safe field (Rc, RefCell, raw
+// pointer) ever sneaks in.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Program>();
+};

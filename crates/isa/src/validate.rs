@@ -123,14 +123,26 @@ fn check_mg_tags(bid: BlockId, block: &BasicBlock) -> Result<(), IsaError> {
             continue;
         };
         if tag.pos != 0 {
-            return Err(IsaError::BadMgTag(bid, i, "instance does not start at position 0"));
+            return Err(IsaError::BadMgTag(
+                bid,
+                i,
+                "instance does not start at position 0",
+            ));
         }
         if tag.len < 2 {
-            return Err(IsaError::BadMgTag(bid, i, "instance shorter than 2 instructions"));
+            return Err(IsaError::BadMgTag(
+                bid,
+                i,
+                "instance shorter than 2 instructions",
+            ));
         }
         let len = tag.len as usize;
         if i + len > block.insts.len() {
-            return Err(IsaError::BadMgTag(bid, i, "instance extends past block end"));
+            return Err(IsaError::BadMgTag(
+                bid,
+                i,
+                "instance extends past block end",
+            ));
         }
         for (p, inst) in block.insts[i..i + len].iter().enumerate() {
             match inst.mg {
@@ -144,7 +156,11 @@ fn check_mg_tags(bid: BlockId, block: &BasicBlock) -> Result<(), IsaError> {
                 }
             }
             if !inst.op.mg_eligible() {
-                return Err(IsaError::BadMgTag(bid, i + p, "ineligible opcode in instance"));
+                return Err(IsaError::BadMgTag(
+                    bid,
+                    i + p,
+                    "ineligible opcode in instance",
+                ));
             }
             if inst.op.is_control() && p + 1 != len {
                 return Err(IsaError::BadMgTag(bid, i + p, "control transfer not last"));
@@ -307,7 +323,11 @@ mod tests {
         let funcs = func_over(&blocks);
         assert!(matches!(
             validate(&blocks, &funcs, FuncId(0)),
-            Err(IsaError::BadMgTag(_, _, "instance shorter than 2 instructions"))
+            Err(IsaError::BadMgTag(
+                _,
+                _,
+                "instance shorter than 2 instructions"
+            ))
         ));
     }
 }

@@ -2,16 +2,37 @@ use mg_sim::{simulate, MachineConfig, SimOptions};
 use mg_workloads::{suite, Executor};
 
 fn main() {
-    println!("{:<18} {:>9} {:>8} {:>8} {:>8} {:>7} {:>7} {:>7}", "name", "insts", "ipc4", "ipc3", "ratio", "mpki", "dl1m%", "flush");
+    println!(
+        "{:<18} {:>9} {:>8} {:>8} {:>8} {:>7} {:>7} {:>7}",
+        "name", "insts", "ipc4", "ipc3", "ratio", "mpki", "dl1m%", "flush"
+    );
     for spec in suite().iter().step_by(9) {
         let w = spec.generate();
         let (trace, _) = Executor::new(&w.program).run_with_mem(&w.init_mem).unwrap();
-        let base = simulate(&w.program, &trace, &MachineConfig::baseline(), SimOptions::default());
-        let red = simulate(&w.program, &trace, &MachineConfig::reduced(), SimOptions::default());
+        let base = simulate(
+            &w.program,
+            &trace,
+            &MachineConfig::baseline(),
+            SimOptions::default(),
+        );
+        let red = simulate(
+            &w.program,
+            &trace,
+            &MachineConfig::reduced(),
+            SimOptions::default(),
+        );
         assert!(!base.hit_cycle_cap && !red.hit_cycle_cap, "cycle cap hit");
         let mpki = 1000.0 * base.stats.bpred.dir_mispredicts as f64 / trace.len() as f64;
-        println!("{:<18} {:>9} {:>8.3} {:>8.3} {:>8.3} {:>7.1} {:>7.2} {:>7}",
-            spec.name, trace.len(), base.ipc(), red.ipc(), red.ipc()/base.ipc(),
-            mpki, 100.0*base.stats.dl1.miss_rate(), base.stats.violation_flushes);
+        println!(
+            "{:<18} {:>9} {:>8.3} {:>8.3} {:>8.3} {:>7.1} {:>7.2} {:>7}",
+            spec.name,
+            trace.len(),
+            base.ipc(),
+            red.ipc(),
+            red.ipc() / base.ipc(),
+            mpki,
+            100.0 * base.stats.dl1.miss_rate(),
+            base.stats.violation_flushes
+        );
     }
 }

@@ -85,7 +85,11 @@ impl DirectionPredictor {
         let mi = self.meta_idx(pc);
         let bim_pred = self.bimodal[bi] >= 2;
         let gs_pred = self.gshare[gi] >= 2;
-        let pred = if self.meta[mi] >= 2 { gs_pred } else { bim_pred };
+        let pred = if self.meta[mi] >= 2 {
+            gs_pred
+        } else {
+            bim_pred
+        };
         if pred != taken {
             self.stats.dir_mispredicts += 1;
         }
@@ -256,13 +260,18 @@ mod tests {
         let mut x = 0x12345678u64;
         let mut miss = 0;
         for _ in 0..2000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let t = (x >> 62) & 1 == 1;
             if p.predict_and_train(0x3000, t) != t {
                 miss += 1;
             }
         }
-        assert!(miss > 600, "unpredictable branch mispredicted only {miss}/2000");
+        assert!(
+            miss > 600,
+            "unpredictable branch mispredicted only {miss}/2000"
+        );
     }
 
     #[test]

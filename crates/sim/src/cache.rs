@@ -209,7 +209,7 @@ mod tests {
     #[test]
     fn lru_replacement_within_set() {
         let mut c = tiny(); // 4 sets, 2 ways; set = (addr>>5) & 3
-        // Three lines mapping to set 0: 0x000, 0x080, 0x100.
+                            // Three lines mapping to set 0: 0x000, 0x080, 0x100.
         assert!(!c.access(0x000));
         assert!(!c.access(0x080));
         assert!(c.access(0x000)); // refresh 0x000; 0x080 is now LRU

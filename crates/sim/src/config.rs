@@ -226,7 +226,7 @@ fn paper_common(name: &str) -> MachineConfig {
         issue_complex: 1,
         issue_load: 2,
         issue_store: 1,
-        front_depth: 7, // 1 predict + 3 I$ + 1 decode + 2 rename
+        front_depth: 7,   // 1 predict + 3 I$ + 1 decode + 2 rename
         sched_to_exec: 3, // 1 schedule + 2 regread
         il1: PAPER_IL1,
         dl1: PAPER_DL1,

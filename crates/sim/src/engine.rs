@@ -212,7 +212,12 @@ struct Engine<'a> {
 }
 
 impl<'a> Engine<'a> {
-    fn new(program: &'a Program, trace: &'a Trace, cfg: &'a MachineConfig, opts: SimOptions) -> Engine<'a> {
+    fn new(
+        program: &'a Program,
+        trace: &'a Trace,
+        cfg: &'a MachineConfig,
+        opts: SimOptions,
+    ) -> Engine<'a> {
         let imap = InstanceMap::build(program, cfg.dl1.hit_lat);
         let dynctl = opts
             .dyn_mg
@@ -513,7 +518,9 @@ impl<'a> Engine<'a> {
         // `max_src_ready`, and we are issuing exactly then, the delay
         // propagated.
         for s in 0..3 {
-            let Some(dep) = self.ops[oi as usize].srcs[s] else { continue };
+            let Some(dep) = self.ops[oi as usize].srcs[s] else {
+                continue;
+            };
             let Some(p) = dep.producer else { continue };
             let p_ready = self.ops[p as usize].ready_at;
             // Local-slack sample: how long after the value arrived did
@@ -752,7 +759,9 @@ impl<'a> Engine<'a> {
 
     fn dispatch(&mut self) {
         for _ in 0..self.cfg.rename_width {
-            let Some(&oi) = self.fetchq.front() else { break };
+            let Some(&oi) = self.fetchq.front() else {
+                break;
+            };
             if self.ops[oi as usize].avail_at > self.cycle {
                 break;
             }
@@ -845,21 +854,21 @@ impl<'a> Engine<'a> {
         if let Some(out) = self.outline {
             let info = &self.imap.instances[out.inst_idx as usize];
             if out.next_pos < info.len {
-                let id = self
-                    .program
-                    .id_of(info.block, info.start + out.next_pos);
+                let id = self.program.id_of(info.block, info.start + out.next_pos);
                 let pc = if out.penalized {
                     self.program.pc_of(id)
                 } else {
                     // Idealized inline execution: consecutive main-line
                     // addresses from the handle slot.
                     let head = self.program.id_of(info.block, info.start);
-                    self.program.pc_of(head)
-                        + mg_isa::program::INST_BYTES * out.next_pos as u64
+                    self.program.pc_of(head) + mg_isa::program::INST_BYTES * out.next_pos as u64
                 };
                 return Some((FetchUnit::OutConstituent(out.inst_idx, out.next_pos), pc));
             }
-            debug_assert!(out.penalized, "free-mode outlines end at the last constituent");
+            debug_assert!(
+                out.penalized,
+                "free-mode outlines end at the last constituent"
+            );
             let last_id = self.program.id_of(info.block, info.start + info.len - 1);
             return Some((
                 FetchUnit::OutRetJump(out.inst_idx),
@@ -912,7 +921,9 @@ impl<'a> Engine<'a> {
         let mut cycle_line: Option<u64> = None;
 
         while slots > 0 && self.fetchq.len() < self.fetchq_cap {
-            let Some((unit, pc)) = self.peek_unit() else { break };
+            let Some((unit, pc)) = self.peek_unit() else {
+                break;
+            };
             let line = pc / line_bytes;
             match cycle_line {
                 Some(l) if l != line => break, // one line per cycle
@@ -924,8 +935,7 @@ impl<'a> Engine<'a> {
                         if lat > self.cfg.il1.hit_lat {
                             // Miss: stall fetch; the op is fetched after
                             // the fill (the line now hits).
-                            self.fetch_resume =
-                                self.cycle + (lat - self.cfg.il1.hit_lat) as u64;
+                            self.fetch_resume = self.cycle + (lat - self.cfg.il1.hit_lat) as u64;
                             return;
                         }
                     }
@@ -1128,7 +1138,9 @@ impl<'a> Engine<'a> {
     /// BTB check for a taken direct transfer: a miss costs one fetch
     /// bubble; either way taken transfers end the fetch cycle.
     fn taken_target_check(&mut self, pc: u64, actual_target: Option<u64>) -> bool {
-        let Some(target) = actual_target else { return true };
+        let Some(target) = actual_target else {
+            return true;
+        };
         match self.btb.lookup(pc) {
             Some(t) if t == target => {}
             _ => {
@@ -1287,7 +1299,12 @@ mod tests {
     fn commit_counts_match_trace() {
         let p = independent_loop(4, 100);
         let (trace, _) = Executor::new(&p).run().unwrap();
-        let r = simulate(&p, &trace, &MachineConfig::baseline(), SimOptions::default());
+        let r = simulate(
+            &p,
+            &trace,
+            &MachineConfig::baseline(),
+            SimOptions::default(),
+        );
         assert_eq!(r.stats.committed_instrs, trace.len() as u64);
     }
 
@@ -1308,7 +1325,10 @@ mod tests {
             pb.set_fallthrough(head, body);
             pb.push(body, Instruction::mul(Reg::R2, Reg::R2, Reg::R3));
             pb.push(body, Instruction::addi(Reg::R2, Reg::R2, 7));
-            pb.push(body, Instruction::alu_ri(Opcode::ShrI, Reg::R4, Reg::R2, 62));
+            pb.push(
+                body,
+                Instruction::alu_ri(Opcode::ShrI, Reg::R4, Reg::R2, 62),
+            );
             if with_branch {
                 pb.push(body, Instruction::br(BrCond::Eq, Reg::R4, Reg::ZERO, join));
             } else {
@@ -1345,9 +1365,18 @@ mod tests {
         let exit = pb.block(f);
         pb.push(head, Instruction::li(Reg::R1, 500));
         pb.set_fallthrough(head, body);
-        let mk = |i: Instruction, pos: u8| if tagged { i.with_mg(tag(0, 0, pos, 3)) } else { i };
+        let mk = |i: Instruction, pos: u8| {
+            if tagged {
+                i.with_mg(tag(0, 0, pos, 3))
+            } else {
+                i
+            }
+        };
         pb.push(body, mk(Instruction::addi(Reg::R2, Reg::R1, 3), 0));
-        pb.push(body, mk(Instruction::alu_ri(Opcode::XorI, Reg::R3, Reg::R2, 255), 1));
+        pb.push(
+            body,
+            mk(Instruction::alu_ri(Opcode::XorI, Reg::R3, Reg::R2, 255), 1),
+        );
         pb.push(body, mk(Instruction::shli(Reg::R4, Reg::R3, 2), 2));
         pb.push(body, Instruction::add(Reg::R5, Reg::R5, Reg::R4));
         pb.push(body, Instruction::addi(Reg::R1, Reg::R1, -1));
@@ -1373,7 +1402,11 @@ mod tests {
         let rp = simulate(&plain, &tp, &cfg, SimOptions::default());
         let rt = simulate(&tagged, &tt, &cfg, SimOptions::default());
         assert!(!rt.hit_cycle_cap);
-        assert!(rt.stats.mg_handles >= 499, "handles committed: {}", rt.stats.mg_handles);
+        assert!(
+            rt.stats.mg_handles >= 499,
+            "handles committed: {}",
+            rt.stats.mg_handles
+        );
         assert!(
             rt.stats.coverage() > 0.45,
             "coverage {}",
@@ -1428,8 +1461,14 @@ mod tests {
         pb.push(body, Instruction::mul(Reg::R6, Reg::R6, Reg::R7));
         // Mini-graph: pos0 consumes early value r1; pos1 consumes late r6
         // (serializing, disconnected); output of pos0 is consumed below.
-        pb.push(body, Instruction::addi(Reg::R2, Reg::R1, 1).with_mg(tag(0, 0, 0, 2)));
-        pb.push(body, Instruction::addi(Reg::R3, Reg::R6, 1).with_mg(tag(0, 0, 1, 2)));
+        pb.push(
+            body,
+            Instruction::addi(Reg::R2, Reg::R1, 1).with_mg(tag(0, 0, 0, 2)),
+        );
+        pb.push(
+            body,
+            Instruction::addi(Reg::R3, Reg::R6, 1).with_mg(tag(0, 0, 1, 2)),
+        );
         // Consumer of the mini-graph output r2 (r3 is dead: interior).
         pb.push(body, Instruction::add(Reg::R5, Reg::R5, Reg::R2));
         pb.push(body, Instruction::addi(Reg::R1, Reg::R1, -1));
@@ -1469,8 +1508,14 @@ mod tests {
         pb.set_fallthrough(head, body);
         pb.push(body, Instruction::mul(Reg::R6, Reg::R7, Reg::R7));
         pb.push(body, Instruction::mul(Reg::R6, Reg::R6, Reg::R7));
-        pb.push(body, Instruction::addi(Reg::R2, Reg::R1, 1).with_mg(tag(0, 0, 0, 2)));
-        pb.push(body, Instruction::addi(Reg::R3, Reg::R6, 1).with_mg(tag(0, 0, 1, 2)));
+        pb.push(
+            body,
+            Instruction::addi(Reg::R2, Reg::R1, 1).with_mg(tag(0, 0, 0, 2)),
+        );
+        pb.push(
+            body,
+            Instruction::addi(Reg::R3, Reg::R6, 1).with_mg(tag(0, 0, 1, 2)),
+        );
         pb.push(body, Instruction::add(Reg::R5, Reg::R5, Reg::R2));
         pb.push(body, Instruction::addi(Reg::R1, Reg::R1, -1));
         pb.push(body, Instruction::br(BrCond::Ne, Reg::R1, Reg::ZERO, body));
@@ -1482,7 +1527,12 @@ mod tests {
             dyn_mg: Some(DynMgConfig::slack_dynamic()),
             ..SimOptions::default()
         };
-        let r = simulate(&p, &t, &MachineConfig::baseline().with_mg(MgConfig::paper()), opts);
+        let r = simulate(
+            &p,
+            &t,
+            &MachineConfig::baseline().with_mg(MgConfig::paper()),
+            opts,
+        );
         assert!(
             r.stats.disabled_templates >= 1,
             "template should be disabled, stats: {:?}",
@@ -1563,7 +1613,12 @@ mod ideal_disable_tests {
         let head = pb.block(f);
         let body = pb.block(f);
         let exit = pb.block(f);
-        let tag = |pos| MgTag { instance: 0, template: 0, pos, len: 2 };
+        let tag = |pos| MgTag {
+            instance: 0,
+            template: 0,
+            pos,
+            len: 2,
+        };
         pb.push(head, Instruction::li(Reg::R1, 400));
         pb.push(head, Instruction::li(Reg::R7, 13));
         pb.set_fallthrough(head, body);
@@ -1585,7 +1640,15 @@ mod ideal_disable_tests {
         let (t, _) = Executor::new(&p).run().unwrap();
         let cfg = MachineConfig::reduced().with_mg(MgConfig::paper());
         let run = |dc: DynMgConfig| {
-            let r = simulate(&p, &t, &cfg, SimOptions { dyn_mg: Some(dc), ..Default::default() });
+            let r = simulate(
+                &p,
+                &t,
+                &cfg,
+                SimOptions {
+                    dyn_mg: Some(dc),
+                    ..Default::default()
+                },
+            );
             assert!(!r.hit_cycle_cap);
             r
         };
@@ -1673,7 +1736,11 @@ mod fetch_side_tests {
         let p = pb.build().unwrap();
         let (t, _) = Executor::new(&p).run().unwrap();
         let r = simulate(&p, &t, &MachineConfig::baseline(), SimOptions::default());
-        assert!(r.stats.il1.misses < 5, "hot loop missed {} times", r.stats.il1.misses);
+        assert!(
+            r.stats.il1.misses < 5,
+            "hot loop missed {} times",
+            r.stats.il1.misses
+        );
     }
 
     /// Slack profiles from the engine must satisfy basic sanity: issue
@@ -1705,6 +1772,9 @@ mod fetch_side_tests {
             assert!(rec.avg_latency >= 0.0 && rec.avg_latency < 1000.0);
             assert!(rec.issue_rel.abs() < 10_000.0);
         }
-        assert!(executed > 100, "only {executed} static instructions executed");
+        assert!(
+            executed > 100,
+            "only {executed} static instructions executed"
+        );
     }
 }

@@ -55,3 +55,13 @@ pub mod prelude {
         SimStats, SlackProfile,
     };
 }
+
+// The sweep runner hands these to worker threads by reference; keep them
+// structurally thread-safe.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<MachineConfig>();
+    assert_send_sync::<MgConfig>();
+    assert_send_sync::<SlackProfile>();
+    assert_send_sync::<SimResult>();
+};

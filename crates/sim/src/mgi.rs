@@ -119,8 +119,16 @@ impl InstanceMap {
                 debug_assert_eq!(tag.pos, 0, "validated tags start at 0");
                 let len = tag.len as usize;
                 let positions: Vec<usize> = (i..i + len).collect();
-                let info =
-                    build_instance(program, bid, block, &df, &positions, tag.instance, tag.template, l1_hit);
+                let info = build_instance(
+                    program,
+                    bid,
+                    block,
+                    &df,
+                    &positions,
+                    tag.instance,
+                    tag.template,
+                    l1_hit,
+                );
                 max_template = max_template.max(tag.template as usize + 1);
                 instances.push(info);
                 i += len;
@@ -188,9 +196,7 @@ fn build_instance(
                 continue;
             }
             let link = match df.src_origin[pos][slot] {
-                Some(UseSource::Local(d)) if positions.contains(&d) => {
-                    SrcLink::Internal(d - start)
-                }
+                Some(UseSource::Local(d)) if positions.contains(&d) => SrcLink::Internal(d - start),
                 _ => {
                     if !ext_inputs.iter().any(|&(er, _)| er == r) {
                         ext_inputs.push((r, p));
@@ -265,8 +271,14 @@ mod tests {
         let f = pb.func("main");
         let b = pb.block(f);
         pb.push(b, Instruction::li(Reg::R1, 5));
-        pb.push(b, Instruction::addi(Reg::R2, Reg::R1, 1).with_mg(tag(0, 0, 2)));
-        pb.push(b, Instruction::addi(Reg::R3, Reg::R2, 2).with_mg(tag(0, 1, 2)));
+        pb.push(
+            b,
+            Instruction::addi(Reg::R2, Reg::R1, 1).with_mg(tag(0, 0, 2)),
+        );
+        pb.push(
+            b,
+            Instruction::addi(Reg::R3, Reg::R2, 2).with_mg(tag(0, 1, 2)),
+        );
         pb.push(b, Instruction::store(Reg::R4, Reg::R3, 0));
         pb.push(b, Instruction::halt());
         pb.build().unwrap()
@@ -299,8 +311,14 @@ mod tests {
         pb.push(b, Instruction::li(Reg::R1, 5));
         pb.push(b, Instruction::li(Reg::R4, 7));
         // Instance: out = addi r1; dead = addi r4 (external input to pos 1).
-        pb.push(b, Instruction::addi(Reg::R2, Reg::R1, 1).with_mg(tag(0, 0, 2)));
-        pb.push(b, Instruction::addi(Reg::R5, Reg::R4, 1).with_mg(tag(0, 1, 2)));
+        pb.push(
+            b,
+            Instruction::addi(Reg::R2, Reg::R1, 1).with_mg(tag(0, 0, 2)),
+        );
+        pb.push(
+            b,
+            Instruction::addi(Reg::R5, Reg::R4, 1).with_mg(tag(0, 1, 2)),
+        );
         pb.push(b, Instruction::store(Reg::R6, Reg::R2, 0));
         pb.push(b, Instruction::halt());
         let p = pb.build().unwrap();
@@ -308,10 +326,7 @@ mod tests {
         let inst = &m.instances[0];
         assert!(inst.potentially_serializing());
         assert_eq!(inst.output, Some((Reg::R2, 0)));
-        assert_eq!(
-            inst.ext_inputs,
-            vec![(Reg::R1, 0), (Reg::R4, 1)]
-        );
+        assert_eq!(inst.ext_inputs, vec![(Reg::R1, 0), (Reg::R4, 1)]);
     }
 
     #[test]
@@ -320,8 +335,14 @@ mod tests {
         let f = pb.func("main");
         let b = pb.block(f);
         pb.push(b, Instruction::li(Reg::R1, 0x2000));
-        pb.push(b, Instruction::addi(Reg::R2, Reg::R1, 8).with_mg(tag(0, 0, 2)));
-        pb.push(b, Instruction::load(Reg::R3, Reg::R2, 0).with_mg(tag(0, 1, 2)));
+        pb.push(
+            b,
+            Instruction::addi(Reg::R2, Reg::R1, 8).with_mg(tag(0, 0, 2)),
+        );
+        pb.push(
+            b,
+            Instruction::load(Reg::R3, Reg::R2, 0).with_mg(tag(0, 1, 2)),
+        );
         pb.push(b, Instruction::store(Reg::R1, Reg::R3, 0));
         pb.push(b, Instruction::halt());
         let p = pb.build().unwrap();

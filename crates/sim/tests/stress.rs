@@ -91,7 +91,12 @@ fn tiny_caches() {
 fn zero_length_trace() {
     let w = workload();
     let trace = mg_workloads::Trace::default();
-    let r = simulate(&w.program, &trace, &MachineConfig::reduced(), SimOptions::default());
+    let r = simulate(
+        &w.program,
+        &trace,
+        &MachineConfig::reduced(),
+        SimOptions::default(),
+    );
     assert_eq!(r.stats.committed_instrs, 0);
     assert!(!r.hit_cycle_cap);
 }

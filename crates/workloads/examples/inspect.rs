@@ -1,12 +1,23 @@
 use mg_workloads::*;
 fn main() {
-    println!("{:<16} {:>7} {:>9} {:>6} {:>6} {:>6}", "name", "static", "dyn", "mem%", "br%", "blocks");
+    println!(
+        "{:<16} {:>7} {:>9} {:>6} {:>6} {:>6}",
+        "name", "static", "dyn", "mem%", "br%", "blocks"
+    );
     for spec in suite().iter().step_by(6) {
         let w = spec.generate();
-        let (t, _) = Executor::new(&w.program).with_limit(3_000_000).run_with_mem(&w.init_mem).unwrap();
-        println!("{:<16} {:>7} {:>9} {:>6.1} {:>6.1} {:>6}",
-            spec.name, w.program.static_count(), t.len(),
-            100.0*t.mem_fraction(&w.program), 100.0*t.branch_fraction(&w.program),
-            w.program.blocks().len());
+        let (t, _) = Executor::new(&w.program)
+            .with_limit(3_000_000)
+            .run_with_mem(&w.init_mem)
+            .unwrap();
+        println!(
+            "{:<16} {:>7} {:>9} {:>6.1} {:>6.1} {:>6}",
+            spec.name,
+            w.program.static_count(),
+            t.len(),
+            100.0 * t.mem_fraction(&w.program),
+            100.0 * t.branch_fraction(&w.program),
+            w.program.blocks().len()
+        );
     }
 }

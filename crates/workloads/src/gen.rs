@@ -269,7 +269,8 @@ impl<'a> Generator<'a> {
             }
             // Fold the leaf's work into its accumulator so it isn't dead.
             let last = *local.last().unwrap();
-            self.pb.push(b, Instruction::add(R_LEAF_ACC, R_LEAF_ACC, last));
+            self.pb
+                .push(b, Instruction::add(R_LEAF_ACC, R_LEAF_ACC, last));
             self.pb.push(b, Instruction::ret());
             self.leaves.push(f);
         }
@@ -319,10 +320,7 @@ impl<'a> Generator<'a> {
         let mut placed_inner = false;
         for _ in 0..segments {
             let roll: f64 = self.rng.gen();
-            if p.allow_inner_loops
-                && !placed_inner
-                && roll < p.inner_loop_prob / segments as f64
-            {
+            if p.allow_inner_loops && !placed_inner && roll < p.inner_loop_prob / segments as f64 {
                 self.gen_inner_loop();
                 placed_inner = true;
             } else if roll < p.diamond_prob {
@@ -599,7 +597,12 @@ impl<'a> Generator<'a> {
             if self.rng.gen_bool(0.12) {
                 // Wrap back into the footprint.
                 let off = self.fresh();
-                self.push(Instruction::alu_ri(Opcode::AndI, off, R_STREAM, self.data_mask()));
+                self.push(Instruction::alu_ri(
+                    Opcode::AndI,
+                    off,
+                    R_STREAM,
+                    self.data_mask(),
+                ));
                 self.push(Instruction::add(R_STREAM, R_DATA, off));
                 emitted += 2;
             }
@@ -682,13 +685,36 @@ mod tests {
     }
 
     #[test]
+    fn generation_is_deterministic_across_threads() {
+        // The sweep runner generates workloads concurrently; generation
+        // must depend only on the spec's seed, never on thread identity
+        // or interleaving.
+        let spec = BenchmarkSpec::new(Suite::MiBench, "sha");
+        let here = format!("{:?}", spec.generate().program);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let spec = spec.clone();
+                std::thread::spawn(move || format!("{:?}", spec.generate().program))
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), here);
+        }
+    }
+
+    #[test]
     fn generated_programs_validate_and_run() {
         for spec in suite().into_iter().take(8) {
             let w = spec.generate();
             let exec = Executor::new(&w.program).with_limit(2_000_000);
             let (trace, _) = exec.run_with_mem(&w.init_mem).unwrap();
             assert!(!trace.truncated, "{} truncated", spec.name);
-            assert!(trace.len() > 1000, "{} too short: {}", spec.name, trace.len());
+            assert!(
+                trace.len() > 1000,
+                "{} too short: {}",
+                spec.name,
+                trace.len()
+            );
         }
     }
 

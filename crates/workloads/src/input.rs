@@ -96,8 +96,12 @@ mod guard_tests {
         let w_norm = spec.generate_with_input(&normal);
         let w_skip = spec.generate_with_input(&all_skipped);
         assert_eq!(w_norm.program.static_count(), w_skip.program.static_count());
-        let (t_norm, _) = Executor::new(&w_norm.program).run_with_mem(&w_norm.init_mem).unwrap();
-        let (t_skip, _) = Executor::new(&w_skip.program).run_with_mem(&w_skip.init_mem).unwrap();
+        let (t_norm, _) = Executor::new(&w_norm.program)
+            .run_with_mem(&w_norm.init_mem)
+            .unwrap();
+        let (t_skip, _) = Executor::new(&w_skip.program)
+            .run_with_mem(&w_skip.init_mem)
+            .unwrap();
         assert!(
             (t_skip.len() as f64) < 0.2 * t_norm.len() as f64,
             "skipped run {} vs normal {}",

@@ -50,3 +50,13 @@ pub mod prelude {
         Workload,
     };
 }
+
+// The sweep runner hands these to worker threads by reference; keep them
+// structurally thread-safe.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Workload>();
+    assert_send_sync::<Trace>();
+    assert_send_sync::<BenchmarkSpec>();
+    assert_send_sync::<InputSet>();
+};

@@ -221,7 +221,9 @@ impl BenchmarkSpec {
         // Jitter: structural knobs scale by ~±35%, probabilities by ±40%,
         // footprints by a factor of 1/2..2. Deterministic in the name.
         let jf = |rng: &mut StdRng, lo: f64, hi: f64| rng.gen_range(lo..hi);
-        p.loop_nests = ((p.loop_nests as f64) * jf(&mut rng, 0.7, 1.4)).round().max(2.0) as usize;
+        p.loop_nests = ((p.loop_nests as f64) * jf(&mut rng, 0.7, 1.4))
+            .round()
+            .max(2.0) as usize;
         p.body_segments.1 = (p.body_segments.1 as f64 * jf(&mut rng, 0.8, 1.3)).round() as usize;
         p.body_segments.1 = p.body_segments.1.max(p.body_segments.0);
         p.block_len.1 = (p.block_len.1 as f64 * jf(&mut rng, 0.8, 1.3)).round() as usize;
@@ -284,10 +286,30 @@ const SPEC_NAMES: [&str; 12] = [
 ];
 
 const MEDIA_NAMES: [&str; 24] = [
-    "adpcm_enc", "adpcm_dec", "epic", "unepic", "g721_enc", "g721_dec", "gs", "gsm_enc",
-    "gsm_dec", "jpeg_enc", "jpeg_dec", "mesa_mipmap", "mesa_osdemo", "mesa_texgen", "mpeg2_enc",
-    "mpeg2_dec", "pegwit_enc", "pegwit_dec", "pgp_enc", "pgp_dec", "rasta", "h263_enc",
-    "h263_dec", "g728_enc",
+    "adpcm_enc",
+    "adpcm_dec",
+    "epic",
+    "unepic",
+    "g721_enc",
+    "g721_dec",
+    "gs",
+    "gsm_enc",
+    "gsm_dec",
+    "jpeg_enc",
+    "jpeg_dec",
+    "mesa_mipmap",
+    "mesa_osdemo",
+    "mesa_texgen",
+    "mpeg2_enc",
+    "mpeg2_dec",
+    "pegwit_enc",
+    "pegwit_dec",
+    "pgp_enc",
+    "pgp_dec",
+    "rasta",
+    "h263_enc",
+    "h263_dec",
+    "g728_enc",
 ];
 
 const COMM_NAMES: [&str; 16] = [
@@ -296,20 +318,58 @@ const COMM_NAMES: [&str; 16] = [
 ];
 
 const MIB_NAMES: [&str; 26] = [
-    "basicmath", "bitcount", "qsort", "susan_s", "susan_e", "susan_c", "cjpeg", "djpeg", "lame",
-    "tiff2bw", "tiff2rgba", "tiffdither", "tiffmedian", "dijkstra", "patricia", "ispell",
-    "rsynth", "stringsearch", "blowfish_e", "blowfish_d", "sha", "adpcm_c", "adpcm_d", "crc32",
-    "fft", "gsm_toast",
+    "basicmath",
+    "bitcount",
+    "qsort",
+    "susan_s",
+    "susan_e",
+    "susan_c",
+    "cjpeg",
+    "djpeg",
+    "lame",
+    "tiff2bw",
+    "tiff2rgba",
+    "tiffdither",
+    "tiffmedian",
+    "dijkstra",
+    "patricia",
+    "ispell",
+    "rsynth",
+    "stringsearch",
+    "blowfish_e",
+    "blowfish_d",
+    "sha",
+    "adpcm_c",
+    "adpcm_d",
+    "crc32",
+    "fft",
+    "gsm_toast",
 ];
 
 /// The full 78-benchmark registry: 12 SPECint + 24 MediaBench +
 /// 16 CommBench + 26 MiBench analogues.
 pub fn suite() -> Vec<BenchmarkSpec> {
     let mut v = Vec::with_capacity(78);
-    v.extend(SPEC_NAMES.iter().map(|n| BenchmarkSpec::new(Suite::SpecInt, n)));
-    v.extend(MEDIA_NAMES.iter().map(|n| BenchmarkSpec::new(Suite::MediaBench, n)));
-    v.extend(COMM_NAMES.iter().map(|n| BenchmarkSpec::new(Suite::CommBench, n)));
-    v.extend(MIB_NAMES.iter().map(|n| BenchmarkSpec::new(Suite::MiBench, n)));
+    v.extend(
+        SPEC_NAMES
+            .iter()
+            .map(|n| BenchmarkSpec::new(Suite::SpecInt, n)),
+    );
+    v.extend(
+        MEDIA_NAMES
+            .iter()
+            .map(|n| BenchmarkSpec::new(Suite::MediaBench, n)),
+    );
+    v.extend(
+        COMM_NAMES
+            .iter()
+            .map(|n| BenchmarkSpec::new(Suite::CommBench, n)),
+    );
+    v.extend(
+        MIB_NAMES
+            .iter()
+            .map(|n| BenchmarkSpec::new(Suite::MiBench, n)),
+    );
     v
 }
 

@@ -94,9 +94,21 @@ mod tests {
         let p = pb.build().unwrap();
         let t = Trace {
             insts: vec![
-                DynInst { id: StaticId(0), addr: 0, taken: false },
-                DynInst { id: StaticId(0), addr: 0, taken: false },
-                DynInst { id: StaticId(1), addr: 0, taken: true },
+                DynInst {
+                    id: StaticId(0),
+                    addr: 0,
+                    taken: false,
+                },
+                DynInst {
+                    id: StaticId(0),
+                    addr: 0,
+                    taken: false,
+                },
+                DynInst {
+                    id: StaticId(1),
+                    addr: 0,
+                    taken: true,
+                },
             ],
             truncated: false,
         };

@@ -29,7 +29,13 @@ fn build(tagged: bool) -> minigraphs::isa::Program {
         pos,
         len,
     };
-    let mk = |inst: Instruction, pos: u8| if tagged { inst.with_mg(tag(pos, 3)) } else { inst };
+    let mk = |inst: Instruction, pos: u8| {
+        if tagged {
+            inst.with_mg(tag(pos, 3))
+        } else {
+            inst
+        }
+    };
 
     pb.push(body, Instruction::load(Reg::R5, Reg::R2, 0));
     pb.push(body, Instruction::load(Reg::R6, Reg::R3, 0));
@@ -52,7 +58,11 @@ fn main() {
 
     let (pt, ps) = Executor::new(&plain).run().expect("runs");
     let (tt, ts) = Executor::new(&tagged).run().expect("runs");
-    assert_eq!(ps.read(Reg::R4), ts.read(Reg::R4), "tagging preserves semantics");
+    assert_eq!(
+        ps.read(Reg::R4),
+        ts.read(Reg::R4),
+        "tagging preserves semantics"
+    );
     println!("kernel result: {}", ps.read(Reg::R4));
 
     let narrow = MachineConfig::two_way();

@@ -58,7 +58,12 @@ fn main() {
             .run_with_mem(&workload.init_mem)
             .expect("rewritten program runs");
         let mg_machine = reduced.clone().with_mg(MgConfig::paper());
-        let run = simulate(&prepared.program, &mg_trace, &mg_machine, SimOptions::default());
+        let run = simulate(
+            &prepared.program,
+            &mg_trace,
+            &mg_machine,
+            SimOptions::default(),
+        );
         println!(
             "{:<16} {:>4} instances, {:>3} templates, coverage {:>5.1}%, reduced IPC {:.3} ({:+.1}% vs baseline)",
             selector.name(),

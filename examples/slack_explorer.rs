@@ -68,7 +68,10 @@ fn main() {
         stats[class][ok as usize] += 1;
     }
     println!("\nSlack-Profile verdicts over {} candidates:", pool.len());
-    for (label, row) in ["non-serializing", "bounded", "unbounded"].iter().zip(stats) {
+    for (label, row) in ["non-serializing", "bounded", "unbounded"]
+        .iter()
+        .zip(stats)
+    {
         println!(
             "  {label:<16} accepted {:>5}  rejected {:>5}",
             row[1], row[0]
@@ -83,7 +86,10 @@ fn main() {
             && freqs[workload.program.id_of(c.block, c.positions[0]).index()] > 0
     }) {
         let dm = delay_model(&workload.program, c, &slack);
-        println!("\nworked example: rejected candidate in {} at {:?}", c.block, c.positions);
+        println!(
+            "\nworked example: rejected candidate in {} at {:?}",
+            c.block, c.positions
+        );
         for (p, &pos) in c.positions.iter().enumerate() {
             let id = workload.program.id_of(c.block, pos);
             let rec = slack.get(id);

@@ -87,7 +87,10 @@ fn cmd_disasm(args: &[String]) -> Result<(), String> {
     let w = spec.generate();
     for (i, line) in w.program.to_string().lines().enumerate() {
         if i >= limit {
-            println!("... ({} static instructions total)", w.program.static_count());
+            println!(
+                "... ({} static instructions total)",
+                w.program.static_count()
+            );
             break;
         }
         println!("{line}");
@@ -137,7 +140,10 @@ fn cmd_candidates(args: &[String]) -> Result<(), String> {
     println!("  non-serializing {:>6}", by_class[0]);
     println!("  bounded         {:>6}", by_class[1]);
     println!("  unbounded       {:>6}", by_class[2]);
-    println!("  by size: 2 -> {}, 3 -> {}, 4 -> {}", by_size[2], by_size[3], by_size[4]);
+    println!(
+        "  by size: 2 -> {}, 3 -> {}, 4 -> {}",
+        by_size[2], by_size[3], by_size[4]
+    );
     Ok(())
 }
 
@@ -159,7 +165,12 @@ fn cmd_select(args: &[String]) -> Result<(), String> {
     let (mg_trace, _) = Executor::new(&prepared.program)
         .run_with_mem(&w.init_mem)
         .map_err(|e| e.to_string())?;
-    let baseline = simulate(&w.program, &trace, &MachineConfig::baseline(), SimOptions::default());
+    let baseline = simulate(
+        &w.program,
+        &trace,
+        &MachineConfig::baseline(),
+        SimOptions::default(),
+    );
     let plain = simulate(&w.program, &trace, &reduced, SimOptions::default());
     let mg = simulate(
         &prepared.program,
@@ -170,14 +181,25 @@ fn cmd_select(args: &[String]) -> Result<(), String> {
     println!("{} with {}:", spec.name, selector.name());
     println!("  instances        {}", prepared.instances);
     println!("  templates        {}", prepared.templates);
-    println!("  coverage         {:.1}% (estimated {:.1}%)",
-        100.0 * mg.stats.coverage(), 100.0 * prepared.est_coverage);
+    println!(
+        "  coverage         {:.1}% (estimated {:.1}%)",
+        100.0 * mg.stats.coverage(),
+        100.0 * prepared.est_coverage
+    );
     println!("  baseline 4-wide  {:.3} IPC", baseline.ipc());
-    println!("  reduced, no MG   {:.3} IPC ({:+.1}%)", plain.ipc(),
-        100.0 * (plain.ipc() / baseline.ipc() - 1.0));
-    println!("  reduced + MG     {:.3} IPC ({:+.1}%)", mg.ipc(),
-        100.0 * (mg.ipc() / baseline.ipc() - 1.0));
-    println!("  serialized handles {} (harmful {})",
-        mg.stats.serialized_handles, mg.stats.harmful_serializations);
+    println!(
+        "  reduced, no MG   {:.3} IPC ({:+.1}%)",
+        plain.ipc(),
+        100.0 * (plain.ipc() / baseline.ipc() - 1.0)
+    );
+    println!(
+        "  reduced + MG     {:.3} IPC ({:+.1}%)",
+        mg.ipc(),
+        100.0 * (mg.ipc() / baseline.ipc() - 1.0)
+    );
+    println!(
+        "  serialized handles {} (harmful {})",
+        mg.stats.serialized_handles, mg.stats.harmful_serializations
+    );
     Ok(())
 }

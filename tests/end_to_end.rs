@@ -120,7 +120,12 @@ fn committed_instructions_are_invariant_across_machines_and_schemes() {
     }
     // With mini-graphs embedded, the committed instruction count is
     // unchanged (handles expand to their constituents).
-    let prepared = prepare(&w.program, &freqs, &Selector::StructAll, &Default::default());
+    let prepared = prepare(
+        &w.program,
+        &freqs,
+        &Selector::StructAll,
+        &Default::default(),
+    );
     let (t, _) = Executor::new(&prepared.program)
         .run_with_mem(&w.init_mem)
         .unwrap();
@@ -139,9 +144,24 @@ fn wider_machines_never_lose_meaningfully() {
     let spec = small("media_gs");
     let w = spec.generate();
     let (t, _) = Executor::new(&w.program).run_with_mem(&w.init_mem).unwrap();
-    let two = simulate(&w.program, &t, &MachineConfig::two_way(), SimOptions::default());
-    let four = simulate(&w.program, &t, &MachineConfig::baseline(), SimOptions::default());
-    let eight = simulate(&w.program, &t, &MachineConfig::eight_way(), SimOptions::default());
+    let two = simulate(
+        &w.program,
+        &t,
+        &MachineConfig::two_way(),
+        SimOptions::default(),
+    );
+    let four = simulate(
+        &w.program,
+        &t,
+        &MachineConfig::baseline(),
+        SimOptions::default(),
+    );
+    let eight = simulate(
+        &w.program,
+        &t,
+        &MachineConfig::eight_way(),
+        SimOptions::default(),
+    );
     assert!(four.ipc() >= two.ipc() * 0.99);
     assert!(eight.ipc() >= four.ipc() * 0.99);
 }
@@ -184,8 +204,15 @@ fn mg_with_single_handle_per_cycle() {
     let w = spec.generate();
     let (trace, _) = Executor::new(&w.program).run_with_mem(&w.init_mem).unwrap();
     let freqs = trace.static_freqs(&w.program);
-    let prepared = prepare(&w.program, &freqs, &Selector::StructAll, &Default::default());
-    let (t, _) = Executor::new(&prepared.program).run_with_mem(&w.init_mem).unwrap();
+    let prepared = prepare(
+        &w.program,
+        &freqs,
+        &Selector::StructAll,
+        &Default::default(),
+    );
+    let (t, _) = Executor::new(&prepared.program)
+        .run_with_mem(&w.init_mem)
+        .unwrap();
     let cfg = MachineConfig::reduced().with_mg(MgConfig {
         max_mg_issue: 1,
         max_mem_mg_issue: 1,
