@@ -39,6 +39,16 @@ pub const CACHE_SCHEMA: u32 = 1;
 /// working directory (the workspace root for `cargo run`).
 pub const CACHE_DIR: &str = "results/cache";
 
+/// Environment variable bounding the on-disk cache size, in megabytes
+/// (`0` disables the disk layer's growth entirely: every entry is evicted
+/// on the next store). Default: [`DEFAULT_CACHE_MAX_MB`].
+pub const CACHE_MAX_MB_ENV: &str = "MG_CACHE_MAX_MB";
+
+/// Default on-disk cache size cap in megabytes. Generous for the full
+/// suite (an entry is a few hundred KB) while keeping long-lived working
+/// trees from accumulating stale keys without bound.
+pub const DEFAULT_CACHE_MAX_MB: u64 = 256;
+
 /// Everything expensive a [`crate::BenchContext`] needs: the run-input
 /// workload, its committed trace, and the train-input execution
 /// frequencies and slack profile.
@@ -101,7 +111,7 @@ pub fn counters() -> CacheCounters {
 
 /// FNV-1a over a byte string: the stable content hash behind cache keys
 /// and the results-file machine fingerprint.
-pub(crate) fn stable_hash64(bytes: &[u8]) -> u64 {
+pub fn stable_hash64(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= b as u64;
@@ -143,12 +153,79 @@ fn disk_path(key: u64) -> PathBuf {
 }
 
 fn disk_load(key: u64, spec: &BenchmarkSpec) -> Option<(Vec<u64>, SlackProfile)> {
-    let bytes = std::fs::read(disk_path(key)).ok()?;
+    let path = disk_path(key);
+    let bytes = std::fs::read(&path).ok()?;
     let entry: DiskEntry = serde_json::from_slice(&bytes).ok()?;
     if entry.schema_version != CACHE_SCHEMA || entry.bench != spec.name {
         return None;
     }
+    // LRU touch: freshen the entry's mtime so hot entries survive
+    // size-cap eviction. Best-effort, like all disk-layer I/O.
+    if let Ok(f) = std::fs::File::options().append(true).open(&path) {
+        let _ = f.set_modified(std::time::SystemTime::now());
+    }
     Some((entry.freqs, entry.slack))
+}
+
+/// The configured size cap in bytes: `MG_CACHE_MAX_MB` if set to a valid
+/// non-negative integer (an invalid value is reported once and ignored),
+/// else the default.
+fn cache_cap_bytes() -> u64 {
+    static WARNED: OnceLock<()> = OnceLock::new();
+    let mb = match std::env::var(CACHE_MAX_MB_ENV) {
+        Ok(v) => match v.trim().parse::<u64>() {
+            Ok(mb) => mb,
+            Err(_) => {
+                WARNED.get_or_init(|| {
+                    eprintln!(
+                        "warning: invalid {CACHE_MAX_MB_ENV}={v:?} (expected megabytes); \
+                         using default {DEFAULT_CACHE_MAX_MB}"
+                    );
+                });
+                DEFAULT_CACHE_MAX_MB
+            }
+        },
+        Err(_) => DEFAULT_CACHE_MAX_MB,
+    };
+    mb.saturating_mul(1024 * 1024)
+}
+
+/// Evicts least-recently-used cache entries from `dir` until the
+/// remaining `ctx-*.json` files total at most `cap_bytes`. "Least
+/// recently used" is by mtime: [`disk_load`] freshens entries on every
+/// hit, and [`disk_store`] writes them new. Ties break by file name so
+/// eviction order is deterministic. Best-effort: I/O errors skip the
+/// affected entry.
+fn evict_lru(dir: &std::path::Path, cap_bytes: u64) {
+    let Ok(listing) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<(std::time::SystemTime, PathBuf, u64)> = listing
+        .flatten()
+        .filter_map(|e| {
+            let path = e.path();
+            let name = path.file_name()?.to_str()?;
+            if !(name.starts_with("ctx-") && name.ends_with(".json")) {
+                return None;
+            }
+            let meta = e.metadata().ok()?;
+            let mtime = meta.modified().ok()?;
+            Some((mtime, path, meta.len()))
+        })
+        .collect();
+    let mut total: u64 = entries.iter().map(|&(_, _, len)| len).sum();
+    if total <= cap_bytes {
+        return;
+    }
+    entries.sort(); // oldest mtime first, then by path
+    for (_, path, len) in entries {
+        if total <= cap_bytes {
+            break;
+        }
+        if std::fs::remove_file(&path).is_ok() {
+            total -= len;
+        }
+    }
 }
 
 fn disk_store(key: u64, spec: &BenchmarkSpec, freqs: &[u64], slack: &SlackProfile) {
@@ -175,6 +252,10 @@ fn disk_store(key: u64, spec: &BenchmarkSpec, freqs: &[u64], slack: &SlackProfil
     if std::fs::write(&tmp, json).is_ok() {
         let _ = std::fs::rename(&tmp, disk_path(key));
     }
+    // Keep the disk layer bounded: evict least-recently-used entries
+    // beyond the configured cap. Stores happen only on cache misses, so
+    // the directory walk is off every sweep's hot path.
+    evict_lru(std::path::Path::new(CACHE_DIR), cache_cap_bytes());
 }
 
 fn exec_err(
@@ -303,5 +384,51 @@ mod tests {
         // Reference value for the empty string is the FNV-1a offset basis.
         assert_eq!(stable_hash64(b""), 0xcbf2_9ce4_8422_2325);
         assert_ne!(stable_hash64(b"a"), stable_hash64(b"b"));
+    }
+
+    #[test]
+    fn evict_lru_drops_oldest_entries_first() {
+        use std::time::{Duration, SystemTime};
+        let dir = std::env::temp_dir().join(format!("mg-cache-evict-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // Four 100-byte entries with strictly increasing mtimes, plus one
+        // non-entry file that must never be touched.
+        let payload = [0u8; 100];
+        for (i, name) in ["ctx-a.json", "ctx-b.json", "ctx-c.json", "ctx-d.json"]
+            .iter()
+            .enumerate()
+        {
+            let path = dir.join(name);
+            std::fs::write(&path, payload).unwrap();
+            let f = std::fs::File::options().append(true).open(&path).unwrap();
+            f.set_modified(SystemTime::UNIX_EPOCH + Duration::from_secs(1_000 + i as u64))
+                .unwrap();
+        }
+        std::fs::write(dir.join("unrelated.txt"), payload).unwrap();
+
+        // Cap fits two entries: the two oldest go, the two newest stay.
+        evict_lru(&dir, 200);
+        assert!(!dir.join("ctx-a.json").exists());
+        assert!(!dir.join("ctx-b.json").exists());
+        assert!(dir.join("ctx-c.json").exists());
+        assert!(dir.join("ctx-d.json").exists());
+        assert!(dir.join("unrelated.txt").exists());
+
+        // A "touched" (recently used) old entry survives over a newer one.
+        let f = std::fs::File::options()
+            .append(true)
+            .open(dir.join("ctx-c.json"))
+            .unwrap();
+        f.set_modified(SystemTime::UNIX_EPOCH + Duration::from_secs(9_000))
+            .unwrap();
+        evict_lru(&dir, 100);
+        assert!(dir.join("ctx-c.json").exists());
+        assert!(!dir.join("ctx-d.json").exists());
+
+        // Under-cap directories are left alone.
+        evict_lru(&dir, 10_000);
+        assert!(dir.join("ctx-c.json").exists());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -103,6 +103,15 @@ pub enum BenchError {
         /// The scheme whose simulation hit the cap.
         scheme: Scheme,
     },
+    /// A harness configuration knob (environment variable) was rejected.
+    Config {
+        /// The knob, e.g. `MG_JOBS`.
+        knob: &'static str,
+        /// The offending value as given.
+        value: String,
+        /// Why it was rejected.
+        detail: &'static str,
+    },
 }
 
 impl fmt::Display for BenchError {
@@ -121,6 +130,13 @@ impl fmt::Display for BenchError {
                     "{bench}: simulation hit its cycle cap under {}",
                     scheme.name()
                 )
+            }
+            BenchError::Config {
+                knob,
+                value,
+                detail,
+            } => {
+                write!(f, "invalid {knob}={value:?}: {detail}")
             }
         }
     }
@@ -334,16 +350,49 @@ impl BenchContext {
         mg: Option<MgConfig>,
         sel: Option<&SelectionConfig>,
     ) -> Result<SchemeRun, BenchError> {
+        let (r, est_coverage) = self.try_sim_with(scheme, machine, mg, sel)?;
+        SchemeRun::try_from_sim(&self.spec.name, scheme, r, est_coverage)
+    }
+
+    /// Like [`BenchContext::try_run_with`], but returns the raw
+    /// [`SimResult`] (plus the selection-time coverage estimate) instead
+    /// of the condensed [`SchemeRun`]. A cycle-capped run is *not* an
+    /// error at this layer — `hit_cycle_cap` is reported in the result —
+    /// so callers like the golden-stats digest can still observe the full
+    /// statistics.
+    pub fn try_sim_with(
+        &self,
+        scheme: Scheme,
+        machine: &MachineConfig,
+        mg: Option<MgConfig>,
+        sel: Option<&SelectionConfig>,
+    ) -> Result<(SimResult, f64), BenchError> {
+        let p = self.prepare_sim(scheme, machine, mg, sel)?;
+        let est = p.est_coverage;
+        Ok((p.simulate(), est))
+    }
+
+    /// Builds everything a timing simulation of one (scheme, machine)
+    /// cell needs — the (possibly rewritten) program, its committed
+    /// trace, the machine, and the simulator options — without running
+    /// it. This is the seam the engine-throughput harness (`perf`) uses
+    /// to time [`simulate`] in isolation, excluding selection and
+    /// functional re-execution.
+    pub fn prepare_sim(
+        &self,
+        scheme: Scheme,
+        machine: &MachineConfig,
+        mg: Option<MgConfig>,
+        sel: Option<&SelectionConfig>,
+    ) -> Result<PreparedSim, BenchError> {
         match self.selector_for(scheme) {
-            None => {
-                let r = simulate(
-                    &self.workload.program,
-                    &self.trace,
-                    machine,
-                    SimOptions::default(),
-                );
-                SchemeRun::try_from_sim(&self.spec.name, scheme, r, 0.0)
-            }
+            None => Ok(PreparedSim {
+                program: self.workload.program.clone(),
+                trace: self.trace.clone(),
+                machine: machine.clone(),
+                opts: SimOptions::default(),
+                est_coverage: 0.0,
+            }),
             Some(selector) => {
                 let prepared = prepare(
                     &self.workload.program,
@@ -365,8 +414,13 @@ impl BenchContext {
                     dyn_mg: scheme.dyn_config(),
                     ..SimOptions::default()
                 };
-                let r = simulate(&prepared.program, &trace, &mg_machine, opts);
-                SchemeRun::try_from_sim(&self.spec.name, scheme, r, prepared.est_coverage)
+                Ok(PreparedSim {
+                    program: prepared.program,
+                    trace,
+                    machine: mg_machine,
+                    opts,
+                    est_coverage: prepared.est_coverage,
+                })
             }
         }
     }
@@ -375,6 +429,35 @@ impl BenchContext {
     #[deprecated(note = "use `BenchContext::try_run`")]
     pub fn run(&self, scheme: Scheme, machine: &MachineConfig) -> SchemeRun {
         self.try_run(scheme, machine).expect("scheme run succeeds")
+    }
+}
+
+/// A fully prepared timing-simulation input for one (scheme, machine)
+/// cell: run [`PreparedSim::simulate`] any number of times; every run is
+/// identical.
+#[derive(Clone, Debug)]
+pub struct PreparedSim {
+    /// The (possibly rewritten/tagged) program to simulate.
+    pub program: mg_isa::Program,
+    /// Its committed-path trace.
+    pub trace: Trace,
+    /// The machine configuration (mini-graph support applied).
+    pub machine: MachineConfig,
+    /// Simulator options (dynamic-disabling config applied).
+    pub opts: SimOptions,
+    /// Coverage estimated at selection time.
+    pub est_coverage: f64,
+}
+
+impl PreparedSim {
+    /// Runs the timing simulation.
+    pub fn simulate(&self) -> SimResult {
+        simulate(&self.program, &self.trace, &self.machine, self.opts)
+    }
+
+    /// Dynamic trace length (committed operations fed to the engine).
+    pub fn trace_len(&self) -> usize {
+        self.trace.len()
     }
 }
 

@@ -12,6 +12,7 @@
 
 pub mod cache;
 pub mod figures;
+pub mod golden;
 pub mod harness;
 pub mod runner;
 pub mod stats;
@@ -21,6 +22,7 @@ pub use harness::{
     Scheme, SchemeRun, SCHEMA_VERSION,
 };
 pub use runner::{
-    default_jobs, par_map, BenchRows, InputSel, SweepCell, SweepResult, SweepSpec, SweepSummary,
+    default_jobs, par_map, parse_jobs, try_default_jobs, BenchRows, InputSel, SweepCell,
+    SweepResult, SweepSpec, SweepSummary,
 };
 pub use stats::{geomean, mean, s_curve};

@@ -314,17 +314,47 @@ impl SweepSummary {
     }
 }
 
-/// Worker count: `MG_JOBS` if set (≥1), else available parallelism.
+/// Parses an `MG_JOBS`-style worker count. A worker count must be a
+/// positive integer; `0` and garbage are rejected with a
+/// [`BenchError::Config`] naming the offending value, rather than being
+/// silently replaced by a default (which would mask typos like
+/// `MG_JOBS=O8` behind an unexpected parallelism level).
+pub fn parse_jobs(value: &str) -> Result<usize, BenchError> {
+    match value.trim().parse::<usize>() {
+        Ok(0) => Err(BenchError::Config {
+            knob: "MG_JOBS",
+            value: value.to_string(),
+            detail: "worker count must be at least 1",
+        }),
+        Ok(n) => Ok(n),
+        Err(_) => Err(BenchError::Config {
+            knob: "MG_JOBS",
+            value: value.to_string(),
+            detail: "expected a positive integer",
+        }),
+    }
+}
+
+/// Worker count: `MG_JOBS` if set (validated by [`parse_jobs`]), else
+/// available parallelism.
+pub fn try_default_jobs() -> Result<usize, BenchError> {
+    match std::env::var("MG_JOBS") {
+        Ok(v) => parse_jobs(&v),
+        Err(_) => Ok(std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)),
+    }
+}
+
+/// Worker count: `MG_JOBS` if set, else available parallelism.
+///
+/// # Panics
+///
+/// Panics with the rendered [`BenchError`] if `MG_JOBS` is set to an
+/// invalid value; binaries get a clear diagnostic instead of a silent
+/// fallback. Use [`try_default_jobs`] to handle the error.
 pub fn default_jobs() -> usize {
-    std::env::var("MG_JOBS")
-        .ok()
-        .and_then(|s| s.trim().parse::<usize>().ok())
-        .filter(|&n| n >= 1)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        })
+    try_default_jobs().unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Maps `f` over `items` on `jobs` scoped worker threads, returning
@@ -394,5 +424,30 @@ mod tests {
     #[test]
     fn default_jobs_is_at_least_one() {
         assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    fn parse_jobs_accepts_positive_counts() {
+        assert_eq!(parse_jobs("1").unwrap(), 1);
+        assert_eq!(parse_jobs("8").unwrap(), 8);
+        assert_eq!(parse_jobs(" 4 ").unwrap(), 4, "whitespace is trimmed");
+    }
+
+    #[test]
+    fn parse_jobs_rejects_zero_and_garbage() {
+        for bad in ["0", "", "abc", "-2", "1.5", "O8"] {
+            let err = parse_jobs(bad).expect_err(bad);
+            match &err {
+                BenchError::Config { knob, value, .. } => {
+                    assert_eq!(*knob, "MG_JOBS");
+                    assert_eq!(value, bad, "error names the offending value");
+                }
+                other => panic!("expected Config error for {bad:?}, got {other:?}"),
+            }
+            assert!(
+                err.to_string().contains("MG_JOBS"),
+                "diagnostic names the knob: {err}"
+            );
+        }
     }
 }

@@ -65,6 +65,30 @@ fn second_sweep_is_all_context_cache_hits() {
     assert_eq!(d2.mem_hits, benches.len() as u64);
 }
 
+/// A machine that can never retire (zero-width commit) must surface as
+/// `BenchError::CycleCap` through the fallible harness API rather than
+/// hanging or panicking — exercised here against the event-driven
+/// scheduler, whose wakeup heap simply drains while the ROB stays full.
+#[test]
+fn cycle_capped_run_surfaces_as_bench_error() {
+    use mg_bench::{BenchContext, BenchError};
+    let _guard = LOCK.lock().unwrap();
+    let mut spec = mg_workloads::limit_study_benchmark();
+    spec.params.target_dyn = 2_000; // keep the capped spin short
+    let red = MachineConfig::reduced();
+    let ctx = BenchContext::try_new(&spec, &red).unwrap();
+    let mut stuck = red.clone();
+    stuck.commit_width = 0;
+    match ctx.try_run(Scheme::NoMg, &stuck) {
+        Err(BenchError::CycleCap { bench, scheme }) => {
+            assert_eq!(bench, spec.name);
+            assert_eq!(scheme, Scheme::NoMg);
+        }
+        Ok(r) => panic!("expected CycleCap, got a successful run: {r:?}"),
+        Err(e) => panic!("expected CycleCap, got {e}"),
+    }
+}
+
 /// The deprecated panicking API still works and agrees with the fallible
 /// path it wraps.
 #[test]

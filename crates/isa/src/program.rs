@@ -4,7 +4,7 @@ use crate::block::{BasicBlock, BlockId};
 use crate::error::IsaError;
 use crate::validate;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
 /// Identifier of a function within a [`Program`].
@@ -93,8 +93,8 @@ pub struct Program {
     locs: Vec<InstrLoc>, // per StaticId
     pcs: Vec<u64>,       // per StaticId (handles get main-line PCs, tagged
     // constituents get outlined-region PCs)
-    block_of_func: HashMap<u32, FuncId>, // block index -> owning function
-    main_line_len: u32,                  // number of main-line fetch slots
+    block_of_func: BTreeMap<u32, FuncId>, // block index -> owning function
+    main_line_len: u32,                   // number of main-line fetch slots
 }
 
 /// Byte size of one encoded instruction.
@@ -126,7 +126,7 @@ impl Program {
             first_id: Vec::new(),
             locs: Vec::new(),
             pcs: Vec::new(),
-            block_of_func: HashMap::new(),
+            block_of_func: BTreeMap::new(),
             main_line_len: 0,
         };
         validate::validate(&prog.blocks, &prog.funcs, prog.entry_func)?;

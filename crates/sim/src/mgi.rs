@@ -71,6 +71,11 @@ impl InstanceInfo {
         *self.lat_prefix.last().unwrap_or(&0)
     }
 
+    /// Position of the constituent producing the register output, if any.
+    pub fn output_pos(&self) -> Option<usize> {
+        self.output.map(|(_, pos)| pos)
+    }
+
     /// Latency from handle issue until the *output* value is produced
     /// (optimistic), or until the end for output-less instances.
     pub fn output_latency(&self) -> u32 {

@@ -1,0 +1,380 @@
+//! Offline shim for `criterion`.
+//!
+//! Implements the macro and builder surface the workspace's benches use
+//! (`criterion_group!`/`criterion_main!`, `benchmark_group`,
+//! `bench_function`, `iter`, `iter_batched`, `Throughput`) with a plain
+//! wall-clock measurement loop: a short calibration pass picks an
+//! iteration count targeting the measurement window, then the median of
+//! a few samples is reported. `--test` (as passed by CI smoke jobs and
+//! `cargo test`'s bench harness) runs every routine exactly once.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_count: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            test_mode: false,
+            filter: None,
+            measurement_time: Duration::from_millis(1500),
+            warm_up_time: Duration::from_millis(300),
+            sample_count: 5,
+        }
+    }
+}
+
+impl Criterion {
+    /// Reads the harness CLI: `--test` switches to one-shot smoke mode,
+    /// the first free-standing argument filters benchmark ids, and the
+    /// flags cargo/criterion pass that we don't implement are ignored.
+    pub fn configure_from_args(mut self) -> Criterion {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => self.test_mode = true,
+                "--bench" | "--exact" | "--nocapture" | "--quiet" | "--verbose"
+                | "--noplot" | "--discard-baseline" => {}
+                "--save-baseline" | "--baseline" | "--measurement-time"
+                | "--warm-up-time" | "--sample-size" | "--profile-time"
+                | "--output-format" | "--color" => {
+                    args.next();
+                }
+                s if s.starts_with("--") => {}
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    pub fn measurement_time(mut self, t: Duration) -> Criterion {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn warm_up_time(mut self, t: Duration) -> Criterion {
+        self.warm_up_time = t;
+        self
+    }
+
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_count = n.clamp(2, 100);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let (test_mode, filter, mt, wt, sc) = (
+            self.test_mode,
+            self.filter.clone(),
+            self.measurement_time,
+            self.warm_up_time,
+            self.sample_count,
+        );
+        run_benchmark(id, None, test_mode, &filter, mt, wt, sc, f);
+        self
+    }
+
+    pub fn final_summary(&self) {}
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.measurement_time = t;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.warm_up_time = t;
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_count = n.clamp(2, 100);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let c = &*self.criterion;
+        run_benchmark(
+            &full,
+            self.throughput,
+            c.test_mode,
+            &c.filter,
+            c.measurement_time,
+            c.warm_up_time,
+            c.sample_count,
+            f,
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+
+    pub fn iter_batched_ref<I, O, S, F>(
+        &mut self,
+        mut setup: S,
+        mut routine: F,
+        _size: BatchSize,
+    ) where
+        S: FnMut() -> I,
+        F: FnMut(&mut I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_benchmark<F>(
+    id: &str,
+    throughput: Option<Throughput>,
+    test_mode: bool,
+    filter: &Option<String>,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    sample_count: usize,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    if let Some(pat) = filter {
+        if !id.contains(pat.as_str()) {
+            return;
+        }
+    }
+    if test_mode {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("test {id} ... ok");
+        return;
+    }
+
+    // Calibrate: grow the iteration count until one sample fills the
+    // warm-up window, which doubles as the warm-up itself.
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= warm_up_time || iters > u64::MAX / 4 {
+            let per_iter = b.elapsed.as_secs_f64() / iters as f64;
+            let per_sample = measurement_time.as_secs_f64() / sample_count as f64;
+            iters = ((per_sample / per_iter.max(1e-9)) as u64).max(1);
+            break;
+        }
+        iters = iters.saturating_mul(2);
+    }
+
+    let mut samples: Vec<f64> = (0..sample_count)
+        .map(|_| {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            b.elapsed.as_secs_f64() / iters as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = samples[samples.len() / 2];
+    let best = samples[0];
+    let worst = samples[samples.len() - 1];
+    print!(
+        "{id:<40} time: [{} {} {}]",
+        fmt_time(best),
+        fmt_time(median),
+        fmt_time(worst)
+    );
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            print!("  thrpt: {} elem/s", fmt_count(n as f64 / median));
+        }
+        Some(Throughput::Bytes(n)) => {
+            print!("  thrpt: {}B/s", fmt_count(n as f64 / median));
+        }
+        None => {}
+    }
+    println!();
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+fn fmt_count(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.3} G", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.3} M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.3} K", v / 1e3)
+    } else {
+        format!("{v:.1} ")
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+            $crate::Criterion::default().final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_routines() {
+        let mut counter = 0u64;
+        let mut b = Bencher {
+            iters: 10,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| counter += 1);
+        assert_eq!(counter, 10);
+
+        let mut setups = 0u64;
+        let mut runs = 0u64;
+        let mut b = Bencher {
+            iters: 4,
+            elapsed: Duration::ZERO,
+        };
+        b.iter_batched(
+            || {
+                setups += 1;
+                setups
+            },
+            |x| {
+                runs += x;
+            },
+            BatchSize::SmallInput,
+        );
+        assert_eq!(setups, 4);
+        assert_eq!(runs, 1 + 2 + 3 + 4);
+    }
+
+    #[test]
+    fn formatting_is_sane() {
+        assert!(fmt_time(2e-9).contains("ns"));
+        assert!(fmt_time(2e-6).contains("µs"));
+        assert!(fmt_time(2e-3).contains("ms"));
+        assert!(fmt_count(2.5e6).contains('M'));
+    }
+}

@@ -1,0 +1,494 @@
+//! Offline shim for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the shimmed `serde` crate's value-tree data model (see
+//! `shims/serde`). The parser is hand-rolled over `proc_macro` token
+//! trees — no `syn`/`quote`, which are unavailable offline — and supports
+//! the shapes this workspace uses: plain and generic structs (named,
+//! tuple/newtype, unit) and enums with unit, tuple, and struct variants.
+//! Container/field serde attributes are not supported and the workspace
+//! does not use any.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (shim: lowers to `serde::Value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated impl parses")
+}
+
+/// Derives `serde::Deserialize` (shim: rebuilds from `serde::Value`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated impl parses")
+}
+
+// ----------------------------------------------------------------------
+// A tiny AST for the supported item shapes.
+// ----------------------------------------------------------------------
+
+enum Body {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    body: Body,
+}
+
+enum Shape {
+    Struct(Body),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    /// Type-parameter idents (lifetimes and const params unsupported —
+    /// the workspace derives none).
+    generics: Vec<String>,
+    shape: Shape,
+}
+
+// ----------------------------------------------------------------------
+// Parsing
+// ----------------------------------------------------------------------
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Cursor {
+        Cursor {
+            toks: ts.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        self.pos += t.is_some() as usize;
+        t
+    }
+
+    fn peek_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    fn peek_ident(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == kw)
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde shim derive: expected identifier, got {other:?}"),
+        }
+    }
+
+    /// Skips any number of `#[...]` / `#![...]` attributes.
+    fn skip_attrs(&mut self) {
+        while self.peek_punct('#') {
+            self.next();
+            if self.peek_punct('!') {
+                self.next();
+            }
+            match self.next() {
+                Some(TokenTree::Group(_)) => {}
+                other => panic!("serde shim derive: malformed attribute: {other:?}"),
+            }
+        }
+    }
+
+    /// Skips `pub` / `pub(...)` visibility.
+    fn skip_vis(&mut self) {
+        if self.peek_ident("pub") {
+            self.next();
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.next();
+                }
+            }
+        }
+    }
+
+    /// Consumes a balanced `<...>` generics list, returning type-param
+    /// idents (bounds and defaults are skipped; they are re-bounded by
+    /// the generated impl).
+    fn parse_generics(&mut self) -> Vec<String> {
+        if !self.peek_punct('<') {
+            return Vec::new();
+        }
+        self.next();
+        let mut depth = 1usize;
+        let mut params = Vec::new();
+        let mut at_param_start = true;
+        while depth > 0 {
+            match self.next() {
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 1 => at_param_start = true,
+                    '\'' => {
+                        // Lifetime: consume its ident, not a type param.
+                        self.next();
+                        at_param_start = false;
+                    }
+                    _ => at_param_start = false,
+                },
+                Some(TokenTree::Ident(i)) => {
+                    if at_param_start {
+                        params.push(i.to_string());
+                    }
+                    at_param_start = false;
+                }
+                Some(_) => at_param_start = false,
+                None => panic!("serde shim derive: unbalanced generics"),
+            }
+        }
+        params
+    }
+}
+
+/// Splits a parenthesized/braced group body on top-level commas, tracking
+/// `<...>` nesting (groups are already single tokens).
+fn split_top_commas(ts: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut out: Vec<Vec<TokenTree>> = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle = 0i32;
+    for t in ts {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                out.push(std::mem::take(&mut cur));
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(t);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Parses the field names out of a named-fields body.
+fn parse_named_fields(ts: TokenStream) -> Vec<String> {
+    split_top_commas(ts)
+        .into_iter()
+        .filter(|seg| !seg.is_empty())
+        .map(|seg| {
+            let mut c = Cursor {
+                toks: seg,
+                pos: 0,
+            };
+            c.skip_attrs();
+            c.skip_vis();
+            c.expect_ident()
+        })
+        .collect()
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    c.skip_attrs();
+    c.skip_vis();
+    let kw = c.expect_ident();
+    let name = c.expect_ident();
+    let generics = c.parse_generics();
+    match kw.as_str() {
+        "struct" => {
+            let body = match c.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Body::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let n = split_top_commas(g.stream())
+                        .into_iter()
+                        .filter(|s| !s.is_empty())
+                        .count();
+                    Body::Tuple(n)
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Body::Unit,
+                other => panic!("serde shim derive: unsupported struct body: {other:?}"),
+            };
+            Item {
+                name,
+                generics,
+                shape: Shape::Struct(body),
+            }
+        }
+        "enum" => {
+            let group = match c.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+                other => panic!("serde shim derive: expected enum body, got {other:?}"),
+            };
+            let mut variants = Vec::new();
+            let mut vc = Cursor::new(group.stream());
+            loop {
+                vc.skip_attrs();
+                if vc.peek().is_none() {
+                    break;
+                }
+                let vname = vc.expect_ident();
+                let body = match vc.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let n = split_top_commas(g.stream())
+                            .into_iter()
+                            .filter(|s| !s.is_empty())
+                            .count();
+                        vc.next();
+                        Body::Tuple(n)
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let fields = parse_named_fields(g.stream());
+                        vc.next();
+                        Body::Named(fields)
+                    }
+                    _ => Body::Unit,
+                };
+                // Skip an optional discriminant, then the separator.
+                if vc.peek_punct('=') {
+                    vc.next();
+                    while let Some(t) = vc.peek() {
+                        if matches!(t, TokenTree::Punct(p) if p.as_char() == ',') {
+                            break;
+                        }
+                        vc.next();
+                    }
+                }
+                if vc.peek_punct(',') {
+                    vc.next();
+                }
+                variants.push(Variant { name: vname, body });
+            }
+            Item {
+                name,
+                generics,
+                shape: Shape::Enum(variants),
+            }
+        }
+        other => panic!("serde shim derive: unsupported item kind `{other}`"),
+    }
+}
+
+// ----------------------------------------------------------------------
+// Code generation (rendered as source text, then re-parsed)
+// ----------------------------------------------------------------------
+
+fn impl_header(item: &Item, trait_name: &str) -> String {
+    if item.generics.is_empty() {
+        format!("impl ::serde::{trait_name} for {}", item.name)
+    } else {
+        let bounded: Vec<String> = item
+            .generics
+            .iter()
+            .map(|p| format!("{p}: ::serde::{trait_name}"))
+            .collect();
+        format!(
+            "impl<{}> ::serde::{trait_name} for {}<{}>",
+            bounded.join(", "),
+            item.name,
+            item.generics.join(", ")
+        )
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let body = match &item.shape {
+        Shape::Struct(Body::Unit) => "::serde::Value::Null".to_string(),
+        Shape::Struct(Body::Tuple(1)) => {
+            "::serde::Serialize::to_value(&self.0)".to_string()
+        }
+        Shape::Struct(Body::Tuple(n)) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", elems.join(", "))
+        }
+        Shape::Struct(Body::Named(fields)) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let mut arms = Vec::new();
+            for v in variants {
+                let vn = &v.name;
+                let name = &item.name;
+                let arm = match &v.body {
+                    Body::Unit => format!(
+                        "{name}::{vn} => ::serde::Value::Str(\
+                         ::std::string::String::from(\"{vn}\"))"
+                    ),
+                    Body::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let payload = if *n == 1 {
+                            "::serde::Serialize::to_value(f0)".to_string()
+                        } else {
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Seq(::std::vec![{}])", elems.join(", "))
+                        };
+                        format!(
+                            "{name}::{vn}({}) => ::serde::Value::Map(::std::vec![\
+                             (::std::string::String::from(\"{vn}\"), {payload})])",
+                            binds.join(", ")
+                        )
+                    }
+                    Body::Named(fields) => {
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), \
+                                     ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Value::Map(::std::vec![\
+                             (::std::string::String::from(\"{vn}\"), \
+                             ::serde::Value::Map(::std::vec![{}]))])",
+                            fields.join(", "),
+                            entries.join(", ")
+                        )
+                    }
+                };
+                arms.push(arm);
+            }
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "{} {{ fn to_value(&self) -> ::serde::Value {{ {body} }} }}",
+        impl_header(item, "Serialize")
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(Body::Unit) => format!("::std::result::Result::Ok({name})"),
+        Shape::Struct(Body::Tuple(1)) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+        ),
+        Shape::Struct(Body::Tuple(n)) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&s[{i}])?"))
+                .collect();
+            format!(
+                "let s = v.as_seq().ok_or_else(|| ::serde::Error::msg(\"expected array\"))?; \
+                 if s.len() != {n} {{ \
+                   return ::std::result::Result::Err(::serde::Error::msg(\"wrong tuple length\")); \
+                 }} \
+                 ::std::result::Result::Ok({name}({}))",
+                elems.join(", ")
+            )
+        }
+        Shape::Struct(Body::Named(fields)) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("{f}: ::serde::Deserialize::from_value(v.field(\"{f}\")?)?")
+                })
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = Vec::new();
+            let mut data_arms = Vec::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.body {
+                    Body::Unit => unit_arms.push(format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn})"
+                    )),
+                    Body::Tuple(1) => data_arms.push(format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                         ::serde::Deserialize::from_value(payload)?))"
+                    )),
+                    Body::Tuple(n) => {
+                        let elems: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&s[{i}])?"))
+                            .collect();
+                        data_arms.push(format!(
+                            "\"{vn}\" => {{ \
+                             let s = payload.as_seq().ok_or_else(|| \
+                               ::serde::Error::msg(\"expected variant array\"))?; \
+                             if s.len() != {n} {{ \
+                               return ::std::result::Result::Err(\
+                                 ::serde::Error::msg(\"wrong variant arity\")); \
+                             }} \
+                             ::std::result::Result::Ok({name}::{vn}({})) }}",
+                            elems.join(", ")
+                        ));
+                    }
+                    Body::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(\
+                                     payload.field(\"{f}\")?)?"
+                                )
+                            })
+                            .collect();
+                        data_arms.push(format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn} {{ {} }})",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            let unit_match = format!(
+                "match s.as_str() {{ {}{} other => ::std::result::Result::Err(\
+                 ::serde::Error(::std::format!(\"unknown variant `{{other}}`\"))) }}",
+                unit_arms.join(", "),
+                if unit_arms.is_empty() { "" } else { "," }
+            );
+            let data_match = format!(
+                "match k.as_str() {{ {}{} other => ::std::result::Result::Err(\
+                 ::serde::Error(::std::format!(\"unknown variant `{{other}}`\"))) }}",
+                data_arms.join(", "),
+                if data_arms.is_empty() { "" } else { "," }
+            );
+            format!(
+                "match v {{ \
+                 ::serde::Value::Str(s) => {unit_match}, \
+                 ::serde::Value::Map(m) if m.len() == 1 => {{ \
+                   let (k, payload) = &m[0]; {data_match} }}, \
+                 other => ::std::result::Result::Err(::serde::Error(\
+                   ::std::format!(\"expected enum value, got {{other:?}}\"))) }}"
+            )
+        }
+    };
+    format!(
+        "{} {{ fn from_value(v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{ {body} }} }}",
+        impl_header(item, "Deserialize")
+    )
+}
