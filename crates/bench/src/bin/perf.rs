@@ -17,6 +17,11 @@
 //! reports steady-state heap allocations per simulated cycle, measured
 //! as the allocation-count *slope* between a short and a long run of the
 //! same benchmark (setup allocations cancel out).
+//!
+//! With `--features obs`, one benchmark is additionally timed with the
+//! pipeline observer attached vs. detached, recording the observer's
+//! run-time overhead ratio (and checking stall-attribution
+//! conservation) in the report's `obs` section.
 
 use mg_bench::harness::PreparedSim;
 use mg_bench::{machine_fingerprint, BenchContext, Scheme, SCHEMA_VERSION};
@@ -83,6 +88,18 @@ struct AllocPerf {
 }
 
 #[derive(Serialize)]
+struct ObsPerf {
+    bench: String,
+    cycles: u64,
+    plain_wall_sec: f64,
+    observed_wall_sec: f64,
+    /// Observed wall over plain wall: the run-time price of attaching
+    /// the observer (the compile-it-out price is zero by construction).
+    overhead_ratio: f64,
+    conservation_ok: bool,
+}
+
+#[derive(Serialize)]
 struct PerfReport {
     schema_version: u32,
     machine_fingerprint: String,
@@ -94,6 +111,7 @@ struct PerfReport {
     total_wall_sec: f64,
     sim_cycles_per_sec: f64,
     alloc: Option<AllocPerf>,
+    obs: Option<ObsPerf>,
 }
 
 fn cell_tags() -> Vec<(Scheme, &'static str)> {
@@ -167,7 +185,7 @@ fn alloc_profile(target_dyn: usize) -> Option<AllocPerf> {
     let mut long_spec = short_spec.clone();
     short_spec.params.target_dyn = target_dyn;
     long_spec.params.target_dyn = target_dyn * 4;
-    let mut measure = |spec: &mg_workloads::BenchmarkSpec| -> Option<(u64, u64)> {
+    let measure = |spec: &mg_workloads::BenchmarkSpec| -> Option<(u64, u64)> {
         let ctx = BenchContext::builder(spec, &red)
             .cache(false)
             .build()
@@ -195,6 +213,49 @@ fn alloc_profile(target_dyn: usize) -> Option<AllocPerf> {
 
 #[cfg(not(feature = "alloc-count"))]
 fn alloc_profile(_target_dyn: usize) -> Option<AllocPerf> {
+    None
+}
+
+/// Times one benchmark with and without the pipeline observer attached:
+/// the ratio is the run-time cost of observing (the cost with the `obs`
+/// feature off is zero — the hooks compile away).
+#[cfg(feature = "obs")]
+fn obs_profile(target_dyn: usize) -> Option<ObsPerf> {
+    let red = MachineConfig::reduced();
+    let mut spec = suite().into_iter().find(|s| s.name == "mib_crc32")?;
+    spec.params.target_dyn = target_dyn;
+    let ctx = BenchContext::builder(&spec, &red)
+        .cache(false)
+        .build()
+        .ok()?;
+    let plain = ctx.prepare_sim(Scheme::StructAll, &red, None, None).ok()?;
+    let mut observed = plain.clone();
+    observed.opts.obs = Some(mg_sim::ObsConfig::default());
+    let best = |p: &PreparedSim| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..REPEATS {
+            let t0 = Instant::now();
+            p.simulate();
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        best
+    };
+    let plain_wall_sec = best(&plain);
+    let observed_wall_sec = best(&observed);
+    let r = observed.simulate();
+    let report = r.obs.as_ref()?;
+    Some(ObsPerf {
+        bench: spec.name,
+        cycles: r.stats.cycles,
+        plain_wall_sec,
+        observed_wall_sec,
+        overhead_ratio: observed_wall_sec / plain_wall_sec.max(1e-12),
+        conservation_ok: report.conservation_ok(),
+    })
+}
+
+#[cfg(not(feature = "obs"))]
+fn obs_profile(_target_dyn: usize) -> Option<ObsPerf> {
     None
 }
 
@@ -248,6 +309,18 @@ fn main() {
         );
     }
 
+    let obs = obs_profile(target_dyn);
+    if let Some(o) = &obs {
+        eprintln!(
+            "observer overhead on {}: {:.2}x ({:.3}s observed vs {:.3}s plain, conservation {})",
+            o.bench,
+            o.overhead_ratio,
+            o.observed_wall_sec,
+            o.plain_wall_sec,
+            if o.conservation_ok { "ok" } else { "VIOLATED" },
+        );
+    }
+
     let report = PerfReport {
         schema_version: SCHEMA_VERSION,
         machine_fingerprint: machine_fingerprint(),
@@ -259,6 +332,7 @@ fn main() {
         total_wall_sec: total_wall,
         sim_cycles_per_sec: total_cycles as f64 / total_wall,
         alloc,
+        obs,
     };
     println!(
         "TOTAL: {} simulated cycles in {:.3}s = {:.0} sim-cycles/sec",

@@ -64,6 +64,29 @@ pub struct ContextArtifacts {
     pub slack: SlackProfile,
 }
 
+/// How a single context request was served, for per-benchmark reporting
+/// in sweep summaries (the process-wide [`CacheCounters`] only aggregate).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Served from the in-memory layer: no work at all.
+    MemHit,
+    /// Served from a disk entry: functional replay only.
+    DiskHit,
+    /// Full rebuild including the profiling simulation.
+    Miss,
+}
+
+impl CacheOutcome {
+    /// Short human-readable tag (`mem` / `disk` / `miss`).
+    pub fn tag(&self) -> &'static str {
+        match self {
+            CacheOutcome::MemHit => "mem",
+            CacheOutcome::DiskHit => "disk",
+            CacheOutcome::Miss => "miss",
+        }
+    }
+}
+
 /// Snapshot of the process-wide cache counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheCounters {
@@ -299,24 +322,26 @@ pub(crate) fn compute_uncached(
     })
 }
 
-/// Fetches (or builds and caches) the artifacts for a context request.
+/// Fetches (or builds and caches) the artifacts for a context request,
+/// reporting how the request was served.
 ///
 /// Lookup order: in-memory, then disk (if `use_disk`), then a full
-/// rebuild. The corresponding counter is bumped exactly once per call.
+/// rebuild. The corresponding counter is bumped exactly once per call and
+/// matches the returned [`CacheOutcome`].
 pub(crate) fn context(
     spec: &BenchmarkSpec,
     train_cfg: &MachineConfig,
     train_input: &InputSet,
     run_input: &InputSet,
     use_disk: bool,
-) -> Result<Arc<ContextArtifacts>, BenchError> {
+) -> Result<(Arc<ContextArtifacts>, CacheOutcome), BenchError> {
     let key = context_key(spec, train_cfg, train_input, run_input);
     if let Some(hit) = mem().lock().expect("context cache lock").get(&key) {
         MEM_HITS.fetch_add(1, Ordering::Relaxed);
-        return Ok(Arc::clone(hit));
+        return Ok((Arc::clone(hit), CacheOutcome::MemHit));
     }
     let disk_entry = if use_disk { disk_load(key, spec) } else { None };
-    let (artifacts, from_disk) = match disk_entry {
+    let (artifacts, outcome) = match disk_entry {
         Some((freqs, slack)) => {
             let (workload, trace) = run_side(spec, run_input)?;
             (
@@ -326,20 +351,23 @@ pub(crate) fn context(
                     freqs,
                     slack,
                 },
-                true,
+                CacheOutcome::DiskHit,
             )
         }
         None => (
             compute_uncached(spec, train_cfg, train_input, run_input)?,
-            false,
+            CacheOutcome::Miss,
         ),
     };
-    if from_disk {
-        DISK_HITS.fetch_add(1, Ordering::Relaxed);
-    } else {
-        MISSES.fetch_add(1, Ordering::Relaxed);
-        if use_disk {
-            disk_store(key, spec, &artifacts.freqs, &artifacts.slack);
+    match outcome {
+        CacheOutcome::DiskHit => {
+            DISK_HITS.fetch_add(1, Ordering::Relaxed);
+        }
+        _ => {
+            MISSES.fetch_add(1, Ordering::Relaxed);
+            if use_disk {
+                disk_store(key, spec, &artifacts.freqs, &artifacts.slack);
+            }
         }
     }
     let arc = Arc::new(artifacts);
@@ -348,7 +376,7 @@ pub(crate) fn context(
         .expect("context cache lock")
         .entry(key)
         .or_insert_with(|| Arc::clone(&arc));
-    Ok(arc)
+    Ok((arc, outcome))
 }
 
 #[cfg(test)]

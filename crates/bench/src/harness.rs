@@ -8,7 +8,7 @@
 //! and continue. The panicking [`BenchContext::new`] / [`BenchContext::run`]
 //! are kept as deprecated `expect`-wrappers for one release.
 
-use crate::cache::{self, ContextArtifacts};
+use crate::cache::{self, CacheOutcome, ContextArtifacts};
 use mg_core::candidate::SelectionConfig;
 use mg_core::pipeline::prepare;
 use mg_core::select::{Selector, SlackProfileModel, SpKind};
@@ -53,6 +53,30 @@ pub enum Scheme {
 }
 
 impl Scheme {
+    /// Every scheme, in paper presentation order.
+    pub const ALL: [Scheme; 12] = [
+        Scheme::NoMg,
+        Scheme::StructAll,
+        Scheme::StructNone,
+        Scheme::StructBounded,
+        Scheme::SlackProfile,
+        Scheme::SlackProfileDelay,
+        Scheme::SlackProfileSial,
+        Scheme::SlackProfileMem,
+        Scheme::SlackDynamic,
+        Scheme::IdealSlackDynamic,
+        Scheme::IdealSlackDynamicDelay,
+        Scheme::IdealSlackDynamicSial,
+    ];
+
+    /// Parses a paper-style display name (as produced by
+    /// [`Scheme::name`]), case-insensitively.
+    pub fn from_name(name: &str) -> Option<Scheme> {
+        Scheme::ALL
+            .into_iter()
+            .find(|s| s.name().eq_ignore_ascii_case(name))
+    }
+
     /// Paper-style display name.
     pub fn name(self) -> &'static str {
         match self {
@@ -197,8 +221,8 @@ impl BenchContextBuilder {
             .train_input
             .unwrap_or_else(|| self.spec.primary_input());
         let run_input = self.run_input.unwrap_or_else(|| self.spec.primary_input());
-        let (workload, trace, freqs, slack) = if self.cache {
-            let a = cache::context(
+        let (workload, trace, freqs, slack, cache_outcome) = if self.cache {
+            let (a, outcome) = cache::context(
                 &self.spec,
                 &self.train_cfg,
                 &train_input,
@@ -210,6 +234,7 @@ impl BenchContextBuilder {
                 a.trace.clone(),
                 a.freqs.clone(),
                 a.slack.clone(),
+                outcome,
             )
         } else {
             let ContextArtifacts {
@@ -218,7 +243,7 @@ impl BenchContextBuilder {
                 freqs,
                 slack,
             } = cache::compute_uncached(&self.spec, &self.train_cfg, &train_input, &run_input)?;
-            (workload, trace, freqs, slack)
+            (workload, trace, freqs, slack, CacheOutcome::Miss)
         };
         Ok(BenchContext {
             spec: self.spec,
@@ -227,6 +252,7 @@ impl BenchContextBuilder {
             freqs,
             slack,
             sel_cfg: self.sel_cfg,
+            cache_outcome,
         })
     }
 }
@@ -245,6 +271,7 @@ pub struct BenchContext {
     /// Local slack profile (self-trained unless overridden).
     pub slack: mg_sim::SlackProfile,
     sel_cfg: SelectionConfig,
+    cache_outcome: CacheOutcome,
 }
 
 impl BenchContext {
@@ -290,6 +317,12 @@ impl BenchContext {
             .run_input(run_input.clone())
             .build()
             .expect("benchmark context builds")
+    }
+
+    /// How this context's artifacts were served by the cache (a context
+    /// built with caching disabled reports a miss).
+    pub fn cache_outcome(&self) -> CacheOutcome {
+        self.cache_outcome
     }
 
     /// The selection configuration in use.
@@ -430,6 +463,45 @@ impl BenchContext {
     pub fn run(&self, scheme: Scheme, machine: &MachineConfig) -> SchemeRun {
         self.try_run(scheme, machine).expect("scheme run succeeds")
     }
+
+    /// Runs one scheme on one machine with the pipeline observer
+    /// attached, returning both the condensed row and the full
+    /// observability report (trace, stall attribution, occupancy).
+    ///
+    /// Only available with the `obs` feature; without it the simulator
+    /// carries no instrumentation at all.
+    #[cfg(feature = "obs")]
+    pub fn try_run_obs(
+        &self,
+        scheme: Scheme,
+        machine: &MachineConfig,
+        obs: mg_obs::ObsConfig,
+    ) -> Result<(SchemeRun, mg_obs::ObsReport), BenchError> {
+        self.try_run_with_obs(scheme, machine, None, None, obs)
+    }
+
+    /// [`BenchContext::try_run_obs`] with the full per-cell overrides of
+    /// [`BenchContext::try_run_with`] — the sweep runner's instrumented
+    /// cell path.
+    #[cfg(feature = "obs")]
+    pub fn try_run_with_obs(
+        &self,
+        scheme: Scheme,
+        machine: &MachineConfig,
+        mg: Option<MgConfig>,
+        sel: Option<&SelectionConfig>,
+        obs: mg_obs::ObsConfig,
+    ) -> Result<(SchemeRun, mg_obs::ObsReport), BenchError> {
+        let mut p = self.prepare_sim(scheme, machine, mg, sel)?;
+        p.opts.obs = Some(obs);
+        let mut r = p.simulate();
+        let report = r
+            .obs
+            .take()
+            .expect("simulate returns a report when an observer is configured");
+        let run = SchemeRun::try_from_sim(&self.spec.name, scheme, r, p.est_coverage)?;
+        Ok((run, report))
+    }
 }
 
 /// A fully prepared timing-simulation input for one (scheme, machine)
@@ -508,6 +580,38 @@ impl SchemeRun {
     }
 }
 
+/// The per-benchmark observability section attached to results produced
+/// with the observer enabled: identifies the (benchmark, scheme) cell and
+/// carries the full [`mg_obs::ObsReport`] (trace tail, stall attribution,
+/// occupancy, windowed IPC).
+#[cfg(feature = "obs")]
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ObsSection {
+    /// Benchmark name.
+    pub bench: String,
+    /// Scheme the instrumented run used.
+    pub scheme: Scheme,
+    /// The run's observability report.
+    pub report: mg_obs::ObsReport,
+}
+
+#[cfg(feature = "obs")]
+impl ObsSection {
+    /// Wraps a report with its cell identity.
+    pub fn new(bench: &str, scheme: Scheme, report: mg_obs::ObsReport) -> ObsSection {
+        ObsSection {
+            bench: bench.to_string(),
+            scheme,
+            report,
+        }
+    }
+
+    /// Whether the report's stall attribution conserves cycles.
+    pub fn conservation_ok(&self) -> bool {
+        self.report.conservation_ok()
+    }
+}
+
 /// The envelope every results file is wrapped in: a schema version and a
 /// fingerprint of the simulated machine family, so downstream consumers
 /// can reject rows produced by an incompatible harness.
@@ -575,6 +679,15 @@ mod tests {
         let back: Envelope<Vec<u32>> = serde_json::from_str(&json).unwrap();
         assert_eq!(back.schema_version, SCHEMA_VERSION);
         assert_eq!(back.rows, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn scheme_names_round_trip() {
+        for s in Scheme::ALL {
+            assert_eq!(Scheme::from_name(s.name()), Some(s));
+            assert_eq!(Scheme::from_name(&s.name().to_lowercase()), Some(s));
+        }
+        assert_eq!(Scheme::from_name("no-such-scheme"), None);
     }
 
     #[test]

@@ -17,12 +17,15 @@ pub mod harness;
 pub mod runner;
 pub mod stats;
 
+pub use cache::CacheOutcome;
+#[cfg(feature = "obs")]
+pub use harness::ObsSection;
 pub use harness::{
     machine_fingerprint, save_json, BenchContext, BenchContextBuilder, BenchError, Envelope,
     Scheme, SchemeRun, SCHEMA_VERSION,
 };
 pub use runner::{
-    default_jobs, par_map, parse_jobs, try_default_jobs, BenchRows, InputSel, SweepCell,
-    SweepResult, SweepSpec, SweepSummary,
+    default_jobs, par_map, parse_jobs, try_default_jobs, BenchProfile, BenchRows, InputSel,
+    SweepCell, SweepResult, SweepSpec, SweepSummary,
 };
 pub use stats::{geomean, mean, s_curve};

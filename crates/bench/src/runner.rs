@@ -16,13 +16,18 @@
 //!
 //! A cell that fails ([`BenchError::CycleCap`], a workload execution
 //! error) is recorded as a failure row; the sweep continues. Each
-//! [`SweepResult`] carries a [`SweepSummary`] with per-task wall times and
-//! context-cache counters, printed as a footer unless the spec is
-//! [`SweepSpec::quiet`].
+//! [`SweepResult`] carries a [`SweepSummary`] with per-benchmark wall
+//! times and cache outcomes plus sweep-wide context-cache counters,
+//! printed as a footer unless the spec is [`SweepSpec::quiet`].
+//!
+//! Progress output goes through the `mg-obs` leveled logger: set
+//! `MG_LOG=error` to silence a noisy sweep or `MG_LOG=debug` for the full
+//! per-benchmark timing listing ([`SweepSummary::print_footer`]).
 
-use crate::cache::{self, CacheCounters};
+use crate::cache::{self, CacheCounters, CacheOutcome};
 use crate::harness::{BenchContext, BenchError, Scheme, SchemeRun};
 use mg_core::candidate::SelectionConfig;
+use mg_obs::{mg_debug, mg_info};
 use mg_sim::{MachineConfig, MgConfig};
 use mg_workloads::{BenchmarkSpec, InputSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -102,6 +107,8 @@ pub struct SweepSpec {
     jobs: Option<usize>,
     disk_cache: bool,
     quiet: bool,
+    #[cfg(feature = "obs")]
+    obs: Option<mg_obs::ObsConfig>,
 }
 
 impl SweepSpec {
@@ -116,6 +123,8 @@ impl SweepSpec {
             jobs: None,
             disk_cache: true,
             quiet: false,
+            #[cfg(feature = "obs")]
+            obs: None,
         }
     }
 
@@ -175,6 +184,15 @@ impl SweepSpec {
         self
     }
 
+    /// Attaches the pipeline observer to every cell run: each benchmark
+    /// row then carries a per-benchmark [`mg_obs::ObsAggregate`] and
+    /// [`SweepResult::obs_aggregate`] merges them sweep-wide.
+    #[cfg(feature = "obs")]
+    pub fn observe(mut self, cfg: mg_obs::ObsConfig) -> SweepSpec {
+        self.obs = Some(cfg);
+        self
+    }
+
     /// The benchmarks of the sweep, in row order.
     pub fn bench_specs(&self) -> &[BenchmarkSpec] {
         &self.benches
@@ -193,27 +211,39 @@ impl SweepSpec {
                 .run_input(self.run_input.resolve(spec))
                 .disk_cache(self.disk_cache)
                 .build();
-            let runs: Vec<Result<SchemeRun, BenchError>> = match &ctx {
-                Ok(ctx) => self
-                    .cells
-                    .iter()
-                    .map(|cell| {
-                        ctx.try_run_with(cell.scheme, &cell.machine, cell.mg, cell.sel.as_ref())
-                    })
-                    .collect(),
-                Err(e) => self.cells.iter().map(|_| Err(e.clone())).collect(),
+            #[cfg(feature = "obs")]
+            let mut obs_agg = self.obs.map(|_| mg_obs::ObsAggregate::new());
+            let mut runs: Vec<Result<SchemeRun, BenchError>> = Vec::with_capacity(self.cells.len());
+            let cache_outcome = match &ctx {
+                Ok(ctx) => {
+                    for cell in &self.cells {
+                        #[cfg(feature = "obs")]
+                        let run = self.run_cell(ctx, cell, obs_agg.as_mut());
+                        #[cfg(not(feature = "obs"))]
+                        let run = self.run_cell(ctx, cell);
+                        runs.push(run);
+                    }
+                    Some(ctx.cache_outcome())
+                }
+                Err(e) => {
+                    runs.extend(self.cells.iter().map(|_| Err(e.clone())));
+                    None
+                }
             };
             if !quiet {
-                eprint!(".");
+                mg_obs::log::raw(".");
             }
             BenchRows {
                 bench: spec.name.clone(),
                 runs,
                 wall: task0.elapsed(),
+                cache: cache_outcome,
+                #[cfg(feature = "obs")]
+                obs: obs_agg,
             }
         });
         if !quiet {
-            eprintln!();
+            mg_obs::log::raw("\n");
         }
         let failures = rows
             .iter()
@@ -227,11 +257,46 @@ impl SweepSpec {
             wall: t0.elapsed(),
             task_wall_total: rows.iter().map(|r| r.wall).sum(),
             cache: cache::counters().since(&before),
+            per_bench: rows
+                .iter()
+                .map(|r| BenchProfile {
+                    bench: r.bench.clone(),
+                    wall: r.wall,
+                    cache: r.cache,
+                })
+                .collect(),
         };
         if !quiet {
             summary.print_footer();
         }
         SweepResult { rows, summary }
+    }
+
+    /// Runs one cell, instrumented when the spec's observer is on.
+    #[cfg(feature = "obs")]
+    fn run_cell(
+        &self,
+        ctx: &BenchContext,
+        cell: &SweepCell,
+        obs_agg: Option<&mut mg_obs::ObsAggregate>,
+    ) -> Result<SchemeRun, BenchError> {
+        if let Some(oc) = self.obs {
+            return ctx
+                .try_run_with_obs(cell.scheme, &cell.machine, cell.mg, cell.sel.as_ref(), oc)
+                .map(|(run, report)| {
+                    if let Some(agg) = obs_agg {
+                        agg.absorb(&report);
+                    }
+                    run
+                });
+        }
+        ctx.try_run_with(cell.scheme, &cell.machine, cell.mg, cell.sel.as_ref())
+    }
+
+    /// Runs one cell (uninstrumented build).
+    #[cfg(not(feature = "obs"))]
+    fn run_cell(&self, ctx: &BenchContext, cell: &SweepCell) -> Result<SchemeRun, BenchError> {
+        ctx.try_run_with(cell.scheme, &cell.machine, cell.mg, cell.sel.as_ref())
     }
 }
 
@@ -244,6 +309,13 @@ pub struct BenchRows {
     pub runs: Vec<Result<SchemeRun, BenchError>>,
     /// Wall time this benchmark's task took (context + all cells).
     pub wall: Duration,
+    /// How the benchmark's context was served by the cache (`None` when
+    /// context construction itself failed).
+    pub cache: Option<CacheOutcome>,
+    /// Observer aggregate over this benchmark's cells (populated only
+    /// when the sweep ran with [`SweepSpec::observe`]).
+    #[cfg(feature = "obs")]
+    pub obs: Option<mg_obs::ObsAggregate>,
 }
 
 impl BenchRows {
@@ -268,6 +340,21 @@ pub struct SweepResult {
     pub summary: SweepSummary,
 }
 
+#[cfg(feature = "obs")]
+impl SweepResult {
+    /// Merges the per-benchmark observer aggregates into one sweep-wide
+    /// stall-attribution aggregate (empty if the sweep did not observe).
+    pub fn obs_aggregate(&self) -> mg_obs::ObsAggregate {
+        let mut agg = mg_obs::ObsAggregate::new();
+        for row in &self.rows {
+            if let Some(a) = &row.obs {
+                agg.merge(a);
+            }
+        }
+        agg
+    }
+}
+
 /// Sweep execution metadata — the first observability hooks for the
 /// sweep hot path.
 #[derive(Clone, Debug)]
@@ -287,12 +374,38 @@ pub struct SweepSummary {
     pub task_wall_total: Duration,
     /// Context-cache counter deltas for this sweep.
     pub cache: CacheCounters,
+    /// Per-benchmark wall time and cache outcome, in spec order.
+    pub per_bench: Vec<BenchProfile>,
+}
+
+/// One benchmark's execution profile inside a sweep.
+#[derive(Clone, Debug)]
+pub struct BenchProfile {
+    /// Benchmark name.
+    pub bench: String,
+    /// Wall time of the benchmark's task (context + all cells).
+    pub wall: Duration,
+    /// Cache outcome of the context build (`None` if it failed).
+    pub cache: Option<CacheOutcome>,
+}
+
+impl BenchProfile {
+    fn render(&self) -> String {
+        format!(
+            "{} {:.2}s (context: {})",
+            self.bench,
+            self.wall.as_secs_f64(),
+            self.cache.map_or("failed", |c| c.tag())
+        )
+    }
 }
 
 impl SweepSummary {
-    /// Prints the standard summary footer to stderr.
+    /// Logs the standard summary footer: the aggregate line and the
+    /// slowest benchmarks at `info`, the full per-benchmark listing at
+    /// `debug` (`MG_LOG=debug`).
     pub fn print_footer(&self) {
-        eprintln!(
+        mg_info!(
             "sweep: {} benchmarks x {} cells on {} workers in {:.1}s \
              (task time {:.1}s, speedup {:.1}x); \
              context cache: {} memory hits, {} disk hits, {} misses{}",
@@ -311,6 +424,15 @@ impl SweepSummary {
                 String::new()
             },
         );
+        if !self.per_bench.is_empty() {
+            let mut by_wall: Vec<&BenchProfile> = self.per_bench.iter().collect();
+            by_wall.sort_by(|a, b| b.wall.cmp(&a.wall).then_with(|| a.bench.cmp(&b.bench)));
+            let slowest: Vec<String> = by_wall.iter().take(3).map(|p| p.render()).collect();
+            mg_info!("slowest: {}", slowest.join(", "));
+            for p in &self.per_bench {
+                mg_debug!("  {}", p.render());
+            }
+        }
     }
 }
 

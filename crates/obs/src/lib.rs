@@ -1,0 +1,49 @@
+//! Observability layer for the mini-graphs simulator and bench harness.
+//!
+//! This crate collects everything the workspace uses to *explain* a cycle
+//! count instead of just reporting one:
+//!
+//! - [`log`]: a tiny leveled logger driven by the `MG_LOG` environment
+//!   variable (`off` / `error` / `info` / `debug`), used by the sweep
+//!   runner for progress output.
+//! - [`ring`]: a fixed-capacity ring buffer — the allocation-free backing
+//!   store for the pipeline tracer.
+//! - [`trace`]: per-op pipeline stage records ([`OpTrace`]) and a
+//!   Konata-style text pipeview renderer for a chosen cycle window.
+//! - [`stall`]: the stall-attribution taxonomy ([`StallCause`]) and the
+//!   per-issue-slot counter table ([`StallTable`]) that charges every
+//!   cycle of every issue slot to exactly one cause, so the per-slot
+//!   counts sum to the run's total cycles by construction.
+//! - [`metrics`]: bounded histograms (queue occupancy) and windowed IPC.
+//! - [`collector`]: the [`ObsCollector`] state machine the simulator
+//!   drives from its pipeline hook points.
+//! - [`report`]: the serializable [`ObsReport`] a run produces and the
+//!   [`ObsAggregate`] the sweep runner folds reports into.
+//! - [`schema`]: a minimal JSON-Schema subset validator used by the CI
+//!   `obs-smoke` job to check emitted trace JSON against a checked-in
+//!   schema.
+//!
+//! The simulator only links this crate when built with its `obs` cargo
+//! feature; with the feature off, every hook site compiles to nothing and
+//! simulation results are bit-exact with an uninstrumented build.
+
+#![warn(missing_docs)]
+
+pub mod collector;
+pub mod log;
+pub mod metrics;
+pub mod report;
+pub mod ring;
+pub mod schema;
+pub mod stall;
+pub mod trace;
+
+pub use collector::{
+    CycleState, DispatchBlock, MachineCaps, ObsCollector, ObsConfig, RedirectKind,
+};
+pub use log::Level;
+pub use metrics::{Histogram, WindowIpc};
+pub use report::{ObsAggregate, ObsReport, OccupancyReport};
+pub use ring::Ring;
+pub use stall::{StallCause, StallTable};
+pub use trace::{pipeview, OpClass, OpTrace};

@@ -1,0 +1,171 @@
+//! Minimal leveled logger driven by the `MG_LOG` environment variable.
+//!
+//! Levels are `off < error < info < debug`. The level is read lazily from
+//! `MG_LOG` on first use (default: `info`) and can be overridden at
+//! runtime with [`set_level`] — useful in tests, which must not depend on
+//! process environment. Output goes to stderr so it never corrupts JSON
+//! results written to stdout or files.
+//!
+//! The [`mg_error!`](crate::mg_error), [`mg_info!`](crate::mg_info) and
+//! [`mg_debug!`](crate::mg_debug) macros check the level before
+//! evaluating their format arguments.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Verbosity level, ordered from quietest to loudest.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// No output at all.
+    Off = 0,
+    /// Only errors.
+    Error = 1,
+    /// Errors plus progress lines (the default).
+    Info = 2,
+    /// Everything, including per-item detail.
+    Debug = 3,
+}
+
+impl Level {
+    /// Parses an `MG_LOG` value. Unrecognized values fall back to `Info`
+    /// so a typo never silences error output entirely.
+    pub fn parse(s: &str) -> Level {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "off" | "none" | "0" => Level::Off,
+            "error" | "1" => Level::Error,
+            "info" | "2" => Level::Info,
+            "debug" | "3" => Level::Debug,
+            _ => Level::Info,
+        }
+    }
+
+    /// The lowercase name, matching what `MG_LOG` accepts.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Off => "off",
+            Level::Error => "error",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+}
+
+/// Sentinel meaning "not yet initialized from the environment".
+const UNINIT: u8 = u8::MAX;
+
+static LEVEL: AtomicU8 = AtomicU8::new(UNINIT);
+
+fn decode(raw: u8) -> Level {
+    match raw {
+        0 => Level::Off,
+        1 => Level::Error,
+        3 => Level::Debug,
+        _ => Level::Info,
+    }
+}
+
+/// The current log level, initializing from `MG_LOG` on first call.
+pub fn level() -> Level {
+    let raw = LEVEL.load(Ordering::Relaxed);
+    if raw != UNINIT {
+        return decode(raw);
+    }
+    let initial = match std::env::var("MG_LOG") {
+        Ok(v) => Level::parse(&v),
+        Err(_) => Level::Info,
+    };
+    // A racing set_level may land between the load and this store; last
+    // writer wins, which is fine for a diagnostics knob.
+    LEVEL.store(initial as u8, Ordering::Relaxed);
+    initial
+}
+
+/// Overrides the log level for the rest of the process.
+pub fn set_level(l: Level) {
+    LEVEL.store(l as u8, Ordering::Relaxed);
+}
+
+/// Whether messages at `l` are currently emitted.
+pub fn enabled(l: Level) -> bool {
+    l != Level::Off && l <= level()
+}
+
+/// Writes one formatted line to stderr with a level tag. Prefer the
+/// `mg_*!` macros, which check [`enabled`] before formatting.
+pub fn write(l: Level, args: fmt::Arguments<'_>) {
+    eprintln!("[mg:{}] {}", l.name(), args);
+}
+
+/// Writes a raw fragment (no newline, no tag) at `info` level — used for
+/// the sweep runner's progress dots, which build up one line across many
+/// calls.
+pub fn raw(s: &str) {
+    if enabled(Level::Info) {
+        eprint!("{s}");
+    }
+}
+
+/// Logs at `error` level.
+#[macro_export]
+macro_rules! mg_error {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Error) {
+            $crate::log::write($crate::log::Level::Error, format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at `info` level.
+#[macro_export]
+macro_rules! mg_info {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Info) {
+            $crate::log::write($crate::log::Level::Info, format_args!($($arg)*));
+        }
+    };
+}
+
+/// Logs at `debug` level.
+#[macro_export]
+macro_rules! mg_debug {
+    ($($arg:tt)*) => {
+        if $crate::log::enabled($crate::log::Level::Debug) {
+            $crate::log::write($crate::log::Level::Debug, format_args!($($arg)*));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_names_and_numbers() {
+        assert_eq!(Level::parse("off"), Level::Off);
+        assert_eq!(Level::parse("ERROR"), Level::Error);
+        assert_eq!(Level::parse(" debug "), Level::Debug);
+        assert_eq!(Level::parse("2"), Level::Info);
+        assert_eq!(Level::parse("garbage"), Level::Info);
+    }
+
+    #[test]
+    fn set_level_controls_enabled() {
+        set_level(Level::Error);
+        assert!(enabled(Level::Error));
+        assert!(!enabled(Level::Info));
+        set_level(Level::Off);
+        assert!(!enabled(Level::Error));
+        set_level(Level::Debug);
+        assert!(enabled(Level::Debug));
+        // Restore the default so other tests in this binary see it.
+        set_level(Level::Info);
+    }
+
+    #[test]
+    fn ordering_matches_verbosity() {
+        assert!(Level::Off < Level::Error);
+        assert!(Level::Error < Level::Info);
+        assert!(Level::Info < Level::Debug);
+    }
+}

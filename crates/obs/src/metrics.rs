@@ -1,0 +1,186 @@
+//! Cycle-bucketed metrics: bounded occupancy histograms and windowed IPC.
+
+use serde::{Deserialize, Serialize};
+
+/// A bounded histogram over `0..=max`; samples above `max` clamp into the
+/// last bucket. Used for queue-occupancy distributions, where `max` is
+/// the queue capacity.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Largest representable sample (inclusive).
+    pub max: usize,
+    /// `max + 1` buckets; `buckets[v]` counts samples equal to `v`.
+    pub buckets: Vec<u64>,
+    /// Total number of samples recorded.
+    pub samples: u64,
+}
+
+impl Histogram {
+    /// An empty histogram over `0..=max`.
+    pub fn new(max: usize) -> Histogram {
+        Histogram {
+            max,
+            buckets: vec![0; max + 1],
+            samples: 0,
+        }
+    }
+
+    /// Records one sample, clamping to `max`.
+    pub fn record(&mut self, value: usize) {
+        self.buckets[value.min(self.max)] += 1;
+        self.samples += 1;
+    }
+
+    /// Mean of all recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples == 0 {
+            return 0.0;
+        }
+        let sum: u64 = self
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(v, n)| v as u64 * n)
+            .sum();
+        sum as f64 / self.samples as f64
+    }
+
+    /// Smallest value `v` such that at least `q` (in `[0, 1]`) of the
+    /// samples are ≤ `v`; 0 when empty.
+    pub fn quantile(&self, q: f64) -> usize {
+        if self.samples == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.samples as f64).ceil() as u64;
+        let mut seen = 0;
+        for (v, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return v;
+            }
+        }
+        self.max
+    }
+
+    /// Fraction of samples in the last bucket (queue at capacity).
+    pub fn frac_full(&self) -> f64 {
+        if self.samples == 0 {
+            return 0.0;
+        }
+        self.buckets[self.max] as f64 / self.samples as f64
+    }
+
+    /// Folds another histogram into this one (same `max` required).
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.max, other.max, "histogram range mismatch");
+        for (m, t) in self.buckets.iter_mut().zip(&other.buckets) {
+            *m += t;
+        }
+        self.samples += other.samples;
+    }
+}
+
+/// Committed-instruction counts bucketed by fixed cycle windows, from
+/// which per-window IPC falls out as `instrs[i] / window`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WindowIpc {
+    /// Window size in cycles.
+    pub window: u64,
+    /// Instructions committed during each consecutive window; the last
+    /// entry may cover a partial window.
+    pub instrs: Vec<u64>,
+}
+
+impl WindowIpc {
+    /// Empty series with the given window size (minimum 1).
+    pub fn new(window: u64) -> WindowIpc {
+        WindowIpc {
+            window: window.max(1),
+            instrs: Vec::new(),
+        }
+    }
+
+    /// Adds `n` committed instructions at `cycle`.
+    pub fn record(&mut self, cycle: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let bucket = (cycle / self.window) as usize;
+        if self.instrs.len() <= bucket {
+            self.instrs.resize(bucket + 1, 0);
+        }
+        self.instrs[bucket] += n;
+    }
+
+    /// Per-window IPC values (last window scaled by its true length,
+    /// given the run's total cycles).
+    pub fn ipc_series(&self, total_cycles: u64) -> Vec<f64> {
+        let n = self.instrs.len();
+        self.instrs
+            .iter()
+            .enumerate()
+            .map(|(i, instrs)| {
+                let span = if i + 1 == n {
+                    let rem = total_cycles.saturating_sub(i as u64 * self.window);
+                    rem.clamp(1, self.window)
+                } else {
+                    self.window
+                };
+                *instrs as f64 / span as f64
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_clamps_and_averages() {
+        let mut h = Histogram::new(4);
+        h.record(0);
+        h.record(2);
+        h.record(9); // clamps to 4
+        assert_eq!(h.samples, 3);
+        assert_eq!(h.buckets[4], 1);
+        assert!((h.mean() - 2.0).abs() < 1e-12);
+        assert!((h.frac_full() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = Histogram::new(10);
+        for v in [1usize, 2, 3, 4] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.5), 2);
+        assert_eq!(h.quantile(1.0), 4);
+        assert_eq!(Histogram::new(3).quantile(0.5), 0);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new(2);
+        a.record(1);
+        let mut b = Histogram::new(2);
+        b.record(2);
+        a.merge(&b);
+        assert_eq!(a.samples, 2);
+        assert_eq!(a.buckets, vec![0, 1, 1]);
+    }
+
+    #[test]
+    fn window_ipc_buckets_by_cycle() {
+        let mut w = WindowIpc::new(10);
+        w.record(0, 4);
+        w.record(9, 6);
+        w.record(25, 5);
+        assert_eq!(w.instrs, vec![10, 0, 5]);
+        let ipc = w.ipc_series(26);
+        assert!((ipc[0] - 1.0).abs() < 1e-12);
+        assert!((ipc[1] - 0.0).abs() < 1e-12);
+        // Last window spans cycles 20..26 → 6 cycles.
+        assert!((ipc[2] - 5.0 / 6.0).abs() < 1e-12);
+    }
+}

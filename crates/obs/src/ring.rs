@@ -1,0 +1,123 @@
+//! Fixed-capacity ring buffer: the allocation-free backing store for the
+//! pipeline tracer.
+//!
+//! The buffer allocates its full capacity up front; after that, pushes
+//! never allocate. Once full, each push overwrites the oldest element and
+//! bumps a `dropped` counter, so a report can state exactly how much of
+//! the run's head fell out of the window.
+
+/// A bounded FIFO that overwrites its oldest element when full.
+#[derive(Clone, Debug)]
+pub struct Ring<T> {
+    buf: Vec<T>,
+    cap: usize,
+    /// Index of the oldest element once the buffer has wrapped.
+    head: usize,
+    dropped: u64,
+}
+
+impl<T> Ring<T> {
+    /// A ring holding at most `cap` elements. The backing storage is
+    /// reserved immediately; a zero capacity drops everything pushed.
+    pub fn new(cap: usize) -> Ring<T> {
+        Ring {
+            buf: Vec::with_capacity(cap),
+            cap,
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Appends `x`, evicting the oldest element if the ring is full.
+    pub fn push(&mut self, x: T) {
+        if self.cap == 0 {
+            self.dropped += 1;
+        } else if self.buf.len() < self.cap {
+            self.buf.push(x);
+        } else {
+            self.buf[self.head] = x;
+            self.head = (self.head + 1) % self.cap;
+            self.dropped += 1;
+        }
+    }
+
+    /// Number of elements currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Maximum number of elements the ring can hold.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// How many elements have been evicted (or discarded by a
+    /// zero-capacity ring) over the ring's lifetime.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates from oldest to newest.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.buf[self.head..]
+            .iter()
+            .chain(self.buf[..self.head].iter())
+    }
+
+    /// Consumes the ring, returning its elements oldest-first.
+    pub fn into_vec(mut self) -> Vec<T> {
+        self.buf.rotate_left(self.head);
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_then_wraps_in_order() {
+        let mut r = Ring::new(3);
+        for i in 0..5u32 {
+            r.push(i);
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        let got: Vec<u32> = r.iter().copied().collect();
+        assert_eq!(got, vec![2, 3, 4]);
+        assert_eq!(r.into_vec(), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn partial_fill_keeps_everything() {
+        let mut r = Ring::new(8);
+        r.push('a');
+        r.push('b');
+        assert_eq!(r.dropped(), 0);
+        assert_eq!(r.into_vec(), vec!['a', 'b']);
+    }
+
+    #[test]
+    fn zero_capacity_drops_all() {
+        let mut r: Ring<u8> = Ring::new(0);
+        r.push(1);
+        r.push(2);
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 2);
+    }
+
+    #[test]
+    fn push_never_reallocates() {
+        let mut r = Ring::new(4);
+        let ptr = r.buf.as_ptr();
+        for i in 0..64u64 {
+            r.push(i);
+        }
+        assert_eq!(r.buf.as_ptr(), ptr);
+    }
+}

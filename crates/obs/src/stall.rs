@@ -1,0 +1,309 @@
+//! Stall-attribution taxonomy and per-issue-slot counter table.
+//!
+//! Every cycle, every issue slot is charged to exactly one
+//! [`StallCause`]: slots that issued an op are charged [`Busy`]
+//! (`StallCause::Busy`), and all remaining slots share a single cause
+//! chosen by the collector's priority policy (see
+//! `collector::ObsCollector::end_cycle`). Because [`StallTable::record`]
+//! is called exactly once per simulated cycle and always charges all
+//! `width` slots, the per-slot counts sum to the run's total cycles *by
+//! construction* — a property [`StallTable::conservation_ok`] checks and
+//! the test suite pins.
+//!
+//! [`Busy`]: StallCause::Busy
+
+use serde::{Deserialize, Serialize};
+
+/// Where an issue slot's cycle went.
+///
+/// The order here is the display order, not the attribution priority;
+/// attribution priority lives in the collector so it can consult live
+/// pipeline state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StallCause {
+    /// The slot issued an op — not a stall.
+    Busy,
+    /// Ready ops existed but this slot's port class had no free port
+    /// (or the issue width was exhausted by other classes).
+    PortConflict,
+    /// Nothing was ready and an outstanding load miss was pending:
+    /// the window is waiting on the memory hierarchy.
+    CacheMiss,
+    /// Nothing was ready and a mini-graph handle was still executing its
+    /// constituents serially: the window is waiting on serialized
+    /// (internal or external) mini-graph latency.
+    SerializationWait,
+    /// Dispatch was blocked this cycle because the ROB was full.
+    RobFull,
+    /// Dispatch was blocked this cycle because the issue queue was full.
+    IqFull,
+    /// Dispatch was blocked this cycle because no physical register was
+    /// free.
+    RegsFull,
+    /// Dispatch was blocked this cycle because the load queue was full.
+    LqFull,
+    /// Dispatch was blocked this cycle because the store queue was full.
+    SqFull,
+    /// Ops were in flight but none ready and no more specific cause
+    /// applied (short execution latencies, dependence chains).
+    EmptyReady,
+    /// The front-end was squashed by a branch mispredict and has not yet
+    /// redelivered ops.
+    MispredictRedirect,
+    /// The front-end is waiting out an instruction-cache miss.
+    IcacheMiss,
+    /// The front-end is waiting out another redirect (BTB miss penalty,
+    /// load-violation flush).
+    FetchRedirect,
+    /// The window is empty and fetched ops are still traversing the
+    /// front-end pipeline (warm-up / post-squash refill).
+    FrontendFill,
+}
+
+impl StallCause {
+    /// Number of causes (rows in a [`StallTable`]).
+    pub const COUNT: usize = 14;
+
+    /// All causes in display order.
+    pub const ALL: [StallCause; StallCause::COUNT] = [
+        StallCause::Busy,
+        StallCause::PortConflict,
+        StallCause::CacheMiss,
+        StallCause::SerializationWait,
+        StallCause::RobFull,
+        StallCause::IqFull,
+        StallCause::RegsFull,
+        StallCause::LqFull,
+        StallCause::SqFull,
+        StallCause::EmptyReady,
+        StallCause::MispredictRedirect,
+        StallCause::IcacheMiss,
+        StallCause::FetchRedirect,
+        StallCause::FrontendFill,
+    ];
+
+    /// Dense index of this cause in [`StallCause::ALL`].
+    pub fn index(self) -> usize {
+        StallCause::ALL
+            .iter()
+            .position(|c| *c == self)
+            .expect("cause listed in ALL")
+    }
+
+    /// Human-readable name used in tables and JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            StallCause::Busy => "busy",
+            StallCause::PortConflict => "port_conflict",
+            StallCause::CacheMiss => "cache_miss",
+            StallCause::SerializationWait => "serialization_wait",
+            StallCause::RobFull => "rob_full",
+            StallCause::IqFull => "iq_full",
+            StallCause::RegsFull => "regs_full",
+            StallCause::LqFull => "lq_full",
+            StallCause::SqFull => "sq_full",
+            StallCause::EmptyReady => "empty_ready",
+            StallCause::MispredictRedirect => "mispredict_redirect",
+            StallCause::IcacheMiss => "icache_miss",
+            StallCause::FetchRedirect => "fetch_redirect",
+            StallCause::FrontendFill => "frontend_fill",
+        }
+    }
+}
+
+/// Per-issue-slot cycle counts, one row per [`StallCause`].
+///
+/// `counts[cause][slot]` is the number of cycles issue slot `slot` was
+/// charged to `cause`. Slot 0 is the first slot filled each cycle, so
+/// lower slots skew toward `Busy` and higher slots toward stall causes.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StallTable {
+    /// Machine issue width (number of slots).
+    pub width: usize,
+    /// `StallCause::COUNT` rows of `width` counters each.
+    pub counts: Vec<Vec<u64>>,
+    /// Total cycles recorded (each cycle charges every slot once).
+    pub cycles: u64,
+}
+
+impl StallTable {
+    /// An empty table for a machine issuing `width` ops per cycle.
+    pub fn new(width: usize) -> StallTable {
+        StallTable {
+            width,
+            counts: vec![vec![0; width]; StallCause::COUNT],
+            cycles: 0,
+        }
+    }
+
+    /// Charges one cycle: slots `0..issued` to [`StallCause::Busy`], the
+    /// rest to `cause`. `issued` saturates at the width.
+    pub fn record(&mut self, issued: usize, cause: StallCause) {
+        let issued = issued.min(self.width);
+        let busy = StallCause::Busy.index();
+        for slot in 0..issued {
+            self.counts[busy][slot] += 1;
+        }
+        let row = cause.index();
+        for slot in issued..self.width {
+            self.counts[row][slot] += 1;
+        }
+        self.cycles += 1;
+    }
+
+    /// Folds another table into this one. Tables must have the same
+    /// width (the sweep runs every cell on one machine config).
+    pub fn merge(&mut self, other: &StallTable) {
+        assert_eq!(self.width, other.width, "stall table width mismatch");
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            for (m, t) in mine.iter_mut().zip(theirs) {
+                *m += t;
+            }
+        }
+        self.cycles += other.cycles;
+    }
+
+    /// Grows the table to `width` slots, padding new slots with zero
+    /// counts. No-op if the table is already at least that wide. Used by
+    /// cross-run aggregation when runs came from machines of different
+    /// issue widths; padded slots do *not* satisfy the per-slot
+    /// conservation check (they were never charged), so mixed-width
+    /// aggregates check conservation on the grand total instead.
+    pub fn widen(&mut self, width: usize) {
+        if width <= self.width {
+            return;
+        }
+        for row in &mut self.counts {
+            row.resize(width, 0);
+        }
+        self.width = width;
+    }
+
+    /// All counts summed over every cause and slot.
+    pub fn grand_total(&self) -> u64 {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Cycles charged to `cause`, summed over all slots.
+    pub fn total(&self, cause: StallCause) -> u64 {
+        self.counts[cause.index()].iter().sum()
+    }
+
+    /// Checks the conservation invariant: every slot's counts sum to
+    /// `cycles` (i.e. each slot was charged exactly once per cycle).
+    pub fn conservation_ok(&self, cycles: u64) -> bool {
+        (0..self.width).all(|slot| {
+            let sum: u64 = self.counts.iter().map(|row| row[slot]).sum();
+            sum == cycles
+        })
+    }
+
+    /// Renders the table as aligned text with a percent-of-slot-cycles
+    /// column, causes in display order, zero rows skipped.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let slot_cycles = self.cycles * self.width as u64;
+        out.push_str(&format!(
+            "{:<20} {:>12} {:>7}  per-slot\n",
+            "cause", "slot-cycles", "%"
+        ));
+        for cause in StallCause::ALL {
+            let total = self.total(cause);
+            if total == 0 {
+                continue;
+            }
+            let pct = if slot_cycles == 0 {
+                0.0
+            } else {
+                100.0 * total as f64 / slot_cycles as f64
+            };
+            let per_slot: Vec<String> = self.counts[cause.index()]
+                .iter()
+                .map(|c| c.to_string())
+                .collect();
+            out.push_str(&format!(
+                "{:<20} {:>12} {:>6.2}%  [{}]\n",
+                cause.name(),
+                total,
+                pct,
+                per_slot.join(", ")
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_dense_and_unique() {
+        for (i, c) in StallCause::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn record_conserves_per_slot() {
+        let mut t = StallTable::new(4);
+        t.record(4, StallCause::EmptyReady); // fully busy
+        t.record(2, StallCause::CacheMiss);
+        t.record(0, StallCause::MispredictRedirect);
+        t.record(9, StallCause::EmptyReady); // saturates at width
+        assert_eq!(t.cycles, 4);
+        assert!(t.conservation_ok(4));
+        // Per recorded cycle: 4, 2, 0, then 4 (saturated) busy slots.
+        assert_eq!(t.total(StallCause::Busy), 10);
+        assert_eq!(t.total(StallCause::CacheMiss), 2);
+        assert_eq!(t.total(StallCause::MispredictRedirect), 4);
+        assert!(!t.conservation_ok(5));
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = StallTable::new(2);
+        a.record(1, StallCause::IqFull);
+        let mut b = StallTable::new(2);
+        b.record(0, StallCause::RobFull);
+        a.merge(&b);
+        assert_eq!(a.cycles, 2);
+        assert!(a.conservation_ok(2));
+        assert_eq!(a.total(StallCause::RobFull), 2);
+        assert_eq!(a.total(StallCause::IqFull), 1);
+        assert_eq!(a.total(StallCause::Busy), 1);
+    }
+
+    #[test]
+    fn widen_pads_and_grand_total_counts_everything() {
+        let mut t = StallTable::new(2);
+        t.record(1, StallCause::IqFull);
+        assert_eq!(t.grand_total(), 2);
+        t.widen(4);
+        assert_eq!(t.width, 4);
+        assert_eq!(t.grand_total(), 2, "padding adds no counts");
+        t.widen(2);
+        assert_eq!(t.width, 4, "widen never shrinks");
+        // The padded slots were never charged, so per-slot conservation
+        // no longer holds — the documented trade-off.
+        assert!(!t.conservation_ok(1));
+    }
+
+    #[test]
+    fn render_skips_zero_rows() {
+        let mut t = StallTable::new(2);
+        t.record(2, StallCause::EmptyReady);
+        let s = t.render();
+        assert!(s.contains("busy"));
+        assert!(!s.contains("cache_miss"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut t = StallTable::new(2);
+        t.record(1, StallCause::SerializationWait);
+        let json = serde_json::to_string(&t).unwrap();
+        let back: StallTable = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+}

@@ -1,0 +1,230 @@
+//! Per-op pipeline stage records and the text pipeview renderer.
+//!
+//! The simulator emits one [`OpTrace`] per op as it leaves the window
+//! (commit or squash), carrying the cycle each pipeline stage happened.
+//! [`pipeview`] renders a set of records over a cycle window as a
+//! Konata-style text diagram — one row per op, one column per cycle:
+//!
+//! ```text
+//! seq      pc       |0         1         |
+//! 12       0x00488  |F..D.RIec.T         |
+//! ```
+//!
+//! Stage letters: `F` fetch, `.` in-flight, `D` dispatch, `w` waiting for
+//! operands, `R` ready, `r` ready but not issued, `I` issue, `e`
+//! executing, `C` complete, `c` awaiting commit, `T` commit (retire),
+//! `X` squash.
+
+use serde::{Deserialize, Serialize};
+
+/// What kind of op a trace record describes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OpClass {
+    /// An ordinary (non-aggregated) instruction.
+    Singleton,
+    /// A mini-graph handle executing a whole template.
+    Handle,
+    /// A jump into an outlined mini-graph body.
+    OutlineJump,
+    /// A return jump from an outlined body.
+    ReturnJump,
+}
+
+impl OpClass {
+    /// One-letter tag used in the pipeview row header.
+    pub fn tag(self) -> char {
+        match self {
+            OpClass::Singleton => 's',
+            OpClass::Handle => 'H',
+            OpClass::OutlineJump => 'j',
+            OpClass::ReturnJump => 'r',
+        }
+    }
+}
+
+/// Stage timestamps for one op's trip through the pipeline.
+///
+/// Stages that never happened (e.g. `issue` for an op squashed in the
+/// queue) are `None`. All cycles are absolute simulation cycles.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct OpTrace {
+    /// Position in the dynamic op stream (window index at dispatch).
+    pub seq: u64,
+    /// Program counter of the op (handle PC for aggregates).
+    pub pc: u64,
+    /// Kind of op.
+    pub class: OpClass,
+    /// Cycle the op was fetched.
+    pub fetch: u64,
+    /// Cycle the op entered the out-of-order window.
+    pub dispatch: Option<u64>,
+    /// Cycle the op's last operand arrived (it became issueable).
+    pub ready: Option<u64>,
+    /// Cycle the op was granted an issue port.
+    pub issue: Option<u64>,
+    /// Cycle execution finished (result available).
+    pub done: Option<u64>,
+    /// Cycle the op retired.
+    pub commit: Option<u64>,
+    /// Cycle the op was squashed, if it was.
+    pub squash: Option<u64>,
+}
+
+impl OpTrace {
+    /// The last cycle at which this op still occupied the pipeline.
+    pub fn last_cycle(&self) -> u64 {
+        self.squash
+            .or(self.commit)
+            .or(self.done)
+            .or(self.issue)
+            .or(self.ready)
+            .or(self.dispatch)
+            .unwrap_or(self.fetch)
+    }
+
+    /// The character drawn for this op at `cycle`, or `None` when the op
+    /// is not in the pipeline at that cycle.
+    fn glyph(&self, cycle: u64) -> Option<char> {
+        if cycle < self.fetch || cycle > self.last_cycle() {
+            return None;
+        }
+        if self.squash == Some(cycle) {
+            return Some('X');
+        }
+        if self.commit == Some(cycle) {
+            return Some('T');
+        }
+        if self.done == Some(cycle) {
+            return Some('C');
+        }
+        if self.issue == Some(cycle) {
+            return Some('I');
+        }
+        if self.ready == Some(cycle) {
+            return Some('R');
+        }
+        if self.dispatch == Some(cycle) {
+            return Some('D');
+        }
+        if cycle == self.fetch {
+            return Some('F');
+        }
+        // Between stage events: pick the phase the op is sitting in.
+        if let Some(done) = self.done {
+            if cycle > done {
+                return Some('c'); // complete, waiting to commit
+            }
+        }
+        if let Some(issue) = self.issue {
+            if cycle > issue {
+                return Some('e'); // executing
+            }
+        }
+        if let Some(ready) = self.ready {
+            if cycle > ready {
+                return Some('r'); // ready, contending for a port
+            }
+        }
+        if let Some(dispatch) = self.dispatch {
+            if cycle > dispatch {
+                return Some('w'); // waiting for operands
+            }
+        }
+        Some('.') // in the front-end between fetch and dispatch
+    }
+}
+
+/// Renders records overlapping the half-open cycle window `[lo, hi)` as a
+/// text pipeview, one row per op, oldest first. Ops entirely outside the
+/// window are skipped; an empty result is a single header line.
+pub fn pipeview(records: &[OpTrace], lo: u64, hi: u64) -> String {
+    let mut out = String::new();
+    let width = hi.saturating_sub(lo) as usize;
+    out.push_str(&format!("{:>8} {:>10} c |", "seq", "pc"));
+    for c in 0..width {
+        let abs = lo + c as u64;
+        out.push(if abs.is_multiple_of(10) { '|' } else { ' ' });
+    }
+    out.push('\n');
+    let mut rows: Vec<&OpTrace> = records
+        .iter()
+        .filter(|r| r.fetch < hi && r.last_cycle() >= lo)
+        .collect();
+    rows.sort_by_key(|r| (r.seq, r.fetch));
+    for r in rows {
+        out.push_str(&format!("{:>8} {:>#10x} {} |", r.seq, r.pc, r.class.tag()));
+        for c in 0..width {
+            out.push(r.glyph(lo + c as u64).unwrap_or(' '));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> OpTrace {
+        OpTrace {
+            seq: 7,
+            pc: 0x400,
+            class: OpClass::Singleton,
+            fetch: 2,
+            dispatch: Some(5),
+            ready: Some(6),
+            issue: Some(8),
+            done: Some(10),
+            commit: Some(12),
+            squash: None,
+        }
+    }
+
+    #[test]
+    fn glyphs_follow_stage_order() {
+        let t = sample();
+        let row: String = (0..13).map(|c| t.glyph(c).unwrap_or(' ')).collect();
+        assert_eq!(row, "  F..DRrIeCcT");
+        assert_eq!(t.glyph(13), None);
+    }
+
+    #[test]
+    fn squash_overrides_commit() {
+        let mut t = sample();
+        t.commit = None;
+        t.squash = Some(9);
+        assert_eq!(t.glyph(9), Some('X'));
+        assert_eq!(t.last_cycle(), 9);
+        assert_eq!(t.glyph(10), None);
+    }
+
+    #[test]
+    fn pipeview_filters_window() {
+        let a = sample();
+        let mut b = sample();
+        b.seq = 9;
+        b.fetch = 40;
+        b.dispatch = Some(41);
+        b.ready = Some(41);
+        b.issue = Some(42);
+        b.done = Some(43);
+        b.commit = Some(44);
+        let view = pipeview(&[b.clone(), a.clone()], 0, 20);
+        assert!(view.contains("F..DRrIeCcT"));
+        // Op b lies entirely outside the window.
+        assert_eq!(view.lines().count(), 2);
+        // Rows come out in seq order even though input was reversed.
+        let view_all = pipeview(&[b, a], 0, 50);
+        let lines: Vec<&str> = view_all.lines().collect();
+        assert!(lines[1].trim_start().starts_with('7'));
+        assert!(lines[2].trim_start().starts_with('9'));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = sample();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: OpTrace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+}

@@ -182,6 +182,21 @@ pub struct MachineConfig {
     pub mg: MgConfig,
 }
 
+#[cfg(feature = "obs")]
+impl MachineConfig {
+    /// The queue capacities the observability collector sizes its
+    /// occupancy histograms and stall table from.
+    pub fn obs_caps(&self) -> mg_obs::MachineCaps {
+        mg_obs::MachineCaps {
+            issue_width: self.issue_width as usize,
+            iq: self.iq_entries as usize,
+            rob: self.rob_entries as usize,
+            lq: self.lq_entries as usize,
+            sq: self.sq_entries as usize,
+        }
+    }
+}
+
 /// Number of rename (non-architectural) registers in a configuration.
 ///
 /// The paper's Alpha machine has 64 architectural registers and 144/120

@@ -45,6 +45,9 @@ pub struct SimOptions {
     pub dyn_mg: Option<DynMgConfig>,
     /// Hard cycle cap (0 = automatic: generous multiple of trace length).
     pub max_cycles: u64,
+    /// Collect pipeline trace, stall attribution, and occupancy metrics.
+    #[cfg(feature = "obs")]
+    pub obs: Option<mg_obs::ObsConfig>,
 }
 
 /// Result of a timing simulation.
@@ -56,6 +59,9 @@ pub struct SimResult {
     pub slack: Option<SlackProfile>,
     /// Whether the cycle cap was hit (indicates a modeling bug).
     pub hit_cycle_cap: bool,
+    /// The observability report, when `SimOptions::obs` requested one.
+    #[cfg(feature = "obs")]
+    pub obs: Option<mg_obs::ObsReport>,
 }
 
 impl SimResult {
@@ -227,6 +233,14 @@ struct Engine<'a> {
     cycle: u64,
 
     stats: SimStats,
+
+    /// Observability collector, present when the run requests one.
+    #[cfg(feature = "obs")]
+    obs: Option<mg_obs::ObsCollector>,
+    /// Why fetch last stalled (consulted by stall attribution while
+    /// `cycle < fetch_resume`).
+    #[cfg(feature = "obs")]
+    obs_redirect: mg_obs::RedirectKind,
 }
 
 impl<'a> Engine<'a> {
@@ -272,6 +286,12 @@ impl<'a> Engine<'a> {
             last_fetch_line: u64::MAX,
             cycle: 0,
             stats: SimStats::default(),
+            #[cfg(feature = "obs")]
+            obs: opts
+                .obs
+                .map(|oc| mg_obs::ObsCollector::new(oc, cfg.obs_caps())),
+            #[cfg(feature = "obs")]
+            obs_redirect: mg_obs::RedirectKind::None,
         }
     }
 
@@ -291,6 +311,8 @@ impl<'a> Engine<'a> {
             self.issue();
             self.dispatch();
             self.fetch();
+            #[cfg(feature = "obs")]
+            self.obs_end_cycle();
             self.cycle += 1;
         }
         self.stats.cycles = self.cycle;
@@ -303,10 +325,84 @@ impl<'a> Engine<'a> {
         self.stats.l2 = self.mem.l2.stats();
         self.stats.storesets = self.storesets.stats();
         let slack = self.opts.profile_slack.then(|| self.build_profile());
+        #[cfg(feature = "obs")]
+        let obs = self.obs.take().map(|c| c.finish(self.stats.cycles));
         SimResult {
             stats: self.stats,
             slack,
             hit_cycle_cap: hit_cap,
+            #[cfg(feature = "obs")]
+            obs,
+        }
+    }
+
+    /// Closes the current cycle out in the observability collector:
+    /// exactly one call per loop iteration, so attributed cycles equal
+    /// `stats.cycles` by construction (the cap check breaks *before* any
+    /// stage runs).
+    #[cfg(feature = "obs")]
+    fn obs_end_cycle(&mut self) {
+        if self.obs.is_none() {
+            return;
+        }
+        // Entries surviving in the ready list at end of cycle are exactly
+        // the ops that were ready but not granted (port limits or a
+        // memory-disambiguation hold).
+        let state = mg_obs::CycleState {
+            ready_left: self.ready.len(),
+            iq_used: (self.cfg.iq_entries - self.iq_free) as usize,
+            rob_used: self.rob.len(),
+            lq_used: self.lq.len(),
+            sq_used: self.sq.len(),
+            fetch_stalled: self.cycle < self.fetch_resume,
+            redirect: self.obs_redirect,
+        };
+        let cycle = self.cycle;
+        if let Some(obs) = self.obs.as_mut() {
+            obs.end_cycle(cycle, &state);
+        }
+    }
+
+    /// Builds the pipeline-trace record for op `oi` as it leaves the
+    /// window. The fetch cycle is recovered from `avail_at` (fetch cycle
+    /// plus front-end depth); the operand-ready cycle is recomputed from
+    /// the producers, whose completion times are final by now.
+    #[cfg(feature = "obs")]
+    fn obs_trace_of(&self, oi: u32, commit: Option<u64>, squash: Option<u64>) -> mg_obs::OpTrace {
+        let op = &self.ops[oi as usize];
+        let class = match op.kind {
+            OpKind::Singleton(_) => mg_obs::OpClass::Singleton,
+            OpKind::Handle(_) => mg_obs::OpClass::Handle,
+            OpKind::OutJump(_) => mg_obs::OpClass::OutlineJump,
+            OpKind::RetJump(_) => mg_obs::OpClass::ReturnJump,
+        };
+        let mut ready = None;
+        if op.needs_iq {
+            if let Some(d) = op.dispatched_at {
+                // First issue opportunity is the cycle after dispatch.
+                let mut r = d + 1;
+                for dep in op.srcs.iter().flatten() {
+                    if let Some(p) = dep.producer {
+                        let pr = self.ops[p as usize].ready_at;
+                        if pr != NEVER {
+                            r = r.max(pr);
+                        }
+                    }
+                }
+                ready = Some(r);
+            }
+        }
+        mg_obs::OpTrace {
+            seq: oi as u64,
+            pc: op.pc,
+            class,
+            fetch: op.avail_at.saturating_sub(self.cfg.front_depth as u64),
+            dispatch: op.dispatched_at,
+            ready,
+            issue: op.issued_at,
+            done: (op.done_at != NEVER).then_some(op.done_at),
+            commit,
+            squash,
         }
     }
 
@@ -369,6 +465,15 @@ impl<'a> Engine<'a> {
                     if self.program.inst(id).mg.is_some() {
                         self.stats.outlined_instrs += 1;
                     }
+                }
+            }
+            #[cfg(feature = "obs")]
+            if self.obs.is_some() {
+                let t = self.obs_trace_of(head, Some(self.cycle), None);
+                let n = self.ops[head as usize].trace_len as u64;
+                if let Some(obs) = self.obs.as_mut() {
+                    obs.note_commit_instrs(n);
+                    obs.note_op(t);
                 }
             }
         }
@@ -529,6 +634,10 @@ impl<'a> Engine<'a> {
                 }
             }
             granted += 1;
+            #[cfg(feature = "obs")]
+            if let Some(obs) = self.obs.as_mut() {
+                obs.note_issue();
+            }
             self.execute(oi, max_ready);
         }
         if granted > 0 {
@@ -655,6 +764,13 @@ impl<'a> Engine<'a> {
                 let op = &mut self.ops[oi as usize];
                 op.ready_at = now + 1 + lat as u64;
                 op.done_at = op.ready_at;
+                #[cfg(feature = "obs")]
+                if lat > self.cfg.dl1.hit_lat {
+                    let done = op.done_at;
+                    if let Some(obs) = self.obs.as_mut() {
+                        obs.note_load_miss(done);
+                    }
+                }
             }
             Opcode::Store => {
                 let addr = self.ops[oi as usize].mem_addr;
@@ -747,6 +863,13 @@ impl<'a> Engine<'a> {
                     } else {
                         self.mem.data_latency(addr)
                     };
+                    #[cfg(feature = "obs")]
+                    if l > l1_hit {
+                        let avail = start + 1 + l as u64;
+                        if let Some(obs) = self.obs.as_mut() {
+                            obs.note_load_miss(avail);
+                        }
+                    }
                     1 + l as u64
                 }
                 Opcode::Store => {
@@ -771,6 +894,14 @@ impl<'a> Engine<'a> {
             .iter()
             .max()
             .expect("instances are non-empty");
+        // A handle occupying more than one execution cycle is running its
+        // constituents serially: that window is serialization latency.
+        #[cfg(feature = "obs")]
+        if cur > now + 1 {
+            if let Some(obs) = self.obs.as_mut() {
+                obs.note_handle_exec(cur);
+            }
+        }
         {
             let op = &mut self.ops[oi as usize];
             op.done_at = cur;
@@ -804,6 +935,10 @@ impl<'a> Engine<'a> {
         let from = load.group_leader.unwrap_or(load_oi).min(load_oi);
         self.squash_from(from);
         self.fetch_resume = self.cycle + 2; // detect + redirect
+        #[cfg(feature = "obs")]
+        {
+            self.obs_redirect = mg_obs::RedirectKind::Other;
+        }
     }
 
     fn squash_from(&mut self, from: u32) {
@@ -819,23 +954,32 @@ impl<'a> Engine<'a> {
         // squashed ops are dropped on their next touch. (A flush can fire
         // mid-issue-pass, so the ready list must not be edited here.)
         for oi in (from as usize)..self.ops.len() {
-            let op = &mut self.ops[oi];
-            if op.squashed || op.committed {
-                continue;
+            {
+                let op = &mut self.ops[oi];
+                if op.squashed || op.committed {
+                    continue;
+                }
+                op.squashed = true;
+                if op.dispatched_at.is_some() {
+                    if op.dest.is_some() {
+                        self.free_regs += 1;
+                    }
+                    if op.needs_iq && op.issued_at.is_none() {
+                        self.iq_free += 1;
+                    }
+                    if op.is_load {
+                        self.lq_free += 1;
+                    }
+                    if op.is_store {
+                        self.sq_free += 1;
+                    }
+                }
             }
-            op.squashed = true;
-            if op.dispatched_at.is_some() {
-                if op.dest.is_some() {
-                    self.free_regs += 1;
-                }
-                if op.needs_iq && op.issued_at.is_none() {
-                    self.iq_free += 1;
-                }
-                if op.is_load {
-                    self.lq_free += 1;
-                }
-                if op.is_store {
-                    self.sq_free += 1;
+            #[cfg(feature = "obs")]
+            if self.obs.is_some() {
+                let t = self.obs_trace_of(oi as u32, None, Some(self.cycle));
+                if let Some(obs) = self.obs.as_mut() {
+                    obs.note_op(t);
                 }
             }
         }
@@ -864,20 +1008,41 @@ impl<'a> Engine<'a> {
                 break;
             }
             let op = &self.ops[oi as usize];
-            // Resource checks.
+            // Resource checks. Each taken break reports the structural
+            // cause that stopped in-order dispatch to the collector.
             if self.rob.len() >= self.cfg.rob_entries as usize {
+                #[cfg(feature = "obs")]
+                if let Some(obs) = self.obs.as_mut() {
+                    obs.note_dispatch_block(mg_obs::DispatchBlock::Rob);
+                }
                 break;
             }
             if op.needs_iq && self.iq_free == 0 {
+                #[cfg(feature = "obs")]
+                if let Some(obs) = self.obs.as_mut() {
+                    obs.note_dispatch_block(mg_obs::DispatchBlock::Iq);
+                }
                 break;
             }
             if op.dest.is_some() && self.free_regs == 0 {
+                #[cfg(feature = "obs")]
+                if let Some(obs) = self.obs.as_mut() {
+                    obs.note_dispatch_block(mg_obs::DispatchBlock::Regs);
+                }
                 break;
             }
             if op.is_load && self.lq_free == 0 {
+                #[cfg(feature = "obs")]
+                if let Some(obs) = self.obs.as_mut() {
+                    obs.note_dispatch_block(mg_obs::DispatchBlock::Lq);
+                }
                 break;
             }
             if op.is_store && self.sq_free == 0 {
+                #[cfg(feature = "obs")]
+                if let Some(obs) = self.obs.as_mut() {
+                    obs.note_dispatch_block(mg_obs::DispatchBlock::Sq);
+                }
                 break;
             }
             self.fetchq.pop_front();
@@ -1042,6 +1207,10 @@ impl<'a> Engine<'a> {
                             // Miss: stall fetch; the op is fetched after
                             // the fill (the line now hits).
                             self.fetch_resume = self.cycle + (lat - self.cfg.il1.hit_lat) as u64;
+                            #[cfg(feature = "obs")]
+                            {
+                                self.obs_redirect = mg_obs::RedirectKind::Icache;
+                            }
                             return;
                         }
                     }
@@ -1216,6 +1385,10 @@ impl<'a> Engine<'a> {
                 if pred != taken {
                     self.ops[oi as usize].mispredicted = true;
                     self.fetch_resume = NEVER; // released at resolve
+                    #[cfg(feature = "obs")]
+                    {
+                        self.obs_redirect = mg_obs::RedirectKind::Mispredict;
+                    }
                     return true;
                 }
                 if taken {
@@ -1234,6 +1407,10 @@ impl<'a> Engine<'a> {
                     self.dirpred.note_ras_mispredict();
                     self.ops[oi as usize].mispredicted = true;
                     self.fetch_resume = NEVER;
+                    #[cfg(feature = "obs")]
+                    {
+                        self.obs_redirect = mg_obs::RedirectKind::Mispredict;
+                    }
                     return true;
                 }
                 true // taken transfer always breaks fetch
@@ -1255,6 +1432,10 @@ impl<'a> Engine<'a> {
                 self.dirpred.note_btb_miss();
                 self.btb.update(pc, target);
                 self.fetch_resume = self.cycle + 2; // one-bubble redirect
+                #[cfg(feature = "obs")]
+                {
+                    self.obs_redirect = mg_obs::RedirectKind::Other;
+                }
             }
         }
         true

@@ -44,6 +44,8 @@ pub mod storesets;
 pub use config::{BPredConfig, CacheConfig, MachineConfig, MgConfig, StoreSetsConfig};
 pub use dynmg::{DisableCost, DynMgConfig, DynMgController, DynPolicy};
 pub use engine::{simulate, SimOptions, SimResult};
+#[cfg(feature = "obs")]
+pub use mg_obs::{ObsConfig, ObsReport};
 pub use mgi::{InstanceInfo, InstanceMap, SrcLink};
 pub use slack::{SlackProfile, StaticProfile, SLACK_CAP};
 pub use stats::SimStats;

@@ -64,6 +64,58 @@ impl SimStats {
             self.mg_embedded_instrs as f64 / self.committed_instrs as f64
         }
     }
+
+    /// Committed instructions that executed as plain singletons: neither
+    /// embedded in an enabled handle nor part of an outlined (disabled)
+    /// instance.
+    pub fn singleton_instrs(&self) -> u64 {
+        self.committed_instrs
+            .saturating_sub(self.mg_embedded_instrs)
+            .saturating_sub(self.outlined_instrs)
+    }
+
+    /// Checks the accounting identities every run must satisfy, returning
+    /// the first violated one as a message.
+    ///
+    /// - `committed_instrs = mg_embedded_instrs + outlined_instrs +
+    ///   singleton instrs` (every committed instruction is exactly one of
+    ///   the three) — checked as the two subtractions not underflowing.
+    /// - `committed_ops = mg_handles + outline_jumps +
+    ///   (committed_instrs - mg_embedded_instrs)`: handles commit as one
+    ///   op covering their embedded instructions; every other instruction
+    ///   commits as its own op, plus the synthesized jumps.
+    /// - `committed_ops ≤ committed_instrs + outline_jumps` and, whenever
+    ///   any instruction committed, `committed_ops ≥ 1`.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.mg_embedded_instrs + self.outlined_instrs > self.committed_instrs {
+            return Err(format!(
+                "mg_embedded ({}) + outlined ({}) exceed committed_instrs ({})",
+                self.mg_embedded_instrs, self.outlined_instrs, self.committed_instrs
+            ));
+        }
+        let expect_ops = self.mg_handles
+            + self.outline_jumps
+            + (self.committed_instrs - self.mg_embedded_instrs);
+        if self.committed_ops != expect_ops {
+            return Err(format!(
+                "committed_ops ({}) != handles ({}) + jumps ({}) + non-embedded instrs ({})",
+                self.committed_ops,
+                self.mg_handles,
+                self.outline_jumps,
+                self.committed_instrs - self.mg_embedded_instrs
+            ));
+        }
+        if self.committed_ops > self.committed_instrs + self.outline_jumps {
+            return Err(format!(
+                "committed_ops ({}) exceed committed_instrs ({}) + outline_jumps ({})",
+                self.committed_ops, self.committed_instrs, self.outline_jumps
+            ));
+        }
+        if self.committed_instrs > 0 && self.committed_ops == 0 {
+            return Err("instructions committed but no ops did".to_string());
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -82,5 +134,52 @@ mod tests {
         assert!((s.coverage() - 0.2).abs() < 1e-12);
         assert_eq!(SimStats::default().ipc(), 0.0);
         assert_eq!(SimStats::default().coverage(), 0.0);
+    }
+
+    #[test]
+    fn invariants_accept_consistent_accounting() {
+        // 10 instrs: 4 embedded in 2 handles, 3 outlined (plus 2 jumps),
+        // 3 plain singletons → ops = 2 + 2 + (10 - 4) = 10... jumps are
+        // extra ops on top of the non-embedded instructions.
+        let s = SimStats {
+            cycles: 50,
+            committed_instrs: 10,
+            committed_ops: 2 + 2 + (10 - 4),
+            mg_handles: 2,
+            mg_embedded_instrs: 4,
+            outlined_instrs: 3,
+            outline_jumps: 2,
+            ..SimStats::default()
+        };
+        assert_eq!(s.check_invariants(), Ok(()));
+        assert_eq!(s.singleton_instrs(), 3);
+        assert_eq!(SimStats::default().check_invariants(), Ok(()));
+    }
+
+    #[test]
+    fn invariants_reject_bad_partitions() {
+        let over_embedded = SimStats {
+            committed_instrs: 5,
+            mg_embedded_instrs: 4,
+            outlined_instrs: 2,
+            ..SimStats::default()
+        };
+        assert!(over_embedded.check_invariants().is_err());
+
+        let wrong_ops = SimStats {
+            committed_instrs: 5,
+            committed_ops: 7,
+            ..SimStats::default()
+        };
+        assert!(wrong_ops.check_invariants().is_err());
+
+        let missing_ops = SimStats {
+            committed_instrs: 5,
+            committed_ops: 0,
+            mg_handles: 0,
+            mg_embedded_instrs: 5,
+            ..SimStats::default()
+        };
+        assert!(missing_ops.check_invariants().is_err());
     }
 }

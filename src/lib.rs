@@ -20,6 +20,8 @@
 
 pub use mg_core as core;
 pub use mg_isa as isa;
+#[cfg(feature = "obs")]
+pub use mg_obs as obs;
 pub use mg_sim as sim;
 pub use mg_workloads as workloads;
 
