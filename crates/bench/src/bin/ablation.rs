@@ -86,7 +86,7 @@ fn main() {
                 .with_mg(*mg_cfg)
                 .with_sel(*sel_cfg)
         }))
-        .run();
+        .run_cli();
     let mut acc: Vec<(Vec<f64>, Vec<f64>)> = vec![(Vec::new(), Vec::new()); variants.len()];
     for bench in &result.rows {
         let ok = match bench.all_ok() {

@@ -31,7 +31,7 @@ fn main() {
             .cell(SweepCell::new(s, &base));
     }
     let t0 = Instant::now();
-    let result = spec.run();
+    let result = spec.run_cli();
     let mut rel_red: Vec<Vec<f64>> = vec![vec![]; schemes.len()];
     let mut rel_full: Vec<Vec<f64>> = vec![vec![]; schemes.len()];
     let mut cov: Vec<Vec<f64>> = vec![vec![]; schemes.len()];

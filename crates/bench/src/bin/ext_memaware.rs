@@ -40,7 +40,7 @@ fn main() {
         .cell(SweepCell::new(Scheme::SlackProfileMem, &red))
         .cell(SweepCell::new(Scheme::SlackProfile, &base))
         .cell(SweepCell::new(Scheme::SlackProfileMem, &base))
-        .run();
+        .run_cli();
     let mut rows = Vec::new();
     for bench in &result.rows {
         let ok = match bench.all_ok() {

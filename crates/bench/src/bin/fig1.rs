@@ -34,7 +34,7 @@ fn main() {
         .cell(SweepCell::new(Scheme::StructAll, &red))
         .cell(SweepCell::new(Scheme::StructNone, &red))
         .cell(SweepCell::new(Scheme::SlackProfile, &red))
-        .run();
+        .run_cli();
     let mut rows = Vec::new();
     for bench in &result.rows {
         let ok = match bench.all_ok() {

@@ -39,7 +39,7 @@ fn main() {
         .cell(SweepCell::new(Scheme::StructNone, &red))
         .cell(SweepCell::new(Scheme::StructAll, &base))
         .cell(SweepCell::new(Scheme::StructNone, &base))
-        .run();
+        .run_cli();
     let mut rows = Vec::new();
     for bench in &result.rows {
         let ok = match bench.all_ok() {

@@ -16,7 +16,7 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(usize::MAX);
-    let result = fig6_spec(take).run();
+    let result = fig6_spec(take).run_cli();
     let (rows, failures) = fig6_rows(&result);
     for e in &failures {
         eprintln!("skipped: {e}");

@@ -56,7 +56,7 @@ fn main() {
         .cell(SweepCell::new(Scheme::NoMg, &base))
         .cells(TOP.iter().map(|&s| SweepCell::new(s, &red)))
         .cells(BOTTOM[..4].iter().map(|&s| SweepCell::new(s, &red)))
-        .run();
+        .run_cli();
     let mut rows = Vec::new();
     for bench in &result.rows {
         let ok = match bench.all_ok() {

@@ -58,10 +58,10 @@ fn main() {
         .take(take)
         .cloned()
         .collect();
-    let self_r = sp_sweep(&media_comm, &red, true).run();
-    let cross_2 = sp_sweep(&media_comm, &MachineConfig::two_way(), false).run();
-    let cross_8 = sp_sweep(&media_comm, &MachineConfig::eight_way(), false).run();
-    let cross_d = sp_sweep(&media_comm, &MachineConfig::reduced_dmem4(), false).run();
+    let self_r = sp_sweep(&media_comm, &red, true).run_cli();
+    let cross_2 = sp_sweep(&media_comm, &MachineConfig::two_way(), false).run_cli();
+    let cross_8 = sp_sweep(&media_comm, &MachineConfig::eight_way(), false).run_cli();
+    let cross_d = sp_sweep(&media_comm, &MachineConfig::reduced_dmem4(), false).run_cli();
     let mut top = Vec::new();
     for (i, bench) in self_r.rows.iter().enumerate() {
         let cells = (
@@ -113,10 +113,10 @@ fn main() {
         .take(take)
         .cloned()
         .collect();
-    let self_i = sp_sweep(&spec_mib, &red, true).run();
+    let self_i = sp_sweep(&spec_mib, &red, true).run_cli();
     let cross_i = sp_sweep(&spec_mib, &red, false)
         .train_input(InputSel::Alternate)
-        .run();
+        .run_cli();
     let mut bottom = Vec::new();
     for (i, bench) in self_i.rows.iter().enumerate() {
         let (Ok(ok), Ok(cx)) = (bench.all_ok(), cross_i.rows[i].get(0)) else {

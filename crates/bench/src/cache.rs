@@ -16,13 +16,19 @@
 //!   disk hit replays only the functional run, skipping the profiling
 //!   simulation that dominates context construction.
 //!
-//! Disk entries are versioned ([`CACHE_SCHEMA`]); mismatched or corrupt
-//! entries are treated as misses and rewritten. All cache I/O is
-//! best-effort: a read-only or missing `results/` directory silently
-//! degrades to the in-memory layer.
+//! Disk entries are versioned ([`CACHE_SCHEMA`]) and integrity-checked:
+//! every file carries an FNV-1a checksum over its payload, verified on
+//! load. A mismatched schema is stale and silently treated as a miss; a
+//! corrupt or truncated entry (checksum/parse failure) is *quarantined*
+//! to `results/cache/quarantine/` with an `MG_LOG` warning so it never
+//! surfaces as a deserialize error and the evidence survives for
+//! inspection. All cache I/O is best-effort: a read-only or missing
+//! `results/` directory silently degrades to the in-memory layer.
 
+use crate::fault;
 use crate::harness::BenchError;
 use mg_core::pipeline::try_profile_workload;
+use mg_obs::mg_error;
 use mg_sim::{MachineConfig, SlackProfile};
 use mg_workloads::{BenchmarkSpec, Executor, InputSet, Trace, Workload};
 use serde::{Deserialize, Serialize};
@@ -33,11 +39,21 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 /// Version tag for on-disk cache entries. Bump when the cached payload or
 /// its semantics change; stale entries are then ignored.
-pub const CACHE_SCHEMA: u32 = 1;
+///
+/// v2: entries are wrapped in a checksummed [`DiskRecord`] envelope.
+pub const CACHE_SCHEMA: u32 = 2;
 
 /// Directory holding on-disk context cache entries, relative to the
 /// working directory (the workspace root for `cargo run`).
 pub const CACHE_DIR: &str = "results/cache";
+
+/// Subdirectory of [`CACHE_DIR`] where corrupt entries are moved on
+/// load failure, preserving the evidence without blocking the sweep.
+pub const QUARANTINE_DIR: &str = "results/cache/quarantine";
+
+/// Maximum number of quarantined entries kept; older ones are deleted
+/// so a recurring corruption source cannot grow the directory unbounded.
+const QUARANTINE_KEEP: usize = 32;
 
 /// Environment variable bounding the on-disk cache size, in megabytes
 /// (`0` disables the disk layer's growth entirely: every entry is evicted
@@ -85,6 +101,17 @@ impl CacheOutcome {
             CacheOutcome::Miss => "miss",
         }
     }
+
+    /// Inverse of [`CacheOutcome::tag`], used by the sweep journal to
+    /// replay the outcome recorded for a finished row.
+    pub fn from_tag(tag: &str) -> Option<CacheOutcome> {
+        match tag {
+            "mem" => Some(CacheOutcome::MemHit),
+            "disk" => Some(CacheOutcome::DiskHit),
+            "miss" => Some(CacheOutcome::Miss),
+            _ => None,
+        }
+    }
 }
 
 /// Snapshot of the process-wide cache counters.
@@ -121,6 +148,14 @@ static MISSES: AtomicU64 = AtomicU64::new(0);
 
 fn mem() -> &'static Mutex<HashMap<u64, Arc<ContextArtifacts>>> {
     MEM.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Drops every in-memory context entry. Disk entries and the counters
+/// are untouched: the next request for a dropped key is a disk hit (or
+/// a miss). For long-lived processes under memory pressure, and for
+/// tests that need to force the disk path.
+pub fn clear_memory() {
+    mem().lock().expect("context cache lock").clear();
 }
 
 /// Reads the process-wide cache counters.
@@ -171,15 +206,93 @@ struct DiskEntry {
     slack: SlackProfile,
 }
 
+/// The checksummed envelope a cache file actually holds. `payload` is
+/// the [`DiskEntry`] JSON *as a string*, so the checksum is over exact
+/// bytes and never depends on re-serialization being canonical.
+#[derive(Serialize, Deserialize)]
+struct DiskRecord {
+    /// FNV-1a of `payload`'s UTF-8 bytes, in zero-padded hex.
+    checksum: String,
+    payload: String,
+}
+
+/// Wraps serialized payload bytes in the checksummed [`DiskRecord`]
+/// envelope (shared with the sweep journal, which stores rows the same
+/// way).
+pub(crate) fn seal_record(payload: String) -> Option<Vec<u8>> {
+    let record = DiskRecord {
+        checksum: format!("{:016x}", stable_hash64(payload.as_bytes())),
+        payload,
+    };
+    serde_json::to_vec(&record).ok()
+}
+
+/// Parses and verifies a [`DiskRecord`], returning the payload string.
+/// `None` means the bytes are corrupt or truncated (parse or checksum
+/// failure) — not merely stale.
+pub(crate) fn open_record(bytes: &[u8]) -> Option<String> {
+    let record: DiskRecord = serde_json::from_slice(bytes).ok()?;
+    let sum = format!("{:016x}", stable_hash64(record.payload.as_bytes()));
+    (sum == record.checksum).then_some(record.payload)
+}
+
 fn disk_path(key: u64) -> PathBuf {
     PathBuf::from(CACHE_DIR).join(format!("ctx-{key:016x}.json"))
 }
 
+/// Moves a corrupt cache file into [`QUARANTINE_DIR`] (best-effort) and
+/// warns through the leveled logger. Keeps at most [`QUARANTINE_KEEP`]
+/// quarantined files, deleting the oldest beyond that.
+fn quarantine(path: &std::path::Path, why: &str) {
+    let dir = std::path::Path::new(QUARANTINE_DIR);
+    let moved = std::fs::create_dir_all(dir).is_ok()
+        && path
+            .file_name()
+            .map(|name| std::fs::rename(path, dir.join(name)).is_ok())
+            .unwrap_or(false);
+    if !moved {
+        let _ = std::fs::remove_file(path);
+    }
+    mg_error!(
+        "cache: quarantined corrupt entry {} ({why}); treating as a miss",
+        path.display()
+    );
+    // Bound the quarantine: drop the oldest files beyond the cap.
+    let Ok(listing) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<(std::time::SystemTime, PathBuf)> = listing
+        .flatten()
+        .filter_map(|e| {
+            let meta = e.metadata().ok()?;
+            meta.is_file().then_some((meta.modified().ok()?, e.path()))
+        })
+        .collect();
+    if entries.len() > QUARANTINE_KEEP {
+        entries.sort();
+        for (_, old) in &entries[..entries.len() - QUARANTINE_KEEP] {
+            let _ = std::fs::remove_file(old);
+        }
+    }
+}
+
 fn disk_load(key: u64, spec: &BenchmarkSpec) -> Option<(Vec<u64>, SlackProfile)> {
     let path = disk_path(key);
-    let bytes = std::fs::read(&path).ok()?;
-    let entry: DiskEntry = serde_json::from_slice(&bytes).ok()?;
+    let mut bytes = std::fs::read(&path).ok()?;
+    fault::corrupt_cache_bytes(key, &mut bytes);
+    let Some(payload) = open_record(&bytes) else {
+        quarantine(&path, "bad envelope or checksum");
+        return None;
+    };
+    let entry: DiskEntry = match serde_json::from_str(&payload) {
+        Ok(entry) => entry,
+        Err(_) => {
+            quarantine(&path, "payload does not parse");
+            return None;
+        }
+    };
     if entry.schema_version != CACHE_SCHEMA || entry.bench != spec.name {
+        // Stale, not corrupt: a miss rewrites it in place.
         return None;
     }
     // LRU touch: freshen the entry's mtime so hot entries survive
@@ -258,7 +371,10 @@ fn disk_store(key: u64, spec: &BenchmarkSpec, freqs: &[u64], slack: &SlackProfil
         freqs: freqs.to_vec(),
         slack: slack.clone(),
     };
-    let Ok(json) = serde_json::to_vec(&entry) else {
+    let Ok(payload) = serde_json::to_string(&entry) else {
+        return;
+    };
+    let Some(json) = seal_record(payload) else {
         return;
     };
     // Best-effort: write via a unique temp file + rename so concurrent
@@ -288,7 +404,7 @@ fn exec_err(
 ) -> BenchError {
     BenchError::Exec {
         bench: spec.name.clone(),
-        stage,
+        stage: stage.to_string(),
         detail: source.to_string(),
     }
 }
@@ -405,6 +521,32 @@ mod tests {
         let mut short = a.clone();
         short.params.target_dyn = 1_000;
         assert_ne!(k, context_key(&short, &red, &pi, &pi));
+    }
+
+    #[test]
+    fn disk_record_envelope_round_trips_and_detects_corruption() {
+        let payload = r#"{"schema_version":2,"bench":"mib_sha"}"#.to_string();
+        let sealed = seal_record(payload.clone()).unwrap();
+        assert_eq!(open_record(&sealed).as_deref(), Some(payload.as_str()));
+        // Truncation and payload flips both fail the envelope check.
+        assert!(open_record(&sealed[..sealed.len() / 2]).is_none());
+        let mut flipped = sealed.clone();
+        let idx = flipped.len() / 2;
+        flipped[idx] ^= 0x01;
+        assert!(open_record(&flipped).is_none());
+        assert!(open_record(b"not json at all").is_none());
+    }
+
+    #[test]
+    fn cache_outcome_tags_round_trip() {
+        for outcome in [
+            CacheOutcome::MemHit,
+            CacheOutcome::DiskHit,
+            CacheOutcome::Miss,
+        ] {
+            assert_eq!(CacheOutcome::from_tag(outcome.tag()), Some(outcome));
+        }
+        assert_eq!(CacheOutcome::from_tag("bogus"), None);
     }
 
     #[test]

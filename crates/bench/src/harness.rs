@@ -107,7 +107,12 @@ impl Scheme {
 }
 
 /// Why a benchmark context could not be built or a cell could not run.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// Every variant owns plain `String`/integer data and round-trips through
+/// serde: the sweep journal persists failed cells as first-class rows, so
+/// a resumed sweep replays them bit-identically instead of re-running
+/// them.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum BenchError {
     /// A functional execution failed (`stage` says which one).
     Exec {
@@ -115,7 +120,7 @@ pub enum BenchError {
         bench: String,
         /// Which execution failed (train input, run input, rewritten
         /// program).
-        stage: &'static str,
+        stage: String,
         /// The underlying executor error, rendered.
         detail: String,
     },
@@ -130,11 +135,40 @@ pub enum BenchError {
     /// A harness configuration knob (environment variable) was rejected.
     Config {
         /// The knob, e.g. `MG_JOBS`.
-        knob: &'static str,
+        knob: String,
         /// The offending value as given.
         value: String,
         /// Why it was rejected.
-        detail: &'static str,
+        detail: String,
+    },
+    /// The cell's code panicked; the supervisor caught the unwind at the
+    /// cell boundary and recorded it as a failure row instead of letting
+    /// it abort the sweep.
+    Panicked {
+        /// Benchmark name.
+        bench: String,
+        /// Index of the cell that panicked (in spec cell order).
+        cell: usize,
+        /// The panic payload, rendered (`&str`/`String` payloads are
+        /// preserved verbatim; anything else becomes a placeholder).
+        payload: String,
+    },
+    /// The cell exceeded the sweep's wall-clock watchdog and was
+    /// abandoned.
+    TimedOut {
+        /// Benchmark name.
+        bench: String,
+        /// Index of the cell that timed out (in spec cell order).
+        cell: usize,
+        /// The configured watchdog limit, in milliseconds.
+        limit_ms: u64,
+    },
+    /// The sweep was asked to shut down before this cell ran; the cell
+    /// was skipped, not attempted. Interrupted rows are never journaled,
+    /// so a resumed sweep re-runs them.
+    Interrupted {
+        /// Benchmark name.
+        bench: String,
     },
 }
 
@@ -161,6 +195,23 @@ impl fmt::Display for BenchError {
                 detail,
             } => {
                 write!(f, "invalid {knob}={value:?}: {detail}")
+            }
+            BenchError::Panicked {
+                bench,
+                cell,
+                payload,
+            } => {
+                write!(f, "{bench}: cell {cell} panicked: {payload}")
+            }
+            BenchError::TimedOut {
+                bench,
+                cell,
+                limit_ms,
+            } => {
+                write!(f, "{bench}: cell {cell} exceeded the {limit_ms}ms watchdog")
+            }
+            BenchError::Interrupted { bench } => {
+                write!(f, "{bench}: skipped (sweep shutdown requested)")
             }
         }
     }
@@ -439,7 +490,7 @@ impl BenchContext {
                     .run_with_mem(&self.workload.init_mem)
                     .map_err(|e| BenchError::Exec {
                         bench: self.spec.name.clone(),
-                        stage: "rewritten-program execution",
+                        stage: "rewritten-program execution".to_string(),
                         detail: e.to_string(),
                     })?;
                 let mg_machine = machine.clone().with_mg(mg.unwrap_or_else(MgConfig::paper));
@@ -700,9 +751,47 @@ mod tests {
         assert!(s.contains("spec_mcf") && s.contains("Struct-All"));
         let x = BenchError::Exec {
             bench: "mib_sha".into(),
-            stage: "run-input execution",
+            stage: "run-input execution".into(),
             detail: "boom".into(),
         };
         assert!(x.to_string().contains("run-input execution"));
+    }
+
+    #[test]
+    fn bench_error_round_trips_through_serde() {
+        let errors = [
+            BenchError::Exec {
+                bench: "mib_sha".into(),
+                stage: "run-input execution".into(),
+                detail: "boom".into(),
+            },
+            BenchError::CycleCap {
+                bench: "spec_mcf".into(),
+                scheme: Scheme::SlackDynamic,
+            },
+            BenchError::Config {
+                knob: "MG_JOBS".into(),
+                value: "O8".into(),
+                detail: "expected a positive integer".into(),
+            },
+            BenchError::Panicked {
+                bench: "gzip-like".into(),
+                cell: 2,
+                payload: "mg-fault: injected panic".into(),
+            },
+            BenchError::TimedOut {
+                bench: "mib_fft".into(),
+                cell: 1,
+                limit_ms: 5_000,
+            },
+            BenchError::Interrupted {
+                bench: "mib_crc32".into(),
+            },
+        ];
+        for e in errors {
+            let json = serde_json::to_string(&e).unwrap();
+            let back: BenchError = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, e, "round-trip of {json}");
+        }
     }
 }

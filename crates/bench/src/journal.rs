@@ -1,0 +1,302 @@
+//! Crash-safe sweep journal: finished benchmark rows persisted one file
+//! at a time, so an interrupted multi-minute campaign resumes instead
+//! of restarting.
+//!
+//! Layout: `results/journal/sweep-<key>/row-<idx>-<rowkey>.json`, where
+//! `<key>` identifies the sweep shape (cells, inputs, training machine,
+//! machine fingerprint) and `<rowkey>` is a content hash over everything
+//! that determines the row — the same ingredients as the context
+//! cache's key plus the cell list. A journal can therefore never replay
+//! a row into a sweep it does not belong to: a changed spec, machine,
+//! or schema changes the key and the stale record is simply ignored.
+//!
+//! Every record is written via unique-temp-file + atomic rename and
+//! wrapped in the same FNV-1a-checksummed envelope as disk cache
+//! entries, so a record either exists completely and verifies, or it is
+//! treated as absent; a process killed mid-write never leaves torn
+//! state. Only *finished* rows are journaled — failed cells are
+//! finished (their errors are deterministic and replay bit-identically)
+//! but rows skipped by a shutdown are not, so a resume re-runs exactly
+//! the work that never completed.
+//!
+//! All journal I/O is best-effort, like the context cache: an
+//! unwritable directory degrades to journaling nothing.
+
+use crate::cache::{open_record, seal_record, stable_hash64, CacheOutcome};
+use crate::harness::{machine_fingerprint, BenchError, SchemeRun};
+use crate::runner::BenchRows;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Version tag for journal records. Bump on any change to the record
+/// shape or semantics; old records are then ignored (not replayed).
+pub const JOURNAL_SCHEMA: u32 = 1;
+
+/// Root directory for sweep journals, relative to the working directory
+/// (the workspace root for `cargo run`).
+pub const JOURNAL_DIR: &str = "results/journal";
+
+/// A cell result as persisted; mirrors `Result<SchemeRun, BenchError>`,
+/// which the serde shim cannot encode directly.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+enum JournalCell {
+    Ok(SchemeRun),
+    Err(BenchError),
+}
+
+/// One journaled benchmark row: everything needed to reconstruct its
+/// [`BenchRows`] without re-running any cell.
+#[derive(Serialize, Deserialize)]
+struct JournalRow {
+    schema_version: u32,
+    bench: String,
+    row_index: usize,
+    /// Row content key in hex, revalidated against the spec on load.
+    row_key: String,
+    cells: Vec<JournalCell>,
+    /// Original wall time of the task, for summary accounting.
+    wall_ms: u64,
+    /// Original context-cache outcome tag (`mem`/`disk`/`miss`).
+    cache: Option<String>,
+}
+
+/// Where one sweep's records live, plus the per-row content keys.
+#[derive(Clone, Debug)]
+pub(crate) struct Journal {
+    dir: PathBuf,
+    row_keys: Vec<u64>,
+}
+
+impl Journal {
+    /// Opens (without creating) the journal for a sweep. `row_keys[i]`
+    /// must be the content key of benchmark row `i`; `sweep_key` names
+    /// the directory.
+    pub(crate) fn new(root: &Path, sweep_key: u64, row_keys: Vec<u64>) -> Journal {
+        Journal {
+            dir: root.join(format!("sweep-{sweep_key:016x}")),
+            row_keys,
+        }
+    }
+
+    /// The journal's directory (for resume hints and artifacts).
+    pub(crate) fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn row_path(&self, idx: usize) -> PathBuf {
+        self.dir
+            .join(format!("row-{idx:04}-{:016x}.json", self.row_keys[idx]))
+    }
+
+    /// Loads and validates row `idx`, reconstructing its [`BenchRows`].
+    /// `None` on any mismatch (absent, torn, stale schema, wrong key, or
+    /// wrong cell count) — the caller then just re-runs the row.
+    pub(crate) fn load_row(&self, idx: usize, cell_count: usize) -> Option<BenchRows> {
+        let bytes = std::fs::read(self.row_path(idx)).ok()?;
+        let payload = open_record(&bytes)?;
+        let row: JournalRow = serde_json::from_str(&payload).ok()?;
+        if row.schema_version != JOURNAL_SCHEMA
+            || row.row_index != idx
+            || row.row_key != format!("{:016x}", self.row_keys[idx])
+            || row.cells.len() != cell_count
+        {
+            return None;
+        }
+        Some(BenchRows {
+            bench: row.bench,
+            runs: row
+                .cells
+                .into_iter()
+                .map(|c| match c {
+                    JournalCell::Ok(run) => Ok(run),
+                    JournalCell::Err(e) => Err(e),
+                })
+                .collect(),
+            wall: Duration::from_millis(row.wall_ms),
+            cache: row.cache.as_deref().and_then(CacheOutcome::from_tag),
+            replayed: true,
+            retries: 0,
+            #[cfg(feature = "obs")]
+            obs: None,
+        })
+    }
+
+    /// Persists a finished row (atomic temp + rename, checksummed).
+    /// Best-effort: failures journal nothing and the sweep carries on.
+    pub(crate) fn store_row(&self, idx: usize, rows: &BenchRows) {
+        let row = JournalRow {
+            schema_version: JOURNAL_SCHEMA,
+            bench: rows.bench.clone(),
+            row_index: idx,
+            row_key: format!("{:016x}", self.row_keys[idx]),
+            cells: rows
+                .runs
+                .iter()
+                .map(|r| match r {
+                    Ok(run) => JournalCell::Ok(run.clone()),
+                    Err(e) => JournalCell::Err(e.clone()),
+                })
+                .collect(),
+            wall_ms: rows.wall.as_millis() as u64,
+            cache: rows.cache.map(|c| c.tag().to_string()),
+        };
+        let Ok(payload) = serde_json::to_string(&row) else {
+            return;
+        };
+        let Some(bytes) = seal_record(payload) else {
+            return;
+        };
+        if std::fs::create_dir_all(&self.dir).is_err() {
+            return;
+        }
+        static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+        let tmp = self.dir.join(format!(
+            "row-{idx:04}.tmp.{}.{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        if std::fs::write(&tmp, bytes).is_ok() {
+            let _ = std::fs::rename(&tmp, self.row_path(idx));
+        }
+    }
+
+    /// Removes the sweep's journal directory, as
+    /// [`crate::supervisor::run_cli`] does (via the summary's
+    /// `journal_dir`) after a sweep completes uninterrupted: its records
+    /// have served their purpose and would otherwise accumulate per
+    /// spec forever.
+    #[cfg(test)]
+    pub(crate) fn clear(&self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// The content key of benchmark row `bench` inside a sweep whose cells
+/// and training setup render as `sweep_repr`. Uses `Debug` formatting of
+/// plain-data configs, like the context cache: deterministic, and any
+/// shape change conservatively invalidates old records.
+pub(crate) fn row_key(bench: &mg_workloads::BenchmarkSpec, sweep_repr: &str) -> u64 {
+    let repr = format!(
+        "v{JOURNAL_SCHEMA}|{}|{:?}|{sweep_repr}",
+        bench.name, bench.params
+    );
+    stable_hash64(repr.as_bytes())
+}
+
+/// The sweep-shape key (directory name) and the shared per-row repr:
+/// cells, input selection, training machine, and the machine-family
+/// fingerprint.
+pub(crate) fn sweep_repr(
+    train_cfg: &mg_sim::MachineConfig,
+    train_input: &crate::runner::InputSel,
+    run_input: &crate::runner::InputSel,
+    cells: &[crate::runner::SweepCell],
+) -> String {
+    format!(
+        "{}|{train_cfg:?}|{train_input:?}|{run_input:?}|{cells:?}",
+        machine_fingerprint()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::Scheme;
+
+    fn demo_rows(bench: &str) -> BenchRows {
+        BenchRows {
+            bench: bench.to_string(),
+            runs: vec![
+                Ok(SchemeRun {
+                    scheme: Scheme::StructAll,
+                    ipc: 1.25,
+                    cycles: 4_800,
+                    coverage: 0.375,
+                    est_coverage: 0.4,
+                    disabled_templates: 0,
+                    serialized_handles: 12,
+                    dl1_miss_rate: 0.01,
+                }),
+                Err(BenchError::Panicked {
+                    bench: bench.to_string(),
+                    cell: 1,
+                    payload: "mg-fault: injected panic".into(),
+                }),
+            ],
+            wall: Duration::from_millis(1234),
+            cache: Some(CacheOutcome::DiskHit),
+            replayed: false,
+            retries: 0,
+            #[cfg(feature = "obs")]
+            obs: None,
+        }
+    }
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("mg-journal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn store_then_load_round_trips_ok_and_error_cells() {
+        let root = temp_root("roundtrip");
+        let journal = Journal::new(&root, 0xabcd, vec![11, 22]);
+        let rows = demo_rows("mib_sha");
+        journal.store_row(1, &rows);
+        let back = journal.load_row(1, 2).expect("row replays");
+        assert!(back.replayed);
+        assert_eq!(back.bench, "mib_sha");
+        assert_eq!(back.wall, Duration::from_millis(1234));
+        assert_eq!(back.cache, Some(CacheOutcome::DiskHit));
+        let ok = back.runs[0].as_ref().unwrap();
+        assert_eq!(ok.cycles, 4_800);
+        assert_eq!(ok.ipc.to_bits(), 1.25f64.to_bits(), "floats replay by bit");
+        assert!(matches!(
+            back.runs[1],
+            Err(BenchError::Panicked { cell: 1, .. })
+        ));
+        // Absent rows and wrong cell counts do not replay.
+        assert!(journal.load_row(0, 2).is_none());
+        assert!(journal.load_row(1, 3).is_none());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn corrupt_or_rekeyed_records_are_ignored() {
+        let root = temp_root("corrupt");
+        let journal = Journal::new(&root, 1, vec![42]);
+        journal.store_row(0, &demo_rows("mib_crc32"));
+        assert!(journal.load_row(0, 2).is_some());
+
+        // Truncate the record: torn writes never replay.
+        let path = journal.row_path(0);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(journal.load_row(0, 2).is_none());
+
+        // Same directory, different row key: stale records never replay.
+        journal.store_row(0, &demo_rows("mib_crc32"));
+        let rekeyed = Journal::new(&root, 1, vec![43]);
+        assert!(rekeyed.load_row(0, 2).is_none());
+
+        journal.clear();
+        assert!(!journal.dir().exists());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn row_keys_separate_benches_and_sweep_shapes() {
+        let a = mg_workloads::BenchmarkSpec::new(mg_workloads::Suite::MiBench, "sha");
+        let b = mg_workloads::BenchmarkSpec::new(mg_workloads::Suite::MiBench, "crc32");
+        let k = row_key(&a, "shape-1");
+        assert_eq!(k, row_key(&a, "shape-1"), "key is stable");
+        assert_ne!(k, row_key(&b, "shape-1"));
+        assert_ne!(k, row_key(&a, "shape-2"));
+        let mut short = a.clone();
+        short.params.target_dyn = 1_000;
+        assert_ne!(k, row_key(&short, "shape-1"), "params are part of the key");
+    }
+}

@@ -3,19 +3,29 @@
 //!
 //! Each figure has a binary under `src/bin/`; the shared machinery lives
 //! in [`harness`] (benchmark contexts and scheme runs), [`runner`] (the
-//! parallel [`SweepSpec`] executor), [`cache`] (content-keyed context
-//! memoization), and [`stats`]. See `EXPERIMENTS.md` at the repository
-//! root for the paper-vs-measured record.
+//! parallel [`SweepSpec`] executor), [`supervisor`] (panic isolation,
+//! watchdogs, retry, and graceful shutdown around it), [`journal`]
+//! (crash-safe resume for interrupted sweeps), [`fault`] (deterministic
+//! fault injection behind the `fault-inject` feature), [`cache`]
+//! (content-keyed context memoization), and [`stats`]. See
+//! `EXPERIMENTS.md` at the repository root for the paper-vs-measured
+//! record.
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `signals` needs two `asm!`-wrapped syscalls for libc-free
+// SIGINT/SIGTERM watching; everything else stays safe.
+#![deny(unsafe_code)]
 
 pub mod cache;
+pub mod fault;
 pub mod figures;
 pub mod golden;
 pub mod harness;
+pub mod journal;
 pub mod runner;
+pub mod signals;
 pub mod stats;
+pub mod supervisor;
 
 pub use cache::CacheOutcome;
 #[cfg(feature = "obs")]
@@ -25,7 +35,8 @@ pub use harness::{
     Scheme, SchemeRun, SCHEMA_VERSION,
 };
 pub use runner::{
-    default_jobs, par_map, parse_jobs, try_default_jobs, BenchProfile, BenchRows, InputSel,
-    SweepCell, SweepResult, SweepSpec, SweepSummary,
+    default_jobs, par_map, par_map_catch, parse_jobs, try_default_jobs, BenchProfile, BenchRows,
+    InputSel, SweepCell, SweepResult, SweepSpec, SweepSummary, TaskPanic,
 };
 pub use stats::{geomean, mean, s_curve};
+pub use supervisor::{clear_shutdown, request_shutdown, run_cli, shutdown_requested};

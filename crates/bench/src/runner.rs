@@ -24,14 +24,19 @@
 //! `MG_LOG=error` to silence a noisy sweep or `MG_LOG=debug` for the full
 //! per-benchmark timing listing ([`SweepSummary::print_footer`]).
 
-use crate::cache::{self, CacheCounters, CacheOutcome};
+use crate::cache::{self, stable_hash64, CacheCounters, CacheOutcome};
 use crate::harness::{BenchContext, BenchError, Scheme, SchemeRun};
+use crate::journal::{self, Journal};
+use crate::signals::SignalWatch;
+use crate::supervisor;
 use mg_core::candidate::SelectionConfig;
-use mg_obs::{mg_debug, mg_info};
+use mg_obs::{mg_debug, mg_error, mg_info};
 use mg_sim::{MachineConfig, MgConfig};
 use mg_workloads::{BenchmarkSpec, InputSet};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 /// One (scheme, machine) cell of a sweep, with optional per-cell
@@ -107,6 +112,12 @@ pub struct SweepSpec {
     jobs: Option<usize>,
     disk_cache: bool,
     quiet: bool,
+    watchdog: Option<Duration>,
+    retries: u32,
+    journal: bool,
+    resume: bool,
+    journal_root: PathBuf,
+    graceful: bool,
     #[cfg(feature = "obs")]
     obs: Option<mg_obs::ObsConfig>,
 }
@@ -123,6 +134,12 @@ impl SweepSpec {
             jobs: None,
             disk_cache: true,
             quiet: false,
+            watchdog: None,
+            retries: 0,
+            journal: false,
+            resume: false,
+            journal_root: PathBuf::from(journal::JOURNAL_DIR),
+            graceful: false,
             #[cfg(feature = "obs")]
             obs: None,
         }
@@ -184,6 +201,60 @@ impl SweepSpec {
         self
     }
 
+    /// Sets a per-cell wall-clock watchdog: a cell exceeding `limit`
+    /// becomes a [`BenchError::TimedOut`] row instead of hanging the
+    /// sweep. Default: no watchdog (cells run inline on the worker with
+    /// zero supervision overhead beyond panic isolation).
+    pub fn watchdog(mut self, limit: Duration) -> SweepSpec {
+        self.watchdog = Some(limit);
+        self
+    }
+
+    /// Allows up to `n` retries (with short exponential backoff) for
+    /// *transient-class* cell failures — panics and watchdog timeouts.
+    /// Deterministic errors are never retried. Default: 0.
+    pub fn retries(mut self, n: u32) -> SweepSpec {
+        self.retries = n;
+        self
+    }
+
+    /// Journals every finished benchmark row to a crash-safe on-disk
+    /// journal (one atomically-written, checksummed file per row under
+    /// `results/journal/`), so an interrupted sweep can be resumed.
+    /// Default: off for library callers; [`crate::supervisor::run_cli`]
+    /// turns it on for every figure binary.
+    pub fn journal(mut self, on: bool) -> SweepSpec {
+        self.journal = on;
+        self
+    }
+
+    /// Replays rows journaled by a previous (interrupted) run of this
+    /// same sweep instead of re-running them; replayed rows are
+    /// bit-identical to the originals. Implies [`SweepSpec::journal`].
+    pub fn resume(mut self, on: bool) -> SweepSpec {
+        self.resume = on;
+        self.journal |= on;
+        self
+    }
+
+    /// Overrides the journal root directory (tests; default
+    /// [`journal::JOURNAL_DIR`]).
+    pub fn journal_dir<P: Into<PathBuf>>(mut self, root: P) -> SweepSpec {
+        self.journal_root = root.into();
+        self
+    }
+
+    /// Installs a SIGINT/SIGTERM watcher for the duration of the sweep:
+    /// the first signal requests cooperative shutdown (in-flight
+    /// benchmarks drain, the journal keeps finished rows, the summary
+    /// prints a resume hint), a second aborts immediately. Default: off;
+    /// on unsupported platforms this degrades to cooperative
+    /// [`crate::supervisor::request_shutdown`] only.
+    pub fn graceful_shutdown(mut self, on: bool) -> SweepSpec {
+        self.graceful = on;
+        self
+    }
+
     /// Attaches the pipeline observer to every cell run: each benchmark
     /// row then carries a per-benchmark [`mg_obs::ObsAggregate`] and
     /// [`SweepResult::obs_aggregate`] merges them sweep-wide.
@@ -199,64 +270,173 @@ impl SweepSpec {
     }
 
     /// Executes the sweep and collects rows in deterministic order.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a *configuration* error (invalid `MG_JOBS` or
+    /// `MG_FAULT`); use [`SweepSpec::try_run`] to handle those as
+    /// values. Cell-level failures never panic either way — they are
+    /// recorded as error rows and the sweep continues.
     pub fn run(&self) -> SweepResult {
-        let jobs = self.jobs.unwrap_or_else(default_jobs);
+        self.try_run().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Executes the sweep as a figure binary should:
+    /// [`crate::supervisor::run_cli`] — journaled, resumable via
+    /// `MG_RESUME=1`, graceful on SIGINT/SIGTERM, exiting `2` on
+    /// configuration errors and `130` after an interrupt.
+    pub fn run_cli(self) -> SweepResult {
+        supervisor::run_cli(self)
+    }
+
+    /// Whether this sweep journals rows. Observed sweeps do not: the
+    /// journal cannot replay observer reports, so a replayed row would
+    /// silently lose its instrumentation.
+    fn journal_active(&self) -> bool {
+        #[cfg(feature = "obs")]
+        {
+            self.journal && self.obs.is_none()
+        }
+        #[cfg(not(feature = "obs"))]
+        {
+            self.journal
+        }
+    }
+
+    /// Executes the sweep with configuration errors reported as values.
+    ///
+    /// This is the supervised path: every cell runs under panic
+    /// isolation (plus the watchdog and retry budget if configured),
+    /// finished rows are journaled when [`SweepSpec::journal`] is on,
+    /// and with [`SweepSpec::resume`] rows journaled by a previous
+    /// interrupted run of the same sweep are replayed bit-identically
+    /// instead of re-executed.
+    pub fn try_run(&self) -> Result<SweepResult, BenchError> {
+        crate::fault::init_from_env()?;
+        let jobs = match self.jobs {
+            Some(j) => j,
+            None => try_default_jobs()?,
+        };
+        // Journal identity: the sweep shape (training setup, inputs,
+        // cells, machine fingerprint) names the directory; each
+        // benchmark row carries a content key. Both must match for a
+        // record to replay, so stale journals degrade to re-running.
+        let journal = self.journal_active().then(|| {
+            let repr = journal::sweep_repr(
+                &self.train_cfg,
+                &self.train_input,
+                &self.run_input,
+                &self.cells,
+            );
+            let row_keys = self
+                .benches
+                .iter()
+                .map(|b| journal::row_key(b, &repr))
+                .collect();
+            Journal::new(&self.journal_root, stable_hash64(repr.as_bytes()), row_keys)
+        });
+        let replayed_rows: Vec<Option<BenchRows>> = match (&journal, self.resume) {
+            (Some(j), true) => (0..self.benches.len())
+                .map(|i| j.load_row(i, self.cells.len()))
+                .collect(),
+            _ => vec![None; self.benches.len()],
+        };
+        let _watch = self
+            .graceful
+            .then(|| {
+                SignalWatch::install(|signo, count| {
+                    if count == 1 {
+                        mg_error!(
+                            "signal {signo}: draining in-flight benchmarks \
+                             (signal again to abort immediately)"
+                        );
+                        supervisor::request_shutdown();
+                    } else {
+                        std::process::exit(128 + signo);
+                    }
+                })
+            })
+            .flatten();
         let before = cache::counters();
         let t0 = Instant::now();
         let quiet = self.quiet;
-        let rows: Vec<BenchRows> = par_map(&self.benches, jobs, |_, spec| {
-            let task0 = Instant::now();
-            let ctx = BenchContext::builder(spec, &self.train_cfg)
-                .train_input(self.train_input.resolve(spec))
-                .run_input(self.run_input.resolve(spec))
-                .disk_cache(self.disk_cache)
-                .build();
-            #[cfg(feature = "obs")]
-            let mut obs_agg = self.obs.map(|_| mg_obs::ObsAggregate::new());
-            let mut runs: Vec<Result<SchemeRun, BenchError>> = Vec::with_capacity(self.cells.len());
-            let cache_outcome = match &ctx {
-                Ok(ctx) => {
-                    for cell in &self.cells {
-                        #[cfg(feature = "obs")]
-                        let run = self.run_cell(ctx, cell, obs_agg.as_mut());
-                        #[cfg(not(feature = "obs"))]
-                        let run = self.run_cell(ctx, cell);
-                        runs.push(run);
-                    }
-                    Some(ctx.cache_outcome())
+        let journal_ref = journal.as_ref();
+        let replayed_ref = &replayed_rows;
+        let outcomes = par_map_catch(&self.benches, jobs, |i, spec| {
+            if let Some(rows) = &replayed_ref[i] {
+                if !quiet {
+                    mg_obs::log::raw("r");
                 }
-                Err(e) => {
-                    runs.extend(self.cells.iter().map(|_| Err(e.clone())));
-                    None
+                return rows.clone();
+            }
+            let rows = self.run_bench_task(spec);
+            // Interrupted rows are unfinished by definition: journaling
+            // them would make resume skip work that never ran.
+            if let Some(j) = journal_ref {
+                let interrupted = rows
+                    .runs
+                    .iter()
+                    .any(|r| matches!(r, Err(BenchError::Interrupted { .. })));
+                if !interrupted {
+                    j.store_row(i, &rows);
                 }
-            };
+            }
             if !quiet {
                 mg_obs::log::raw(".");
             }
-            BenchRows {
-                bench: spec.name.clone(),
-                runs,
-                wall: task0.elapsed(),
-                cache: cache_outcome,
-                #[cfg(feature = "obs")]
-                obs: obs_agg,
-            }
+            rows
         });
+        // run_bench_task isolates cell and context panics itself, so a
+        // panic escaping it is a harness bug — still turned into an
+        // error row rather than tearing down the other 77 benchmarks.
+        let rows: Vec<BenchRows> = outcomes
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| match r {
+                Ok(rows) => rows,
+                Err(p) => BenchRows {
+                    bench: self.benches[i].name.clone(),
+                    runs: (0..self.cells.len())
+                        .map(|j| {
+                            Err(BenchError::Panicked {
+                                bench: self.benches[i].name.clone(),
+                                cell: j,
+                                payload: p.payload.clone(),
+                            })
+                        })
+                        .collect(),
+                    wall: Duration::ZERO,
+                    cache: None,
+                    replayed: false,
+                    retries: 0,
+                    #[cfg(feature = "obs")]
+                    obs: None,
+                },
+            })
+            .collect();
         if !quiet {
             mg_obs::log::raw("\n");
         }
-        let failures = rows
-            .iter()
-            .map(|r| r.runs.iter().filter(|c| c.is_err()).count())
-            .sum();
+        let count_errs = |pred: &dyn Fn(&BenchError) -> bool| -> usize {
+            rows.iter()
+                .flat_map(|r| r.runs.iter())
+                .filter(|c| matches!(c, Err(e) if pred(e)))
+                .count()
+        };
+        let interrupted = count_errs(&|e| matches!(e, BenchError::Interrupted { .. }));
+        let failures = count_errs(&|e| !matches!(e, BenchError::Interrupted { .. }));
         let summary = SweepSummary {
             benches: self.benches.len(),
             cells: self.cells.len(),
             failures,
+            interrupted,
+            replayed: rows.iter().filter(|r| r.replayed).count(),
+            retries: rows.iter().map(|r| u64::from(r.retries)).sum(),
             jobs,
             wall: t0.elapsed(),
             task_wall_total: rows.iter().map(|r| r.wall).sum(),
             cache: cache::counters().since(&before),
+            journal_dir: journal.as_ref().map(|j| j.dir().to_path_buf()),
             per_bench: rows
                 .iter()
                 .map(|r| BenchProfile {
@@ -269,34 +449,95 @@ impl SweepSpec {
         if !quiet {
             summary.print_footer();
         }
-        SweepResult { rows, summary }
-    }
-
-    /// Runs one cell, instrumented when the spec's observer is on.
-    #[cfg(feature = "obs")]
-    fn run_cell(
-        &self,
-        ctx: &BenchContext,
-        cell: &SweepCell,
-        obs_agg: Option<&mut mg_obs::ObsAggregate>,
-    ) -> Result<SchemeRun, BenchError> {
-        if let Some(oc) = self.obs {
-            return ctx
-                .try_run_with_obs(cell.scheme, &cell.machine, cell.mg, cell.sel.as_ref(), oc)
-                .map(|(run, report)| {
-                    if let Some(agg) = obs_agg {
-                        agg.absorb(&report);
-                    }
-                    run
-                });
+        if interrupted > 0 {
+            match &summary.journal_dir {
+                Some(dir) => mg_error!(
+                    "sweep interrupted: {interrupted} cells skipped; finished rows are \
+                     journaled at {} — rerun with MG_RESUME=1 to resume",
+                    dir.display()
+                ),
+                None => mg_error!(
+                    "sweep interrupted: {interrupted} cells skipped (journaling was off, \
+                     a rerun starts from scratch)"
+                ),
+            }
         }
-        ctx.try_run_with(cell.scheme, &cell.machine, cell.mg, cell.sel.as_ref())
+        Ok(SweepResult { rows, summary })
     }
 
-    /// Runs one cell (uninstrumented build).
-    #[cfg(not(feature = "obs"))]
-    fn run_cell(&self, ctx: &BenchContext, cell: &SweepCell) -> Result<SchemeRun, BenchError> {
-        ctx.try_run_with(cell.scheme, &cell.machine, cell.mg, cell.sel.as_ref())
+    /// One benchmark's task: supervised context construction, then every
+    /// cell under the supervision stack
+    /// ([`supervisor::run_cell_supervised`]).
+    fn run_bench_task(&self, spec: &BenchmarkSpec) -> BenchRows {
+        let task0 = Instant::now();
+        #[cfg(feature = "obs")]
+        let obs_arg: supervisor::ObsArg = self.obs;
+        #[cfg(not(feature = "obs"))]
+        let obs_arg: supervisor::ObsArg = ();
+        #[cfg(feature = "obs")]
+        let mut obs_agg = self.obs.map(|_| mg_obs::ObsAggregate::new());
+        let mut runs: Vec<Result<SchemeRun, BenchError>> = Vec::with_capacity(self.cells.len());
+        let mut retries_total = 0u32;
+        // Context construction gets the same panic isolation as cells: a
+        // panicking builder fails this row, not the process.
+        let ctx = if supervisor::shutdown_requested() {
+            Err(BenchError::Interrupted {
+                bench: spec.name.clone(),
+            })
+        } else {
+            catch_unwind(AssertUnwindSafe(|| {
+                BenchContext::builder(spec, &self.train_cfg)
+                    .train_input(self.train_input.resolve(spec))
+                    .run_input(self.run_input.resolve(spec))
+                    .disk_cache(self.disk_cache)
+                    .build()
+            }))
+            .unwrap_or_else(|e| {
+                Err(BenchError::Panicked {
+                    bench: spec.name.clone(),
+                    cell: 0,
+                    payload: format!("context build: {}", supervisor::panic_payload(e)),
+                })
+            })
+        };
+        let cache_outcome = match ctx {
+            Ok(ctx) => {
+                let ctx = Arc::new(ctx);
+                for (j, cell) in self.cells.iter().enumerate() {
+                    let (res, retries) = supervisor::run_cell_supervised(
+                        &ctx,
+                        cell,
+                        j,
+                        self.watchdog,
+                        self.retries,
+                        obs_arg,
+                    );
+                    retries_total += retries;
+                    runs.push(res.map(|(run, _payload)| {
+                        #[cfg(feature = "obs")]
+                        if let (Some(agg), Some(report)) = (obs_agg.as_mut(), _payload) {
+                            agg.absorb(&report);
+                        }
+                        run
+                    }));
+                }
+                Some(ctx.cache_outcome())
+            }
+            Err(e) => {
+                runs.extend(self.cells.iter().map(|_| Err(e.clone())));
+                None
+            }
+        };
+        BenchRows {
+            bench: spec.name.clone(),
+            runs,
+            wall: task0.elapsed(),
+            cache: cache_outcome,
+            replayed: false,
+            retries: retries_total,
+            #[cfg(feature = "obs")]
+            obs: obs_agg,
+        }
     }
 }
 
@@ -312,6 +553,12 @@ pub struct BenchRows {
     /// How the benchmark's context was served by the cache (`None` when
     /// context construction itself failed).
     pub cache: Option<CacheOutcome>,
+    /// Whether this row was replayed from the sweep journal
+    /// ([`SweepSpec::resume`]) instead of executed.
+    pub replayed: bool,
+    /// Retries spent on this row's cells (transient-class failures
+    /// only; see [`SweepSpec::retries`]).
+    pub retries: u32,
     /// Observer aggregate over this benchmark's cells (populated only
     /// when the sweep ran with [`SweepSpec::observe`]).
     #[cfg(feature = "obs")]
@@ -363,8 +610,15 @@ pub struct SweepSummary {
     pub benches: usize,
     /// Number of cells per benchmark.
     pub cells: usize,
-    /// Number of failed cells recorded (sweep continued past them).
+    /// Number of failed cells recorded (sweep continued past them);
+    /// interrupted cells are counted separately.
     pub failures: usize,
+    /// Cells skipped because shutdown was requested mid-sweep.
+    pub interrupted: usize,
+    /// Benchmark rows replayed from the journal instead of executed.
+    pub replayed: usize,
+    /// Total retries spent on transient-class cell failures.
+    pub retries: u64,
     /// Worker threads used.
     pub jobs: usize,
     /// End-to-end wall time.
@@ -374,6 +628,9 @@ pub struct SweepSummary {
     pub task_wall_total: Duration,
     /// Context-cache counter deltas for this sweep.
     pub cache: CacheCounters,
+    /// Where this sweep journals its rows (`None` when journaling is
+    /// off).
+    pub journal_dir: Option<PathBuf>,
     /// Per-benchmark wall time and cache outcome, in spec order.
     pub per_bench: Vec<BenchProfile>,
 }
@@ -424,6 +681,15 @@ impl SweepSummary {
                 String::new()
             },
         );
+        if self.replayed > 0 || self.retries > 0 || self.interrupted > 0 {
+            mg_info!(
+                "resilience: {} rows replayed from the journal, {} retries, \
+                 {} interrupted cells",
+                self.replayed,
+                self.retries,
+                self.interrupted,
+            );
+        }
         if !self.per_bench.is_empty() {
             let mut by_wall: Vec<&BenchProfile> = self.per_bench.iter().collect();
             by_wall.sort_by(|a, b| b.wall.cmp(&a.wall).then_with(|| a.bench.cmp(&b.bench)));
@@ -444,15 +710,15 @@ impl SweepSummary {
 pub fn parse_jobs(value: &str) -> Result<usize, BenchError> {
     match value.trim().parse::<usize>() {
         Ok(0) => Err(BenchError::Config {
-            knob: "MG_JOBS",
+            knob: "MG_JOBS".to_string(),
             value: value.to_string(),
-            detail: "worker count must be at least 1",
+            detail: "worker count must be at least 1".to_string(),
         }),
         Ok(n) => Ok(n),
         Err(_) => Err(BenchError::Config {
-            knob: "MG_JOBS",
+            knob: "MG_JOBS".to_string(),
             value: value.to_string(),
-            detail: "expected a positive integer",
+            detail: "expected a positive integer".to_string(),
         }),
     }
 }
@@ -479,48 +745,109 @@ pub fn default_jobs() -> usize {
     try_default_jobs().unwrap_or_else(|e| panic!("{e}"))
 }
 
+/// A panic captured from one [`par_map_catch`] task.
+#[derive(Clone, Debug)]
+pub struct TaskPanic {
+    /// Index of the item whose task panicked.
+    pub index: usize,
+    /// Rendered panic payload.
+    pub payload: String,
+}
+
 /// Maps `f` over `items` on `jobs` scoped worker threads, returning
-/// results in item order. Workers pull the next index from a shared
-/// atomic queue, so uneven task costs balance automatically. With
-/// `jobs <= 1` this degenerates to a plain serial map (no threads), which
-/// is the reference order the parallel path must reproduce.
-pub fn par_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+/// results in item order with per-task panic isolation: a panicking
+/// task yields `Err(TaskPanic)` in its slot while every other task
+/// still runs to completion and delivers. Workers pull the next index
+/// from a shared atomic queue, so uneven task costs balance
+/// automatically. With `jobs <= 1` this degenerates to a serial map
+/// (no threads), which is the reference order the parallel path must
+/// reproduce.
+pub fn par_map_catch<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<Result<R, TaskPanic>>
 where
     T: Sync,
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    let catch = |i: usize, t: &T| {
+        catch_unwind(AssertUnwindSafe(|| f(i, t))).map_err(|e| TaskPanic {
+            index: i,
+            payload: supervisor::panic_payload(e),
+        })
+    };
     let jobs = jobs.max(1).min(items.len().max(1));
     if jobs <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        return items.iter().enumerate().map(|(i, t)| catch(i, t)).collect();
     }
     let next = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    let (tx, rx) = mpsc::channel::<(usize, Result<R, TaskPanic>)>();
     std::thread::scope(|s| {
         for _ in 0..jobs {
             let tx = tx.clone();
             let next = &next;
-            let f = &f;
+            let catch = &catch;
             s.spawn(move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= items.len() {
                     break;
                 }
-                let r = f(i, &items[i]);
+                let r = catch(i, &items[i]);
                 if tx.send((i, r)).is_err() {
                     break;
                 }
             });
         }
         drop(tx);
-        let mut out: Vec<Option<R>> = std::iter::repeat_with(|| None).take(items.len()).collect();
+        let mut out: Vec<Option<Result<R, TaskPanic>>> =
+            std::iter::repeat_with(|| None).take(items.len()).collect();
         for (i, r) in rx {
             out[i] = Some(r);
         }
+        // Panics are caught inside the workers, so every slot should be
+        // delivered. If a worker still died without delivering (an
+        // abort-in-drop class bug), record the loss in that task's slot
+        // instead of panicking the collector: the other results are
+        // intact and the caller decides what a lost task means.
         out.into_iter()
-            .map(|r| r.expect("every task delivers a result"))
+            .enumerate()
+            .map(|(i, r)| {
+                r.unwrap_or_else(|| {
+                    Err(TaskPanic {
+                        index: i,
+                        payload: "task result never delivered (worker died)".to_string(),
+                    })
+                })
+            })
             .collect()
     })
+}
+
+/// [`par_map_catch`] for infallible tasks: panics (with the first
+/// task's payload) only after every task has finished, so no work is
+/// silently lost mid-flight.
+pub fn par_map<T, R, F>(items: &[T], jobs: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let mut first: Option<TaskPanic> = None;
+    let out: Vec<R> = par_map_catch(items, jobs, f)
+        .into_iter()
+        .filter_map(|r| match r {
+            Ok(v) => Some(v),
+            Err(p) => {
+                first.get_or_insert(p);
+                None
+            }
+        })
+        .collect();
+    if let Some(p) = first {
+        resume_unwind(Box::new(format!(
+            "task {} panicked: {}",
+            p.index, p.payload
+        )));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -541,6 +868,59 @@ mod tests {
         let empty: Vec<u32> = Vec::new();
         assert!(par_map(&empty, 4, |_, &x| x).is_empty());
         assert_eq!(par_map(&[7u32], 4, |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn par_map_catch_isolates_task_panics() {
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let items: Vec<u32> = (0..16).collect();
+        for jobs in [1, 4] {
+            let out = par_map_catch(&items, jobs, |i, &x| {
+                if x == 5 {
+                    panic!("boom {i}");
+                }
+                x * 2
+            });
+            assert_eq!(out.len(), items.len());
+            for (i, r) in out.iter().enumerate() {
+                if i == 5 {
+                    let p = r.as_ref().expect_err("task 5 panicked");
+                    assert_eq!(p.index, 5);
+                    assert!(p.payload.contains("boom 5"), "{}", p.payload);
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), i as u32 * 2, "jobs={jobs}");
+                }
+            }
+        }
+        std::panic::set_hook(hook);
+    }
+
+    #[test]
+    fn par_map_finishes_every_task_before_repanicking() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let done = AtomicUsize::new(0);
+        let items: Vec<u32> = (0..8).collect();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            par_map(&items, 4, |_, &x| {
+                if x == 0 {
+                    panic!("first task dies");
+                }
+                done.fetch_add(1, Ordering::Relaxed);
+                x
+            })
+        }));
+        std::panic::set_hook(hook);
+        let payload = caught.expect_err("the panic must propagate");
+        let msg = crate::supervisor::panic_payload(payload);
+        assert!(msg.contains("first task dies"), "{msg}");
+        assert_eq!(
+            done.load(Ordering::Relaxed),
+            items.len() - 1,
+            "no sibling task is abandoned when one panics"
+        );
     }
 
     #[test]

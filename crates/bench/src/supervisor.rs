@@ -1,0 +1,328 @@
+//! Cell supervision for the sweep runner: panic isolation, wall-clock
+//! watchdogs, bounded retry, and cooperative shutdown.
+//!
+//! [`SweepSpec::run`](crate::SweepSpec::run) delegates every cell
+//! execution to [`run_cell_supervised`], which layers, outermost first:
+//!
+//! 1. **Shutdown check** — once [`request_shutdown`] has been called
+//!    (cooperatively, or by the SIGINT/SIGTERM watcher a graceful sweep
+//!    installs), cells that have not started yield
+//!    [`BenchError::Interrupted`] instead of running; in-flight cells
+//!    drain normally.
+//! 2. **Retry with backoff** — *transient-class* failures (a panic or a
+//!    watchdog timeout, the kinds injectable by [`crate::fault`] and
+//!    producible by environmental flakiness) are retried up to the
+//!    spec's retry budget with short exponential backoff. Deterministic
+//!    failures ([`BenchError::CycleCap`], execution and configuration
+//!    errors) are never retried: they would fail identically every time.
+//! 3. **Watchdog** — with a limit configured, the cell runs on a helper
+//!    thread and the worker waits with a deadline; a cell that overruns
+//!    is reported as [`BenchError::TimedOut`] and its thread is
+//!    *abandoned* (a stuck simulation cannot be cancelled from outside;
+//!    the leaked thread is bounded by the retry budget and the process
+//!    exits at sweep end anyway). Without a watchdog the cell runs
+//!    inline and costs nothing extra.
+//! 4. **Panic isolation** — the cell body (including fault-injection
+//!    hooks) runs under [`std::panic::catch_unwind`]; a panicking cell
+//!    becomes a [`BenchError::Panicked`] row carrying the payload, and
+//!    the other 77 benchmarks of a figure still complete.
+//!
+//! [`run_cli`] is the binary entry point that turns all of this on:
+//! journaling to `results/journal/`, resume via `MG_RESUME=1`, graceful
+//! signal shutdown, and the conventional exit codes (`2` for
+//! configuration errors, `130` after an interrupt).
+
+use crate::harness::{BenchContext, BenchError, SchemeRun};
+use crate::runner::{SweepCell, SweepResult, SweepSpec};
+use mg_obs::{mg_debug, mg_error};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+/// Environment variable binaries check to resume an interrupted sweep
+/// from its journal (`1`/`true`/`yes`).
+pub const RESUME_ENV: &str = "MG_RESUME";
+
+/// Environment variable (`1`/`true`/`yes`) that makes [`run_cli`] keep
+/// the journal of a sweep that completed without interruption, instead
+/// of clearing it. For audits and CI artifacts: the kept records show
+/// per-row wall time, cache outcome, and any error rows.
+pub const JOURNAL_KEEP_ENV: &str = "MG_JOURNAL_KEEP";
+
+fn env_flag(name: &str) -> bool {
+    std::env::var(name)
+        .map(|v| matches!(v.trim(), "1" | "true" | "yes"))
+        .unwrap_or(false)
+}
+
+/// Process-wide shutdown flag. One flag (not per-sweep) because it
+/// mirrors what a signal means: this *process* should wind down.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// Requests cooperative sweep shutdown: cells not yet started report
+/// [`BenchError::Interrupted`], in-flight cells drain, the journal keeps
+/// every finished row. Safe to call from any thread (including the
+/// signal watcher).
+pub fn request_shutdown() {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Whether shutdown has been requested and not yet cleared.
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Re-arms after a drained shutdown so a later sweep in the same process
+/// (tests, resume-in-process) can run.
+pub fn clear_shutdown() {
+    SHUTDOWN.store(false, Ordering::SeqCst);
+}
+
+/// Renders a `catch_unwind` payload for [`BenchError::Panicked`].
+pub(crate) fn panic_payload(e: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = e.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = e.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// What a cell returns besides the condensed run: the observer report
+/// when the sweep is instrumented, nothing otherwise.
+#[cfg(feature = "obs")]
+pub(crate) type ObsPayload = Option<Box<mg_obs::ObsReport>>;
+/// See the `obs` variant.
+#[cfg(not(feature = "obs"))]
+pub(crate) type ObsPayload = ();
+
+/// The observer configuration handed to each cell (absent without the
+/// `obs` feature).
+#[cfg(feature = "obs")]
+pub(crate) type ObsArg = Option<mg_obs::ObsConfig>;
+/// See the `obs` variant.
+#[cfg(not(feature = "obs"))]
+pub(crate) type ObsArg = ();
+
+/// The raw cell body: fault hooks, then the (optionally instrumented)
+/// scheme run. Everything that can panic or stall lives in here, so the
+/// supervision layers wrap exactly this.
+fn run_cell_once(
+    ctx: &BenchContext,
+    cell: &SweepCell,
+    cell_idx: usize,
+    obs: ObsArg,
+) -> Result<(SchemeRun, ObsPayload), BenchError> {
+    crate::fault::before_cell(&ctx.spec.name, cell_idx);
+    #[cfg(feature = "obs")]
+    {
+        if let Some(oc) = obs {
+            return ctx
+                .try_run_with_obs(cell.scheme, &cell.machine, cell.mg, cell.sel.as_ref(), oc)
+                .map(|(run, report)| (run, Some(Box::new(report))));
+        }
+        ctx.try_run_with(cell.scheme, &cell.machine, cell.mg, cell.sel.as_ref())
+            .map(|run| (run, None))
+    }
+    #[cfg(not(feature = "obs"))]
+    {
+        let () = obs;
+        ctx.try_run_with(cell.scheme, &cell.machine, cell.mg, cell.sel.as_ref())
+            .map(|run| (run, ()))
+    }
+}
+
+/// One supervised attempt: panic isolation always, watchdog when a limit
+/// is set.
+fn attempt_cell(
+    ctx: &Arc<BenchContext>,
+    cell: &SweepCell,
+    cell_idx: usize,
+    watchdog: Option<Duration>,
+    obs: ObsArg,
+) -> Result<(SchemeRun, ObsPayload), BenchError> {
+    let bench = ctx.spec.name.clone();
+    let Some(limit) = watchdog else {
+        return match catch_unwind(AssertUnwindSafe(|| run_cell_once(ctx, cell, cell_idx, obs))) {
+            Ok(res) => res,
+            Err(e) => Err(BenchError::Panicked {
+                bench,
+                cell: cell_idx,
+                payload: panic_payload(e),
+            }),
+        };
+    };
+    let (tx, rx) = mpsc::channel();
+    let ctx2 = Arc::clone(ctx);
+    let cell2 = cell.clone();
+    let bench2 = bench.clone();
+    let spawned = std::thread::Builder::new()
+        .name(format!("mg-cell-{bench}-{cell_idx}"))
+        .spawn(move || {
+            let out = match catch_unwind(AssertUnwindSafe(|| {
+                run_cell_once(&ctx2, &cell2, cell_idx, obs)
+            })) {
+                Ok(res) => res,
+                Err(e) => Err(BenchError::Panicked {
+                    bench: bench2,
+                    cell: cell_idx,
+                    payload: panic_payload(e),
+                }),
+            };
+            let _ = tx.send(out);
+        });
+    let Ok(handle) = spawned else {
+        // Cannot spawn a helper (thread exhaustion): run inline without
+        // a watchdog rather than fail the cell.
+        return attempt_cell(ctx, cell, cell_idx, None, obs);
+    };
+    match rx.recv_timeout(limit) {
+        Ok(res) => {
+            let _ = handle.join();
+            res
+        }
+        Err(_) => Err(BenchError::TimedOut {
+            bench,
+            cell: cell_idx,
+            limit_ms: limit.as_millis() as u64,
+        }),
+    }
+}
+
+/// Whether an error is worth retrying: only the transient class. A
+/// deterministic failure retried N times is the same failure N times
+/// slower.
+fn transient(e: &BenchError) -> bool {
+    matches!(e, BenchError::Panicked { .. } | BenchError::TimedOut { .. })
+}
+
+/// Runs one cell under the full supervision stack. Returns the result
+/// and how many retries were spent on it.
+pub(crate) fn run_cell_supervised(
+    ctx: &Arc<BenchContext>,
+    cell: &SweepCell,
+    cell_idx: usize,
+    watchdog: Option<Duration>,
+    max_retries: u32,
+    obs: ObsArg,
+) -> (Result<(SchemeRun, ObsPayload), BenchError>, u32) {
+    let mut retries = 0u32;
+    loop {
+        if shutdown_requested() {
+            return (
+                Err(BenchError::Interrupted {
+                    bench: ctx.spec.name.clone(),
+                }),
+                retries,
+            );
+        }
+        let res = attempt_cell(ctx, cell, cell_idx, watchdog, obs);
+        match &res {
+            Err(e) if transient(e) && retries < max_retries => {
+                retries += 1;
+                // Exponential backoff, 10ms doubling to a 500ms cap:
+                // enough to ride out environmental hiccups without
+                // stalling a sweep on a deterministic panic.
+                let backoff_ms = (10u64 << (retries - 1).min(6)).min(500);
+                mg_debug!("{e}; retry {retries}/{max_retries} after {backoff_ms}ms");
+                std::thread::sleep(Duration::from_millis(backoff_ms));
+            }
+            _ => return (res, retries),
+        }
+    }
+}
+
+/// Reads [`RESUME_ENV`] the way binaries do.
+pub fn resume_requested() -> bool {
+    env_flag(RESUME_ENV)
+}
+
+/// The standard binary entry point for a sweep: journaled, resumable,
+/// and signal-aware.
+///
+/// - Journals every finished row under `results/journal/` and clears the
+///   journal when the sweep completes without interruption (error rows
+///   are a completed sweep; only a shutdown leaves the journal behind).
+///   `MG_JOURNAL_KEEP=1` keeps it anyway, for audit trails and CI
+///   artifacts.
+/// - `MG_RESUME=1` replays journaled rows from a previous interrupted
+///   invocation of the same sweep bit-identically.
+/// - SIGINT/SIGTERM drain in-flight benchmarks, flush the journal, and
+///   exit `130` with a resume hint; a second signal aborts immediately.
+/// - Configuration errors (`MG_JOBS`, `MG_FAULT`) print a diagnostic and
+///   exit `2` instead of panicking.
+pub fn run_cli(spec: SweepSpec) -> SweepResult {
+    let spec = spec
+        .journal(true)
+        .graceful_shutdown(true)
+        .resume(resume_requested());
+    match spec.try_run() {
+        Err(e) => {
+            mg_error!("sweep configuration error: {e}");
+            std::process::exit(2);
+        }
+        Ok(result) => {
+            if result.summary.interrupted > 0 {
+                std::process::exit(130);
+            }
+            if !env_flag(JOURNAL_KEEP_ENV) {
+                if let Some(dir) = &result.summary.journal_dir {
+                    let _ = std::fs::remove_dir_all(dir);
+                }
+            }
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shutdown_flag_round_trips() {
+        clear_shutdown();
+        assert!(!shutdown_requested());
+        request_shutdown();
+        assert!(shutdown_requested());
+        clear_shutdown();
+        assert!(!shutdown_requested());
+    }
+
+    #[test]
+    fn panic_payloads_render_for_str_string_and_other() {
+        let s = catch_unwind(|| panic!("plain message")).unwrap_err();
+        assert_eq!(panic_payload(s), "plain message");
+        let owned = catch_unwind(|| panic!("{} {}", "formatted", 42)).unwrap_err();
+        assert_eq!(panic_payload(owned), "formatted 42");
+        let other = catch_unwind(|| std::panic::panic_any(7u32)).unwrap_err();
+        assert_eq!(panic_payload(other), "non-string panic payload");
+    }
+
+    #[test]
+    fn transient_classification_matches_the_retry_policy() {
+        use crate::harness::Scheme;
+        assert!(transient(&BenchError::Panicked {
+            bench: "b".into(),
+            cell: 0,
+            payload: "p".into(),
+        }));
+        assert!(transient(&BenchError::TimedOut {
+            bench: "b".into(),
+            cell: 0,
+            limit_ms: 1,
+        }));
+        assert!(!transient(&BenchError::CycleCap {
+            bench: "b".into(),
+            scheme: Scheme::NoMg,
+        }));
+        assert!(!transient(&BenchError::Config {
+            knob: "MG_JOBS".into(),
+            value: "0".into(),
+            detail: "d".into(),
+        }));
+        assert!(!transient(&BenchError::Interrupted { bench: "b".into() }));
+    }
+}
