@@ -1,0 +1,132 @@
+//! Differential fuzzing driver: seeded random programs through the full
+//! pipeline under every selector, checked against the functional oracle.
+//!
+//! ```text
+//! verify [--seeds N] [--start S] [--seed S] [--selector NAME] [--adversarial]
+//! ```
+//!
+//! * `--seeds N` — sweep seeds `start..start+N` (default 200);
+//! * `--start S` — first seed of the sweep (default 0);
+//! * `--seed S` — check exactly one seed (overrides the sweep);
+//! * `--selector NAME` — restrict to one variant (`Struct-None`,
+//!   `Struct-All`, `Struct-Bounded`, `Slack-Profile`, `Slack-Dynamic`);
+//!   default is all five;
+//! * `--adversarial` — enable the generator's adversarial shapes
+//!   (1-instruction blocks, >255-instruction blocks).
+//!
+//! Exit code 0 = clean, 1 = counterexamples found, 2 = usage error.
+//! Each counterexample is printed and also written (shrunk, with its
+//! one-line repro command) to `results/verify/seed<S>-<variant>.txt`.
+
+use mg_verify::{run_seed_variants, Counterexample, DiffConfig, Variant};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    seeds: u64,
+    start: u64,
+    single: Option<u64>,
+    variants: Vec<Variant>,
+    adversarial: bool,
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    eprintln!("usage: verify [--seeds N] [--start S] [--seed S] [--selector NAME] [--adversarial]");
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seeds: 200,
+        start: 0,
+        single: None,
+        variants: Variant::ALL.to_vec(),
+        adversarial: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut num = |name: &str| -> Result<u64, String> {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value"))?
+                .parse()
+                .map_err(|_| format!("{name} needs an integer"))
+        };
+        match flag.as_str() {
+            "--seeds" => args.seeds = num("--seeds")?,
+            "--start" => args.start = num("--start")?,
+            "--seed" => args.single = Some(num("--seed")?),
+            "--selector" => {
+                let name = it.next().ok_or("--selector needs a name")?;
+                let v = Variant::from_name(&name)
+                    .ok_or_else(|| format!("unknown selector {name:?}"))?;
+                args.variants = vec![v];
+            }
+            "--adversarial" => args.adversarial = true,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(args)
+}
+
+fn save_counterexample(ce: &Counterexample) -> std::io::Result<PathBuf> {
+    let dir = PathBuf::from("results").join("verify");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("seed{}-{}.txt", ce.seed, ce.variant));
+    std::fs::write(&path, format!("{ce}"))?;
+    Ok(path)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => return usage(&e),
+    };
+    let cfg = if args.adversarial {
+        DiffConfig::adversarial()
+    } else {
+        DiffConfig::default()
+    };
+    let seeds: Vec<u64> = match args.single {
+        Some(s) => vec![s],
+        None => (args.start..args.start + args.seeds).collect(),
+    };
+    let names: Vec<&str> = args.variants.iter().map(|v| v.name()).collect();
+    println!(
+        "verify: {} seed(s) x [{}]{}",
+        seeds.len(),
+        names.join(", "),
+        if args.adversarial {
+            " (adversarial)"
+        } else {
+            ""
+        }
+    );
+
+    let mut failures = 0usize;
+    for (i, &seed) in seeds.iter().enumerate() {
+        let ces = run_seed_variants(seed, &cfg, &args.variants);
+        for ce in &ces {
+            failures += 1;
+            eprintln!("\nFAIL {}", ce);
+            match save_counterexample(ce) {
+                Ok(path) => eprintln!("counterexample written to {}", path.display()),
+                Err(e) => eprintln!("could not write counterexample: {e}"),
+            }
+        }
+        if (i + 1) % 50 == 0 {
+            println!("  {}/{} seeds, {} failure(s)", i + 1, seeds.len(), failures);
+        }
+    }
+    if failures == 0 {
+        println!(
+            "ok: {} seed(s) clean under {} variant(s)",
+            seeds.len(),
+            args.variants.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("\n{failures} counterexample(s) found");
+        ExitCode::from(1)
+    }
+}

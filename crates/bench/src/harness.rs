@@ -10,7 +10,7 @@
 
 use crate::cache::{self, CacheOutcome, ContextArtifacts};
 use mg_core::candidate::SelectionConfig;
-use mg_core::pipeline::prepare;
+use mg_core::pipeline::try_prepare;
 use mg_core::select::{Selector, SlackProfileModel, SpKind};
 use mg_sim::{simulate, DynMgConfig, MachineConfig, MgConfig, SimOptions, SimResult};
 use mg_workloads::{BenchmarkSpec, Executor, InputSet, Trace, Workload};
@@ -124,6 +124,19 @@ pub enum BenchError {
         /// The underlying executor error, rendered.
         detail: String,
     },
+    /// The binary rewriter rejected a scheme's selection (oversized
+    /// instance, unschedulable group, or a structurally invalid result).
+    /// A well-behaved selector never produces one of these; the sweep
+    /// records the row as an error instead of aborting.
+    Rewrite {
+        /// Benchmark name.
+        bench: String,
+        /// The scheme whose selection was rejected.
+        scheme: Scheme,
+        /// The underlying [`RewriteError`](mg_core::rewrite::RewriteError),
+        /// rendered.
+        detail: String,
+    },
     /// The timing simulation hit its cycle cap — the run's numbers are
     /// meaningless, but the sweep can record the failure and continue.
     CycleCap {
@@ -181,6 +194,17 @@ impl fmt::Display for BenchError {
                 detail,
             } => {
                 write!(f, "{bench}: {stage} failed: {detail}")
+            }
+            BenchError::Rewrite {
+                bench,
+                scheme,
+                detail,
+            } => {
+                write!(
+                    f,
+                    "{bench}: rewrite failed under {}: {detail}",
+                    scheme.name()
+                )
             }
             BenchError::CycleCap { bench, scheme } => {
                 write!(
@@ -478,12 +502,17 @@ impl BenchContext {
                 est_coverage: 0.0,
             }),
             Some(selector) => {
-                let prepared = prepare(
+                let prepared = try_prepare(
                     &self.workload.program,
                     &self.freqs,
                     &selector,
                     sel.unwrap_or(&self.sel_cfg),
-                );
+                )
+                .map_err(|e| BenchError::Rewrite {
+                    bench: self.spec.name.clone(),
+                    scheme,
+                    detail: e.to_string(),
+                })?;
                 // The tagged program reorders blocks; its committed path
                 // must be re-derived functionally.
                 let (trace, _) = Executor::new(&prepared.program)
@@ -764,6 +793,11 @@ mod tests {
                 bench: "mib_sha".into(),
                 stage: "run-input execution".into(),
                 detail: "boom".into(),
+            },
+            BenchError::Rewrite {
+                bench: "spec_gcc".into(),
+                scheme: Scheme::StructAll,
+                detail: "oversized instance in bb3: 300 constituents".into(),
             },
             BenchError::CycleCap {
                 bench: "spec_mcf".into(),

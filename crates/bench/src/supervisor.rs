@@ -323,6 +323,11 @@ mod tests {
             value: "0".into(),
             detail: "d".into(),
         }));
+        assert!(!transient(&BenchError::Rewrite {
+            bench: "b".into(),
+            scheme: Scheme::StructAll,
+            detail: "unschedulable".into(),
+        }));
         assert!(!transient(&BenchError::Interrupted { bench: "b".into() }));
     }
 }

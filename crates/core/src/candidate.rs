@@ -45,6 +45,13 @@ impl Default for SelectionConfig {
     }
 }
 
+/// Hard upper bound on constituents per candidate, regardless of
+/// [`SelectionConfig::max_size`]. Candidate-relative positions travel
+/// through `u8` fields ([`CandSrc`], [`mg_isa::MgTag`]); a larger
+/// candidate would silently truncate them, so enumeration rejects any
+/// subset past this bound instead.
+pub const MAX_CANDIDATE_LEN: usize = u8::MAX as usize;
+
 /// Where a constituent's source operand comes from (candidate-local).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
 pub enum CandSrc {
@@ -57,7 +64,10 @@ pub enum CandSrc {
 }
 
 /// Interface and dataflow shape of a candidate.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// The `Default` shape is the degenerate empty candidate — enumeration
+/// never produces it, but checkers and fuzzers may.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CandidateShape {
     /// External register inputs in first-read order, with the
     /// candidate-relative position of the earliest constituent reading
@@ -80,9 +90,10 @@ pub struct CandidateShape {
 }
 
 impl CandidateShape {
-    /// Total optimistic execution latency.
+    /// Total optimistic execution latency (0 for a degenerate empty
+    /// shape, which enumeration never produces but callers may build).
     pub fn total_latency(&self) -> u32 {
-        *self.lat_prefix.last().unwrap()
+        self.lat_prefix.last().copied().unwrap_or(0)
     }
 
     /// Whether any external input feeds a constituent other than the
@@ -187,8 +198,11 @@ fn extend(
     stack: &mut Vec<usize>,
     out: &mut Vec<Candidate>,
 ) {
-    let first = stack[0];
-    let last = *stack.last().unwrap();
+    // `extend` is only called with a seeded stack, but tolerate an empty
+    // one rather than panicking (the fuzzer drives this path directly).
+    let (Some(&first), Some(&last)) = (stack.first(), stack.last()) else {
+        return;
+    };
     for next in (last + 1)..block.insts.len() {
         if next - first > cfg.max_span {
             break;
@@ -207,11 +221,13 @@ fn extend(
                     positions: stack.clone(),
                     shape,
                 });
-                if stack.len() < cfg.max_size {
+                if stack.len() < cfg.max_size.min(MAX_CANDIDATE_LEN) {
                     extend(block, bid, df, deps, cfg, eligible, stack, out);
                 }
             }
-        } else if stack.len() < cfg.max_size && partial_viable(block, df, stack, cfg) {
+        } else if stack.len() < cfg.max_size.min(MAX_CANDIDATE_LEN)
+            && partial_viable(block, df, stack, cfg)
+        {
             // The subset violates an interface limit that adding more
             // instructions could repair (e.g. a second escaping value
             // that a later constituent consumes... it cannot), so in
@@ -254,6 +270,12 @@ fn analyze(
     positions: &[usize],
     cfg: &SelectionConfig,
 ) -> Option<CandidateShape> {
+    // All candidate-relative positions and external-input indices below
+    // are stored in `u8` fields; reject outright any subset that could
+    // overflow them instead of truncating silently.
+    if positions.len() > MAX_CANDIDATE_LEN {
+        return None;
+    }
     let mut ext_inputs: Vec<(Reg, u8)> = Vec::new();
     let mut srcs: Vec<[CandSrc; 2]> = Vec::with_capacity(positions.len());
     let mut output_pos: Option<u8> = None;
@@ -269,6 +291,7 @@ fn analyze(
         if lat > cfg.max_latency {
             return None;
         }
+        let ci8 = ci as u8; // in range: positions.len() <= MAX_CANDIDATE_LEN
         let mut links = [CandSrc::None, CandSrc::None];
         for (slot, src) in [inst.src1, inst.src2].into_iter().enumerate() {
             let Some(r) = src else { continue };
@@ -283,11 +306,17 @@ fn analyze(
                     let idx = match ext_inputs.iter().position(|&(er, _)| er == r) {
                         Some(i) => i,
                         None => {
-                            ext_inputs.push((r, ci as u8));
+                            ext_inputs.push((r, ci8));
                             ext_inputs.len() - 1
                         }
                     };
-                    CandSrc::External(idx as u8)
+                    // Checking the input limit as inputs appear (rather
+                    // than only at the end) keeps `idx` in `u8` range no
+                    // matter how large `max_ext_inputs` is configured.
+                    if ext_inputs.len() > cfg.max_ext_inputs {
+                        return None;
+                    }
+                    CandSrc::External(u8::try_from(idx).ok()?)
                 }
             };
         }
@@ -297,21 +326,21 @@ fn analyze(
             if mem.is_some() {
                 return None;
             }
-            mem = Some((ci as u8, inst.op.is_load()));
+            mem = Some((ci8, inst.op.is_load()));
         }
         if inst.op.is_control() {
             // Control must be the block terminator and last constituent.
             if control.is_some() || pos + 1 != block.insts.len() || ci + 1 != positions.len() {
                 return None;
             }
-            control = Some(ci as u8);
+            control = Some(ci8);
         }
         if let Some(_d) = inst.def() {
             if df.value_visible_outside(pos, positions) {
                 if output_pos.is_some() {
                     return None;
                 }
-                output_pos = Some(ci as u8);
+                output_pos = Some(ci8);
             }
         }
     }
@@ -333,8 +362,10 @@ fn analyze(
 /// reordering of the block: no intervening instruction may be *both*
 /// (transitively) dependent on a member and depended on by a member.
 pub fn groupable(deps: &BlockDeps, positions: &[usize]) -> bool {
-    let first = positions[0];
-    let last = *positions.last().unwrap();
+    // An empty subset is vacuously groupable (and enumeration never asks).
+    let (Some(&first), Some(&last)) = (positions.first(), positions.last()) else {
+        return true;
+    };
     if last - first + 1 == positions.len() {
         return true; // already contiguous
     }
@@ -528,6 +559,80 @@ mod tests {
         ]);
         let cands = enumerate(&p, &SelectionConfig::default());
         assert!(!cands.iter().any(|c| c.positions == vec![0, 2]));
+    }
+
+    #[test]
+    fn degenerate_inputs_do_not_panic() {
+        // Empty shape: total_latency must not unwrap an empty prefix.
+        let shape = CandidateShape {
+            ext_inputs: vec![],
+            output_pos: None,
+            mem: None,
+            control: None,
+            srcs: vec![],
+            lat_prefix: vec![],
+        };
+        assert_eq!(shape.total_latency(), 0);
+        // Empty position set: groupable must not index positions[0].
+        let b = {
+            let mut b = BasicBlock::new();
+            b.push(Instruction::li(Reg::R1, 1));
+            b
+        };
+        let deps = BlockDeps::build(&b);
+        assert!(groupable(&deps, &[]));
+        // Empty block driven through enumerate_block directly.
+        let empty = BasicBlock::new();
+        let df = BlockDataflow::analyze(&empty, mg_isa::dataflow::RegSet::EMPTY);
+        let edeps = BlockDeps::build(&empty);
+        let mut out = Vec::new();
+        enumerate_block(
+            &empty,
+            BlockId(0),
+            &df,
+            &edeps,
+            &SelectionConfig::default(),
+            &mut out,
+        );
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_instruction_block_yields_no_candidates() {
+        // A 1-instruction block has no size-2 subsets; the enumerator
+        // must come back empty without touching any unwrap path.
+        let p = program_of(vec![Instruction::addi(Reg::R1, Reg::R10, 1)]);
+        let cands = enumerate(&p, &SelectionConfig::default());
+        assert!(cands.iter().all(|c| c.len() >= 2));
+    }
+
+    #[test]
+    fn oversized_blocks_enumerate_within_u8_bounds() {
+        // Regression companion to the rewrite-layer guard: a block with
+        // 300 instructions (positions past the u8 range) enumerates
+        // cleanly, and every candidate stays within MAX_CANDIDATE_LEN so
+        // its candidate-relative u8 positions cannot truncate.
+        let insts: Vec<Instruction> = (0..300)
+            .map(|i| {
+                Instruction::addi(
+                    Reg::new(1 + (i % 20) as u8),
+                    Reg::new(1 + ((i + 7) % 20) as u8),
+                    1,
+                )
+            })
+            .collect();
+        let p = program_of(insts);
+        let cands = enumerate(&p, &SelectionConfig::default());
+        assert!(!cands.is_empty());
+        for c in &cands {
+            assert!(c.len() <= MAX_CANDIDATE_LEN);
+            assert!(*c.positions.last().unwrap() < 301);
+            assert_eq!(c.shape.srcs.len(), c.len());
+            assert_eq!(c.shape.lat_prefix.len(), c.len() + 1);
+        }
+        // Some candidates must sit past block position 255 — the range a
+        // u8 block-relative encoding would have corrupted.
+        assert!(cands.iter().any(|c| c.positions[0] > 255));
     }
 
     #[test]

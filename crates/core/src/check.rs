@@ -1,0 +1,242 @@
+//! Semantics-preservation checking for rewritten programs.
+//!
+//! Rewriting reorders instructions within basic blocks and attaches
+//! [`mg_isa::MgTag`]s; neither may change what the program computes. The
+//! checker here executes the original and rewritten programs through the
+//! functional [`Executor`] and compares final architectural state:
+//!
+//! * committed-instruction counts must match exactly;
+//! * data registers `R0..R30` must be bit-identical (`R31`/LINK holds a
+//!   layout-dependent return token, so it is excluded);
+//! * the full memory image must be bit-identical.
+//!
+//! [`check_semantics_preserved`] reports a structured violation for the
+//! differential harness; [`assert_semantics_preserved`] is the test-side
+//! wrapper that panics with a readable message.
+
+use mg_isa::Program;
+use mg_workloads::{ExecError, Executor};
+use std::fmt;
+
+/// How a rewritten program diverged from the original.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SemanticsViolation {
+    /// The original program failed to execute — the comparison is
+    /// meaningless, but the caller should know which side broke.
+    OriginalFailed(ExecError),
+    /// The rewritten program failed to execute.
+    RewrittenFailed(ExecError),
+    /// Different numbers of committed instructions.
+    TraceLength {
+        /// Committed instructions in the original program.
+        original: usize,
+        /// Committed instructions in the rewritten program.
+        rewritten: usize,
+    },
+    /// A data register differs in the final state.
+    Register {
+        /// Architectural register index (0..31).
+        reg: usize,
+        /// Final value in the original program.
+        original: u64,
+        /// Final value in the rewritten program.
+        rewritten: u64,
+    },
+    /// The final memory images differ.
+    Memory {
+        /// First differing address (lowest, for determinism).
+        addr: u64,
+        /// Value in the original program (`None` = never written).
+        original: Option<u64>,
+        /// Value in the rewritten program (`None` = never written).
+        rewritten: Option<u64>,
+    },
+}
+
+impl fmt::Display for SemanticsViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SemanticsViolation::OriginalFailed(e) => {
+                write!(f, "original program failed to execute: {e}")
+            }
+            SemanticsViolation::RewrittenFailed(e) => {
+                write!(f, "rewritten program failed to execute: {e}")
+            }
+            SemanticsViolation::TraceLength {
+                original,
+                rewritten,
+            } => write!(
+                f,
+                "committed-instruction counts differ: original {original}, rewritten {rewritten}"
+            ),
+            SemanticsViolation::Register {
+                reg,
+                original,
+                rewritten,
+            } => write!(
+                f,
+                "register r{reg} differs: original {original:#x}, rewritten {rewritten:#x}"
+            ),
+            SemanticsViolation::Memory {
+                addr,
+                original,
+                rewritten,
+            } => write!(
+                f,
+                "memory at {addr:#x} differs: original {original:?}, rewritten {rewritten:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SemanticsViolation {}
+
+/// Executes `original` and `rewritten` with the same initial memory and
+/// compares final architectural state. `None` means the programs agree.
+pub fn check_semantics_preserved(
+    original: &Program,
+    rewritten: &Program,
+    init_mem: &[(u64, u64)],
+) -> Option<SemanticsViolation> {
+    let (t0, s0) = match Executor::new(original).run_with_mem(init_mem) {
+        Ok(r) => r,
+        Err(e) => return Some(SemanticsViolation::OriginalFailed(e)),
+    };
+    let (t1, s1) = match Executor::new(rewritten).run_with_mem(init_mem) {
+        Ok(r) => r,
+        Err(e) => return Some(SemanticsViolation::RewrittenFailed(e)),
+    };
+    if t0.len() != t1.len() {
+        return Some(SemanticsViolation::TraceLength {
+            original: t0.len(),
+            rewritten: t1.len(),
+        });
+    }
+    // R31 (LINK) holds a layout-dependent return token; compare the rest.
+    for reg in 0..31 {
+        if s0.regs[reg] != s1.regs[reg] {
+            return Some(SemanticsViolation::Register {
+                reg,
+                original: s0.regs[reg],
+                rewritten: s1.regs[reg],
+            });
+        }
+    }
+    if s0.mem != s1.mem {
+        let addr = s0
+            .mem
+            .keys()
+            .chain(s1.mem.keys())
+            .filter(|a| s0.mem.get(a) != s1.mem.get(a))
+            .min()
+            .copied()
+            .expect("maps differ at some address");
+        return Some(SemanticsViolation::Memory {
+            addr,
+            original: s0.mem.get(&addr).copied(),
+            rewritten: s1.mem.get(&addr).copied(),
+        });
+    }
+    None
+}
+
+/// Test-side wrapper around [`check_semantics_preserved`].
+///
+/// # Panics
+///
+/// Panics with the violation message if the two programs diverge.
+pub fn assert_semantics_preserved(
+    original: &Program,
+    rewritten: &Program,
+    init_mem: &[(u64, u64)],
+) {
+    if let Some(v) = check_semantics_preserved(original, rewritten, init_mem) {
+        panic!(
+            "semantics not preserved rewriting `{}` -> `{}`: {v}",
+            original.name(),
+            rewritten.name()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mg_isa::{Instruction, ProgramBuilder, Reg};
+
+    fn straight_line(name: &str, insts: &[Instruction]) -> Program {
+        let mut pb = ProgramBuilder::new(name);
+        let f = pb.func("main");
+        let b = pb.block(f);
+        pb.push_all(b, insts.iter().cloned());
+        pb.push(b, Instruction::halt());
+        pb.build().unwrap()
+    }
+
+    #[test]
+    fn identical_programs_pass() {
+        let p = straight_line(
+            "id",
+            &[
+                Instruction::li(Reg::R1, 5),
+                Instruction::addi(Reg::R2, Reg::R1, 3),
+                Instruction::store(Reg::R10, Reg::R2, 0),
+            ],
+        );
+        assert_eq!(check_semantics_preserved(&p, &p, &[]), None);
+        assert_semantics_preserved(&p, &p, &[]);
+    }
+
+    #[test]
+    fn register_divergence_is_reported() {
+        let a = straight_line("a", &[Instruction::li(Reg::R1, 5)]);
+        let b = straight_line("b", &[Instruction::li(Reg::R1, 6)]);
+        match check_semantics_preserved(&a, &b, &[]) {
+            Some(SemanticsViolation::Register {
+                reg: 1,
+                original: 5,
+                rewritten: 6,
+            }) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn memory_divergence_is_reported() {
+        let a = straight_line(
+            "a",
+            &[
+                Instruction::li(Reg::R1, 5),
+                Instruction::store(Reg::R10, Reg::R1, 0),
+            ],
+        );
+        let b = straight_line(
+            "b",
+            &[
+                Instruction::li(Reg::R1, 5),
+                Instruction::store(Reg::R10, Reg::R1, 8),
+            ],
+        );
+        match check_semantics_preserved(&a, &b, &[]) {
+            Some(SemanticsViolation::Memory {
+                addr: 0,
+                original: Some(5),
+                rewritten: None,
+            }) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn trace_length_divergence_is_reported() {
+        let a = straight_line("a", &[Instruction::li(Reg::R1, 5)]);
+        let b = straight_line("b", &[Instruction::li(Reg::R1, 5), Instruction::nop()]);
+        match check_semantics_preserved(&a, &b, &[]) {
+            Some(SemanticsViolation::TraceLength {
+                original: 2,
+                rewritten: 3,
+            }) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+}

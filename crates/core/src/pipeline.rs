@@ -2,7 +2,7 @@
 //! select → rewrite.
 
 use crate::candidate::{enumerate, SelectionConfig};
-use crate::rewrite::rewrite;
+use crate::rewrite::{try_rewrite, RewriteError};
 use crate::select::{greedy_select, Selector};
 use mg_isa::Program;
 use mg_sim::{simulate, MachineConfig, SimOptions, SlackProfile};
@@ -56,25 +56,45 @@ pub fn profile_workload(
     try_profile_workload(workload, cfg).expect("workload executes")
 }
 
-/// Enumerates, filters, selects, and rewrites in one call.
-pub fn prepare(
+/// Enumerates, filters, selects, and rewrites in one call. Fails when
+/// the rewrite cannot embed the selected instances — the selector
+/// validates its choices, so an error indicates an internal invariant
+/// violation worth reporting rather than panicking over.
+pub fn try_prepare(
     program: &Program,
     freqs: &[u64],
     selector: &Selector,
     cfg: &SelectionConfig,
-) -> Prepared {
+) -> Result<Prepared, RewriteError> {
     let pool = enumerate(program, cfg);
     let pool = selector.filter(program, pool);
     let result = greedy_select(program, &pool, freqs, cfg);
     let instances = result.chosen.len();
     let templates = result.templates;
     let est_coverage = result.est_coverage;
-    let program = rewrite(program, &result.chosen);
-    Prepared {
+    let program = try_rewrite(program, &result.chosen)?;
+    Ok(Prepared {
         program,
         instances,
         templates,
         est_coverage,
+    })
+}
+
+/// Panicking wrapper around [`try_prepare`].
+///
+/// # Panics
+///
+/// Panics if the rewrite fails; see [`try_prepare`].
+pub fn prepare(
+    program: &Program,
+    freqs: &[u64],
+    selector: &Selector,
+    cfg: &SelectionConfig,
+) -> Prepared {
+    match try_prepare(program, freqs, selector, cfg) {
+        Ok(p) => p,
+        Err(e) => panic!("prepare failed: {e}"),
     }
 }
 

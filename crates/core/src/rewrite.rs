@@ -6,10 +6,11 @@
 //! integration tests execute original and rewritten programs and compare
 //! final architectural state.
 
-use crate::candidate::Candidate;
+use crate::candidate::{Candidate, MAX_CANDIDATE_LEN};
 use crate::depgraph::{schedule_with_groups, BlockDeps};
-use mg_isa::{BasicBlock, Instruction, MgTag, Program};
+use mg_isa::{BasicBlock, BlockId, Instruction, IsaError, MgTag, Program};
 use std::collections::HashMap;
+use std::fmt;
 
 /// A selected instance: a candidate plus its assigned MGT template id.
 #[derive(Clone, Debug)]
@@ -20,16 +21,72 @@ pub struct ChosenInstance {
     pub template: u16,
 }
 
+/// Why a rewrite could not be performed.
+///
+/// Selectors validate their choices before handing them over, so a
+/// well-behaved pipeline never sees these — but externally constructed
+/// (or fuzzer-generated) instance sets can trip every one of them, and a
+/// sweep must report the row as an error rather than abort.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RewriteError {
+    /// An instance has more constituents than an [`MgTag`] can encode
+    /// (`pos`/`len` are `u8`); see [`MAX_CANDIDATE_LEN`].
+    OversizedInstance {
+        /// Block the instance lives in.
+        block: BlockId,
+        /// Number of constituents in the offending instance.
+        len: usize,
+    },
+    /// The chosen instances in a block overlap or cannot be made
+    /// contiguous without violating intra-block dependences.
+    Unschedulable {
+        /// Block whose groups failed to schedule.
+        block: BlockId,
+    },
+    /// The rewritten program failed `mg-isa`'s structural validator.
+    Structural(IsaError),
+}
+
+impl fmt::Display for RewriteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RewriteError::OversizedInstance { block, len } => write!(
+                f,
+                "instance in block {} has {} constituents; MgTag encodes at most {}",
+                block.0, len, MAX_CANDIDATE_LEN
+            ),
+            RewriteError::Unschedulable { block } => write!(
+                f,
+                "chosen instances in block {} overlap or cannot be scheduled contiguously",
+                block.0
+            ),
+            RewriteError::Structural(e) => write!(f, "rewritten program is invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RewriteError {}
+
+impl From<IsaError> for RewriteError {
+    fn from(e: IsaError) -> Self {
+        RewriteError::Structural(e)
+    }
+}
+
 /// Rewrites `program`, embedding the chosen instances.
 ///
-/// # Panics
-///
-/// Panics if the chosen instances overlap or cannot be scheduled — the
-/// selector must only choose combinations validated with
-/// [`schedule_with_groups`].
-pub fn rewrite(program: &Program, chosen: &[ChosenInstance]) -> Program {
+/// Fails (instead of panicking) when the instances are oversized,
+/// overlap, cannot be scheduled contiguously, or produce a structurally
+/// invalid program.
+pub fn try_rewrite(program: &Program, chosen: &[ChosenInstance]) -> Result<Program, RewriteError> {
     let mut by_block: HashMap<u32, Vec<&ChosenInstance>> = HashMap::new();
     for inst in chosen {
+        if inst.candidate.len() > MAX_CANDIDATE_LEN {
+            return Err(RewriteError::OversizedInstance {
+                block: inst.candidate.block,
+                len: inst.candidate.len(),
+            });
+        }
         by_block
             .entry(inst.candidate.block.0)
             .or_default()
@@ -37,74 +94,92 @@ pub fn rewrite(program: &Program, chosen: &[ChosenInstance]) -> Program {
     }
 
     let mut next_instance = 0u32;
-    let blocks: Vec<BasicBlock> = program
-        .blocks()
-        .iter()
-        .enumerate()
-        .map(|(bi, block)| {
-            let Some(instances) = by_block.get_mut(&(bi as u32)) else {
-                return block.clone();
-            };
-            instances.sort_by_key(|c| c.candidate.positions[0]);
-            let deps = BlockDeps::build(block);
-            let groups: Vec<&[usize]> = instances
-                .iter()
-                .map(|c| c.candidate.positions.as_slice())
-                .collect();
-            let order =
-                schedule_with_groups(&deps, &groups).expect("selector validated schedulability");
-            // Position -> (instance-local index, tag template) for members.
-            let mut member_of: HashMap<usize, (usize, usize)> = HashMap::new();
-            for (ii, inst) in instances.iter().enumerate() {
-                for (pi, &p) in inst.candidate.positions.iter().enumerate() {
-                    member_of.insert(p, (ii, pi));
+    let mut blocks: Vec<BasicBlock> = Vec::with_capacity(program.blocks().len());
+    for (bi, block) in program.blocks().iter().enumerate() {
+        let Some(instances) = by_block.get_mut(&(bi as u32)) else {
+            blocks.push(block.clone());
+            continue;
+        };
+        instances.sort_by_key(|c| c.candidate.positions[0]);
+        // Position -> (instance-local index, position within instance) for
+        // members. Built first: overlapping instances are a caller error
+        // that the group scheduler is not specified for.
+        let mut member_of: HashMap<usize, (usize, usize)> = HashMap::new();
+        for (ii, inst) in instances.iter().enumerate() {
+            for (pi, &p) in inst.candidate.positions.iter().enumerate() {
+                if p >= block.insts.len() || member_of.insert(p, (ii, pi)).is_some() {
+                    return Err(RewriteError::Unschedulable {
+                        block: BlockId(bi as u32),
+                    });
                 }
             }
-            let instance_ids: Vec<u32> = instances
-                .iter()
-                .map(|_| {
-                    let id = next_instance;
-                    next_instance += 1;
-                    id
-                })
-                .collect();
-            let insts: Vec<Instruction> = order
-                .iter()
-                .map(|&p| {
-                    let base = block.insts[p].without_mg();
-                    match member_of.get(&p) {
-                        Some(&(ii, pi)) => base.with_mg(MgTag {
-                            instance: instance_ids[ii],
-                            template: instances[ii].template,
-                            pos: pi as u8,
-                            len: instances[ii].candidate.len() as u8,
-                        }),
-                        None => base,
-                    }
-                })
-                .collect();
-            BasicBlock {
-                insts,
-                fallthrough: block.fallthrough,
-            }
-        })
-        .collect();
+        }
+        let deps = BlockDeps::build(block);
+        let groups: Vec<&[usize]> = instances
+            .iter()
+            .map(|c| c.candidate.positions.as_slice())
+            .collect();
+        let order = schedule_with_groups(&deps, &groups).ok_or(RewriteError::Unschedulable {
+            block: BlockId(bi as u32),
+        })?;
+        let instance_ids: Vec<u32> = instances
+            .iter()
+            .map(|_| {
+                let id = next_instance;
+                next_instance += 1;
+                id
+            })
+            .collect();
+        let insts: Vec<Instruction> = order
+            .iter()
+            .map(|&p| {
+                let base = block.insts[p].without_mg();
+                match member_of.get(&p) {
+                    Some(&(ii, pi)) => base.with_mg(MgTag {
+                        instance: instance_ids[ii],
+                        template: instances[ii].template,
+                        pos: pi as u8,
+                        len: instances[ii].candidate.len() as u8,
+                    }),
+                    None => base,
+                }
+            })
+            .collect();
+        blocks.push(BasicBlock {
+            insts,
+            fallthrough: block.fallthrough,
+        });
+    }
 
-    Program::new(
+    Ok(Program::new(
         format!("{}+mg", program.name()),
         blocks,
         program.funcs().to_vec(),
         program.entry_func(),
-    )
-    .expect("rewriting preserves structural validity")
+    )?)
+}
+
+/// Rewrites `program`, embedding the chosen instances.
+///
+/// # Panics
+///
+/// Panics if the chosen instances overlap or cannot be scheduled — the
+/// selector must only choose combinations validated with
+/// [`schedule_with_groups`]. Use [`try_rewrite`] to handle untrusted
+/// instance sets.
+pub fn rewrite(program: &Program, chosen: &[ChosenInstance]) -> Program {
+    match try_rewrite(program, chosen) {
+        Ok(p) => p,
+        Err(e) => panic!("rewrite failed: {e}"),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::candidate::{enumerate, SelectionConfig};
+    use crate::candidate::{enumerate, CandidateShape, SelectionConfig};
+    use crate::check::assert_semantics_preserved;
     use mg_isa::{ProgramBuilder, Reg};
-    use mg_workloads::Executor;
 
     #[test]
     fn rewrite_tags_and_preserves_semantics() {
@@ -143,11 +218,7 @@ mod tests {
         assert_eq!(tagged.len(), 2);
         assert_eq!(tagged[0].mg.unwrap().pos, 0);
         assert_eq!(tagged[1].mg.unwrap().pos, 1);
-        // Semantics preserved.
-        let (_, s0) = Executor::new(&p).run().unwrap();
-        let (_, s1) = Executor::new(&rp).run().unwrap();
-        assert_eq!(s0.read(Reg::R3), s1.read(Reg::R3));
-        assert_eq!(s0.mem, s1.mem);
+        assert_semantics_preserved(&p, &rp, &[]);
     }
 
     #[test]
@@ -186,9 +257,78 @@ mod tests {
             .collect();
         assert_eq!(tag_positions.len(), 2);
         assert_eq!(tag_positions[1], tag_positions[0] + 1, "contiguous");
-        // Semantics unchanged.
-        let (_, s0) = Executor::new(&p).run().unwrap();
-        let (_, s1) = Executor::new(&rp).run().unwrap();
-        assert_eq!(s0.mem, s1.mem);
+        assert_semantics_preserved(&p, &rp, &[]);
+    }
+
+    fn chain_program(n: usize) -> Program {
+        let mut pb = ProgramBuilder::new("chain");
+        let f = pb.func("main");
+        let b = pb.block(f);
+        pb.push(b, mg_isa::Instruction::li(Reg::R1, 1));
+        for _ in 1..n {
+            pb.push(b, mg_isa::Instruction::addi(Reg::R1, Reg::R1, 1));
+        }
+        pb.push(b, mg_isa::Instruction::halt());
+        pb.build().unwrap()
+    }
+
+    #[test]
+    fn oversized_instance_is_a_typed_error() {
+        // Regression for the unguarded `pi as u8` / `len as u8` casts: a
+        // hand-built 300-constituent instance must be rejected, not
+        // silently truncated into a wrapped MgTag.
+        let p = chain_program(301);
+        let positions: Vec<usize> = (0..300).collect();
+        let cand = Candidate {
+            block: BlockId(0),
+            positions,
+            shape: CandidateShape::default(),
+        };
+        let err = try_rewrite(
+            &p,
+            &[ChosenInstance {
+                candidate: cand,
+                template: 0,
+            }],
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            RewriteError::OversizedInstance {
+                block: BlockId(0),
+                len: 300
+            }
+        );
+        assert!(err.to_string().contains("300"));
+    }
+
+    fn instance_at(positions: Vec<usize>) -> ChosenInstance {
+        ChosenInstance {
+            candidate: Candidate {
+                block: BlockId(0),
+                positions,
+                shape: CandidateShape::default(),
+            },
+            template: 0,
+        }
+    }
+
+    #[test]
+    fn overlapping_instances_are_a_typed_error() {
+        let p = chain_program(4);
+        let err = try_rewrite(
+            &p,
+            &[instance_at(vec![0, 1, 2]), instance_at(vec![1, 2, 3])],
+        )
+        .unwrap_err();
+        assert_eq!(err, RewriteError::Unschedulable { block: BlockId(0) });
+    }
+
+    #[test]
+    fn unschedulable_instance_is_a_typed_error() {
+        // 0 -> 1 -> 2 dependence chain; {0, 2} cannot be contiguous.
+        let p = chain_program(3);
+        let err = try_rewrite(&p, &[instance_at(vec![0, 2])]).unwrap_err();
+        assert_eq!(err, RewriteError::Unschedulable { block: BlockId(0) });
     }
 }

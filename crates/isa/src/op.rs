@@ -17,6 +17,10 @@ pub enum BrCond {
 }
 
 impl BrCond {
+    /// All branch conditions, for exhaustive iteration (tests, random
+    /// program generation).
+    pub const ALL: [BrCond; 4] = [BrCond::Eq, BrCond::Ne, BrCond::Lt, BrCond::Ge];
+
     /// Evaluates the branch condition on two operand values.
     pub fn eval(self, a: u64, b: u64) -> bool {
         match self {
@@ -138,6 +142,36 @@ impl fmt::Display for ExecClass {
 }
 
 impl Opcode {
+    /// All register-register ALU opcodes (two register sources, one
+    /// destination), including the multi-cycle complex ones. Exhaustive
+    /// iteration support for tests and random program generation.
+    pub const ALU_RR: [Opcode; 11] = [
+        Opcode::Add,
+        Opcode::Sub,
+        Opcode::And,
+        Opcode::Or,
+        Opcode::Xor,
+        Opcode::Shl,
+        Opcode::Shr,
+        Opcode::CmpLt,
+        Opcode::CmpEq,
+        Opcode::Mul,
+        Opcode::Div,
+    ];
+
+    /// All register-immediate ALU opcodes (one register source, one
+    /// destination). `LoadImm` is excluded: it reads no register and has
+    /// its own constructor shape.
+    pub const ALU_RI: [Opcode; 7] = [
+        Opcode::AddI,
+        Opcode::AndI,
+        Opcode::OrI,
+        Opcode::XorI,
+        Opcode::ShlI,
+        Opcode::ShrI,
+        Opcode::CmpLtI,
+    ];
+
     /// Execution class (which issue port / functional unit services it).
     ///
     /// Control instructions evaluate on simple ALUs, as in the paper's
@@ -369,6 +403,23 @@ mod tests {
         assert!(Opcode::Jmp.is_uncond_control());
         assert!(Opcode::Ret.is_uncond_control());
         assert!(!Opcode::Add.is_control());
+    }
+
+    #[test]
+    fn opcode_families_are_consistent() {
+        for op in Opcode::ALU_RR {
+            assert_eq!(op.num_srcs(), 2, "{op:?}");
+            assert!(op.has_dest(), "{op:?}");
+            assert!(!op.is_mem() && !op.is_control(), "{op:?}");
+        }
+        for op in Opcode::ALU_RI {
+            assert_eq!(op.num_srcs(), 1, "{op:?}");
+            assert!(op.has_dest(), "{op:?}");
+            assert!(!op.is_mem() && !op.is_control(), "{op:?}");
+        }
+        for c in BrCond::ALL {
+            assert!(Opcode::Br(c).is_cond_branch());
+        }
     }
 
     #[test]

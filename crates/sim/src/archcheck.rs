@@ -1,0 +1,389 @@
+//! Architectural-state extraction from a committed trace.
+//!
+//! The timing engine is trace-driven: it never computes architectural
+//! values, it times the committed path the functional [`Executor`]
+//! produced. That leaves a verification gap — "the engine committed the
+//! right instructions" is only checkable by count. This module closes it:
+//! [`replay_committed`] walks a committed trace through the program's
+//! functional semantics, *independently validating every step* (the
+//! control-flow successor, the recorded effective address, the recorded
+//! branch direction) and returning the final [`ArchState`] the committed
+//! stream architects.
+//!
+//! The differential harness in `mg-verify` uses this as the engine-side
+//! oracle: the trace the engine commits (all of it, in order — asserted
+//! via `SimStats::committed_instrs`) must replay to an architectural
+//! state bit-identical to the functional executor's.
+//!
+//! [`Executor`]: mg_workloads::Executor
+
+use mg_isa::{op, BlockId, CfTarget, Opcode, Program, Reg, StaticId};
+use mg_workloads::{ArchState, Trace};
+use std::fmt;
+
+/// A committed trace failed to replay against its program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReplayError {
+    /// The trace entry at `index` names a different static instruction
+    /// than the committed path reaches.
+    PathDivergence {
+        /// Trace index of the divergent entry.
+        index: usize,
+        /// Static instruction the committed path reaches.
+        expected: StaticId,
+        /// Static instruction the trace recorded.
+        recorded: StaticId,
+    },
+    /// A memory operation's recorded effective address disagrees with
+    /// the replayed one.
+    AddrMismatch {
+        /// Trace index of the memory operation.
+        index: usize,
+        /// Replayed effective address.
+        expected: u64,
+        /// Address the trace recorded.
+        recorded: u64,
+    },
+    /// A conditional branch's recorded direction disagrees with the
+    /// replayed one.
+    TakenMismatch {
+        /// Trace index of the branch.
+        index: usize,
+        /// Replayed direction.
+        expected: bool,
+        /// Direction the trace recorded.
+        recorded: bool,
+    },
+    /// The committed path fell off a block with no fall-through.
+    FellOffBlock {
+        /// Trace index at which it happened.
+        index: usize,
+        /// The successor-less block.
+        block: BlockId,
+    },
+    /// A `ret` committed with an empty call stack.
+    ReturnFromMain {
+        /// Trace index of the return.
+        index: usize,
+        /// Block containing the return.
+        block: BlockId,
+    },
+    /// A non-truncated trace ended without committing `halt`.
+    NotHalted,
+    /// The trace continues past a committed `halt`.
+    PastHalt {
+        /// Index of the first entry after the halt.
+        index: usize,
+    },
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::PathDivergence {
+                index,
+                expected,
+                recorded,
+            } => write!(
+                f,
+                "trace[{index}]: committed path reaches {expected}, trace records {recorded}"
+            ),
+            ReplayError::AddrMismatch {
+                index,
+                expected,
+                recorded,
+            } => write!(
+                f,
+                "trace[{index}]: replayed address {expected:#x}, trace records {recorded:#x}"
+            ),
+            ReplayError::TakenMismatch {
+                index,
+                expected,
+                recorded,
+            } => write!(
+                f,
+                "trace[{index}]: replayed direction taken={expected}, trace records taken={recorded}"
+            ),
+            ReplayError::FellOffBlock { index, block } => {
+                write!(f, "trace[{index}]: fell off successor-less block {block}")
+            }
+            ReplayError::ReturnFromMain { index, block } => {
+                write!(f, "trace[{index}]: return with empty call stack in {block}")
+            }
+            ReplayError::NotHalted => write!(f, "non-truncated trace ends without halt"),
+            ReplayError::PastHalt { index } => {
+                write!(f, "trace[{index}]: entries continue past committed halt")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+/// Replays a committed trace through `program`'s functional semantics.
+///
+/// Validates, per entry, that the trace follows a legal committed path
+/// and that recorded effective addresses and branch directions match the
+/// replayed architectural values; returns the final architectural state.
+///
+/// # Errors
+///
+/// Returns a [`ReplayError`] describing the first inconsistency between
+/// the trace and the program.
+pub fn replay_committed(
+    program: &Program,
+    trace: &Trace,
+    init_mem: &[(u64, u64)],
+) -> Result<ArchState, ReplayError> {
+    let mut st = ArchState::default();
+    st.mem.extend(init_mem.iter().copied());
+    let mut call_stack: Vec<BlockId> = Vec::new();
+
+    let mut block = program.func(program.entry_func()).entry;
+    let mut idx = 0usize;
+    let mut halted = false;
+
+    for (i, dyn_inst) in trace.insts.iter().enumerate() {
+        if halted {
+            return Err(ReplayError::PastHalt { index: i });
+        }
+        // Walk fall-through edges to the next instruction slot.
+        loop {
+            let bb = program.block(block);
+            if idx < bb.insts.len() {
+                break;
+            }
+            match bb.fallthrough {
+                Some(next) => {
+                    block = next;
+                    idx = 0;
+                }
+                None => return Err(ReplayError::FellOffBlock { index: i, block }),
+            }
+        }
+        let expected = program.id_of(block, idx);
+        if expected != dyn_inst.id {
+            return Err(ReplayError::PathDivergence {
+                index: i,
+                expected,
+                recorded: dyn_inst.id,
+            });
+        }
+        let bb = program.block(block);
+        let inst = &bb.insts[idx];
+        let a = inst.src1.map(|r| st.read(r)).unwrap_or(0);
+        let b = inst.src2.map(|r| st.read(r)).unwrap_or(0);
+
+        match inst.op {
+            Opcode::Load => {
+                let addr = a.wrapping_add(inst.imm as u64);
+                if addr != dyn_inst.addr {
+                    return Err(ReplayError::AddrMismatch {
+                        index: i,
+                        expected: addr,
+                        recorded: dyn_inst.addr,
+                    });
+                }
+                let v = st.load(addr);
+                st.write(inst.dest.expect("validated load has a destination"), v);
+                idx += 1;
+            }
+            Opcode::Store => {
+                let addr = a.wrapping_add(inst.imm as u64);
+                if addr != dyn_inst.addr {
+                    return Err(ReplayError::AddrMismatch {
+                        index: i,
+                        expected: addr,
+                        recorded: dyn_inst.addr,
+                    });
+                }
+                st.store(addr, b);
+                idx += 1;
+            }
+            Opcode::Br(cond) => {
+                let taken = cond.eval(a, b);
+                if taken != dyn_inst.taken {
+                    return Err(ReplayError::TakenMismatch {
+                        index: i,
+                        expected: taken,
+                        recorded: dyn_inst.taken,
+                    });
+                }
+                if taken {
+                    let Some(CfTarget::Block(t)) = inst.target else {
+                        unreachable!("validated branch has a block target")
+                    };
+                    block = t;
+                    idx = 0;
+                } else {
+                    match bb.fallthrough {
+                        Some(next) => {
+                            block = next;
+                            idx = 0;
+                        }
+                        None => return Err(ReplayError::FellOffBlock { index: i, block }),
+                    }
+                }
+            }
+            Opcode::Jmp => {
+                let Some(CfTarget::Block(t)) = inst.target else {
+                    unreachable!("validated jump has a block target")
+                };
+                block = t;
+                idx = 0;
+            }
+            Opcode::Call => {
+                let Some(CfTarget::Func(fd)) = inst.target else {
+                    unreachable!("validated call has a function target")
+                };
+                let fall = bb
+                    .fallthrough
+                    .expect("validated call block has a fall-through");
+                call_stack.push(fall);
+                st.write(Reg::LINK, program.pc_of(program.id_of(fall, 0)));
+                block = program.func(fd).entry;
+                idx = 0;
+            }
+            Opcode::Ret => match call_stack.pop() {
+                Some(fall) => {
+                    block = fall;
+                    idx = 0;
+                }
+                None => return Err(ReplayError::ReturnFromMain { index: i, block }),
+            },
+            Opcode::Halt => {
+                halted = true;
+            }
+            Opcode::Nop => {
+                idx += 1;
+            }
+            alu => {
+                let v = op::eval_alu(alu, a, b, inst.imm);
+                if let Some(d) = inst.dest {
+                    st.write(d, v);
+                }
+                idx += 1;
+            }
+        }
+    }
+    if !halted && !trace.truncated {
+        return Err(ReplayError::NotHalted);
+    }
+    Ok(st)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mg_isa::{BrCond, Instruction, ProgramBuilder};
+    use mg_workloads::Executor;
+
+    fn loop_program() -> Program {
+        let mut pb = ProgramBuilder::new("loop");
+        let f = pb.func("main");
+        let head = pb.block(f);
+        let body = pb.block(f);
+        let exit = pb.block(f);
+        pb.push(head, Instruction::li(Reg::R1, 5));
+        pb.push(head, Instruction::li(Reg::R10, 0x2000));
+        pb.set_fallthrough(head, body);
+        pb.push(body, Instruction::addi(Reg::R2, Reg::R2, 3));
+        pb.push(body, Instruction::store(Reg::R10, Reg::R2, 0));
+        pb.push(body, Instruction::addi(Reg::R1, Reg::R1, -1));
+        pb.push(body, Instruction::br(BrCond::Ne, Reg::R1, Reg::ZERO, body));
+        pb.set_fallthrough(body, exit);
+        pb.push(exit, Instruction::halt());
+        pb.build().unwrap()
+    }
+
+    #[test]
+    fn replay_matches_executor_state() {
+        let p = loop_program();
+        let init = [(0x2000u64, 7u64), (0x2008, 9)];
+        let (trace, st) = Executor::new(&p).run_with_mem(&init).unwrap();
+        let replayed = replay_committed(&p, &trace, &init).unwrap();
+        assert_eq!(st.regs, replayed.regs);
+        assert_eq!(st.mem, replayed.mem);
+    }
+
+    #[test]
+    fn corrupted_path_is_detected() {
+        let p = loop_program();
+        let (mut trace, _) = Executor::new(&p).run().unwrap();
+        // Swap one committed id for its neighbour's.
+        trace.insts[3].id = trace.insts[2].id;
+        match replay_committed(&p, &trace, &[]) {
+            Err(ReplayError::PathDivergence { index: 3, .. }) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupted_address_is_detected() {
+        let p = loop_program();
+        let (mut trace, _) = Executor::new(&p).run().unwrap();
+        let mem_i = trace
+            .insts
+            .iter()
+            .position(|d| p.inst(d.id).op.is_mem())
+            .unwrap();
+        trace.insts[mem_i].addr ^= 0x8;
+        match replay_committed(&p, &trace, &[]) {
+            Err(ReplayError::AddrMismatch { index, .. }) if index == mem_i => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupted_direction_is_detected() {
+        let p = loop_program();
+        let (mut trace, _) = Executor::new(&p).run().unwrap();
+        let br_i = trace
+            .insts
+            .iter()
+            .position(|d| p.inst(d.id).op.is_cond_branch())
+            .unwrap();
+        trace.insts[br_i].taken = !trace.insts[br_i].taken;
+        match replay_committed(&p, &trace, &[]) {
+            Err(ReplayError::TakenMismatch { index, .. }) if index == br_i => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_halt_is_detected() {
+        let p = loop_program();
+        let (mut trace, _) = Executor::new(&p).run().unwrap();
+        trace.insts.pop();
+        assert!(matches!(
+            replay_committed(&p, &trace, &[]),
+            Err(ReplayError::NotHalted)
+        ));
+        // But a truncated prefix is fine — that is what the limit means.
+        trace.truncated = true;
+        assert!(replay_committed(&p, &trace, &[]).is_ok());
+    }
+
+    #[test]
+    fn entries_past_halt_are_detected() {
+        let p = loop_program();
+        let (mut trace, _) = Executor::new(&p).run().unwrap();
+        let last = *trace.insts.last().unwrap();
+        trace.insts.push(last);
+        let n = trace.insts.len();
+        match replay_committed(&p, &trace, &[]) {
+            Err(ReplayError::PastHalt { index }) if index == n - 1 => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn replay_is_layout_independent_across_rewrite() {
+        // The same committed ids replay identically whether or not the
+        // program carries mini-graph tags (tags are timing-only).
+        let p = loop_program();
+        let (trace, st) = Executor::new(&p).run().unwrap();
+        let replayed = replay_committed(&p, &trace, &[]).unwrap();
+        assert_eq!(st.regs[..31], replayed.regs[..31]);
+    }
+}

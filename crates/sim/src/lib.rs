@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod archcheck;
 pub mod bpred;
 pub mod cache;
 pub mod config;
@@ -41,6 +42,7 @@ pub mod slack;
 pub mod stats;
 pub mod storesets;
 
+pub use archcheck::{replay_committed, ReplayError};
 pub use config::{BPredConfig, CacheConfig, MachineConfig, MgConfig, StoreSetsConfig};
 pub use dynmg::{DisableCost, DynMgConfig, DynMgController, DynPolicy};
 pub use engine::{simulate, SimOptions, SimResult};

@@ -1,0 +1,342 @@
+//! Seeded random-program generation over the `mg-isa` builder.
+//!
+//! Programs are *structured*: control flow is composed from segments —
+//! straight-line blocks, counted loops with reserved counter registers,
+//! forward-only diamonds, and leaf calls — so every generated program
+//! terminates by construction (the differential harness still runs the
+//! functional executor with a limit and treats truncation as a bug in
+//! the generator).
+//!
+//! Register discipline:
+//!
+//! * `R1..=R25` — the writable pool the instruction mix draws from;
+//! * `R26` — memory base, set once at entry (all addresses are
+//!   `R26 + small aligned offset`, keeping the touched footprint tiny);
+//! * `R27`/`R28` — loop counters, never written by pool instructions;
+//! * `R29` — scratch for diamond conditions;
+//! * `R30`/`R31` — stack/link conventions, left alone.
+//!
+//! Adversarial mode additionally emits the shapes the fuzzer must not
+//! choke on: 1-instruction blocks and a straight-line block longer than
+//! 255 instructions (past the `u8` position range of an `MgTag`).
+
+use mg_isa::{BrCond, Instruction, IsaError, Opcode, ProgramBuilder, Reg};
+use mg_workloads::Workload;
+use rand::{Rng, SeedableRng};
+
+/// Base address of the generated programs' data segment.
+pub const MEM_BASE: i64 = 0x2000;
+
+/// Number of 8-byte slots addressable off the memory base.
+pub const MEM_SLOTS: i64 = 32;
+
+/// Knobs for random program generation.
+#[derive(Clone, Debug)]
+pub struct GenConfig {
+    /// Number of top-level segments (straight-line / loop / diamond /
+    /// call) composed in the entry function.
+    pub segments: usize,
+    /// Inclusive range of instructions per straight-line run.
+    pub block_len: (usize, usize),
+    /// Probability that an operand is drawn from recently-defined
+    /// registers rather than the whole pool (dataflow density: higher
+    /// means longer dependence chains and more internal dataflow).
+    pub density: f64,
+    /// Probability that a generated instruction is a memory operation.
+    pub mem_frac: f64,
+    /// Also emit adversarial shapes: 1-instruction blocks and one
+    /// straight-line block with more than 255 instructions.
+    pub adversarial: bool,
+}
+
+impl Default for GenConfig {
+    fn default() -> GenConfig {
+        GenConfig {
+            segments: 6,
+            block_len: (2, 10),
+            density: 0.6,
+            mem_frac: 0.25,
+            adversarial: false,
+        }
+    }
+}
+
+impl GenConfig {
+    /// The default mix plus every adversarial shape.
+    pub fn adversarial() -> GenConfig {
+        GenConfig {
+            adversarial: true,
+            ..GenConfig::default()
+        }
+    }
+}
+
+/// The writable register pool.
+fn pool_reg(rng: &mut rand::rngs::StdRng) -> Reg {
+    Reg::new(rng.gen_range(1u8..=25))
+}
+
+struct Emitter {
+    rng: rand::rngs::StdRng,
+    /// Recently defined pool registers, most recent last.
+    recent: Vec<Reg>,
+}
+
+impl Emitter {
+    fn src(&mut self, density: f64) -> Reg {
+        if !self.recent.is_empty() && self.rng.gen_bool(density) {
+            let i = self.rng.gen_range(0..self.recent.len());
+            self.recent[i]
+        } else {
+            pool_reg(&mut self.rng)
+        }
+    }
+
+    fn dest(&mut self) -> Reg {
+        let d = pool_reg(&mut self.rng);
+        self.recent.push(d);
+        if self.recent.len() > 4 {
+            self.recent.remove(0);
+        }
+        d
+    }
+
+    /// One random non-control instruction.
+    fn work_inst(&mut self, cfg: &GenConfig) -> Instruction {
+        if self.rng.gen_bool(cfg.mem_frac) {
+            let offset = 8 * self.rng.gen_range(0..MEM_SLOTS);
+            if self.rng.gen_bool(0.5) {
+                let d = self.dest();
+                Instruction::load(d, Reg::new(26), offset)
+            } else {
+                let data = self.src(cfg.density);
+                Instruction::store(Reg::new(26), data, offset)
+            }
+        } else {
+            match self.rng.gen_range(0u32..10) {
+                // Register-register ALU (includes Mul/Div, which are
+                // mg-ineligible — the enumerator must step around them).
+                0..=4 => {
+                    let op = Opcode::ALU_RR[self.rng.gen_range(0..Opcode::ALU_RR.len())];
+                    let (a, b) = (self.src(cfg.density), self.src(cfg.density));
+                    let d = self.dest();
+                    Instruction::alu_rr(op, d, a, b)
+                }
+                // Register-immediate ALU.
+                5..=8 => {
+                    let op = Opcode::ALU_RI[self.rng.gen_range(0..Opcode::ALU_RI.len())];
+                    let a = self.src(cfg.density);
+                    let d = self.dest();
+                    Instruction::alu_ri(op, d, a, self.rng.gen_range(-64i64..64))
+                }
+                _ => {
+                    let d = self.dest();
+                    Instruction::li(d, self.rng.gen_range(-256i64..256))
+                }
+            }
+        }
+    }
+
+    fn work_run(&mut self, cfg: &GenConfig, len: usize) -> Vec<Instruction> {
+        (0..len).map(|_| self.work_inst(cfg)).collect()
+    }
+
+    fn run_len(&mut self, cfg: &GenConfig) -> usize {
+        let (lo, hi) = cfg.block_len;
+        self.rng.gen_range(lo..=hi.max(lo))
+    }
+}
+
+/// Generates a random, terminating workload from a seed.
+///
+/// The same seed and config always produce the same workload.
+pub fn generate(seed: u64, cfg: &GenConfig) -> Workload {
+    let mut em = Emitter {
+        rng: rand::rngs::StdRng::seed_from_u64(seed),
+        recent: Vec::new(),
+    };
+    let mut pb = ProgramBuilder::new(format!("fuzz-{seed}"));
+    let main = pb.func("main");
+
+    // Leaf function: straight-line work ending in ret. Declared first so
+    // call segments can reference it; entry stays `main`.
+    let leaf = pb.func("leaf");
+    pb.set_entry(main);
+    let lb = pb.block(leaf);
+    let leaf_len = em.run_len(cfg);
+    pb.push_all(lb, em.work_run(cfg, leaf_len));
+    pb.push(lb, Instruction::ret());
+
+    // Entry block: establish the memory base.
+    let mut cur = pb.block(main);
+    pb.push(cur, Instruction::li(Reg::new(26), MEM_BASE));
+
+    let mut adversarial_shapes: Vec<u32> = if cfg.adversarial {
+        // 0 = oversized block, 1 = 1-instruction block; both exactly once.
+        vec![0, 1]
+    } else {
+        Vec::new()
+    };
+
+    for seg in 0..cfg.segments {
+        match em.rng.gen_range(0u32..8) {
+            // Straight-line run appended to the current block.
+            0..=2 => {
+                let len = em.run_len(cfg);
+                pb.push_all(cur, em.work_run(cfg, len));
+            }
+            // Counted loop: li ctr, N; body; addi ctr,-1; bne ctr -> body.
+            3..=4 => {
+                let ctr = if seg % 2 == 0 {
+                    Reg::new(27)
+                } else {
+                    Reg::new(28)
+                };
+                let n = em.rng.gen_range(1i64..=6);
+                pb.push(cur, Instruction::li(ctr, n));
+                let body = pb.block(main);
+                pb.set_fallthrough(cur, body);
+                let len = em.run_len(cfg);
+                pb.push_all(body, em.work_run(cfg, len));
+                pb.push(body, Instruction::addi(ctr, ctr, -1));
+                pb.push(body, Instruction::br(BrCond::Ne, ctr, Reg::ZERO, body));
+                let join = pb.block(main);
+                pb.set_fallthrough(body, join);
+                cur = join;
+            }
+            // Forward diamond: br over a side block (taken path skips it).
+            5..=6 => {
+                let (a, b) = (em.src(cfg.density), em.src(cfg.density));
+                let cond = BrCond::ALL[em.rng.gen_range(0..BrCond::ALL.len())];
+                // Placeholder target, patched once the join block exists.
+                pb.push(cur, Instruction::br(cond, a, b, cur));
+                let side = pb.block(main);
+                pb.set_fallthrough(cur, side);
+                let len = em.run_len(cfg);
+                pb.push_all(side, em.work_run(cfg, len));
+                let join = pb.block(main);
+                pb.set_fallthrough(side, join);
+                pb.patch_branch_target(cur, join);
+                cur = join;
+            }
+            // Leaf call.
+            _ => {
+                pb.push(cur, Instruction::call(leaf));
+                let next = pb.block(main);
+                pb.set_fallthrough(cur, next);
+                cur = next;
+            }
+        }
+        if let Some(shape) = adversarial_shapes.pop() {
+            // The current block may be a just-created empty join; it must
+            // hold at least one instruction before gaining a fallthrough.
+            if pb.block_len(cur) == 0 {
+                let inst = em.work_inst(cfg);
+                pb.push(cur, inst);
+            }
+            match shape {
+                0 => {
+                    // A block with more than 255 instructions: every
+                    // block-relative position past 255 would truncate in
+                    // an 8-bit encoding.
+                    let big = pb.block(main);
+                    pb.set_fallthrough(cur, big);
+                    pb.push_all(big, em.work_run(cfg, 300));
+                    let next = pb.block(main);
+                    pb.set_fallthrough(big, next);
+                    cur = next;
+                }
+                _ => {
+                    // A 1-instruction block.
+                    let tiny = pb.block(main);
+                    pb.set_fallthrough(cur, tiny);
+                    pb.push(tiny, em.work_inst(cfg));
+                    let next = pb.block(main);
+                    pb.set_fallthrough(tiny, next);
+                    cur = next;
+                }
+            }
+        }
+    }
+    // Make sure every block (including a just-created join) is nonempty,
+    // then halt.
+    if pb.block_len(cur) == 0 {
+        pb.push(cur, em.work_inst(cfg));
+    }
+    pb.push(cur, Instruction::halt());
+
+    let program = pb
+        .build()
+        .expect("generated programs are structurally valid");
+
+    // Loader-placed initial memory: a few slots within the touched range.
+    let mut init_mem = Vec::new();
+    for slot in 0..MEM_SLOTS {
+        if em.rng.gen_bool(0.25) {
+            init_mem.push(((MEM_BASE + 8 * slot) as u64, em.rng.gen::<u64>()));
+        }
+    }
+    Workload { program, init_mem }
+}
+
+/// Builds a program containing an empty basic block, returning the
+/// structural error `mg-isa` reports. The adversarial "empty block"
+/// shape cannot exist in a validated [`Program`] — this is the graceful
+/// path the fuzzer asserts instead of a panic.
+pub fn empty_block_error() -> IsaError {
+    let mut pb = ProgramBuilder::new("empty-block");
+    let f = pb.func("main");
+    let b0 = pb.block(f);
+    let _b1 = pb.block(f); // never filled
+    pb.push(b0, Instruction::halt());
+    pb.build().expect_err("empty block must not validate")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mg_workloads::Executor;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(42, &GenConfig::default());
+        let b = generate(42, &GenConfig::default());
+        assert_eq!(format!("{}", a.program), format!("{}", b.program));
+        assert_eq!(a.init_mem, b.init_mem);
+    }
+
+    #[test]
+    fn generated_programs_terminate() {
+        for seed in 0..32 {
+            let w = generate(seed, &GenConfig::default());
+            let (trace, _) = Executor::new(&w.program)
+                .with_limit(1_000_000)
+                .run_with_mem(&w.init_mem)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert!(!trace.truncated, "seed {seed} did not terminate");
+            assert!(!trace.is_empty());
+        }
+    }
+
+    #[test]
+    fn adversarial_mode_emits_extreme_blocks() {
+        let w = generate(7, &GenConfig::adversarial());
+        let lens: Vec<usize> = w.program.blocks().iter().map(|b| b.insts.len()).collect();
+        assert!(
+            lens.iter().any(|&l| l > 255),
+            "no oversized block: {lens:?}"
+        );
+        assert!(lens.contains(&1), "no 1-instruction block: {lens:?}");
+        // Still terminates.
+        let (trace, _) = Executor::new(&w.program)
+            .with_limit(1_000_000)
+            .run_with_mem(&w.init_mem)
+            .unwrap();
+        assert!(!trace.truncated);
+    }
+
+    #[test]
+    fn empty_blocks_fail_validation_gracefully() {
+        assert!(matches!(empty_block_error(), IsaError::EmptyBlock(_)));
+    }
+}

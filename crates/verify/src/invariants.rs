@@ -1,0 +1,324 @@
+//! Candidate legality and rewritten-program structural invariants.
+//!
+//! The checks here are *independent*: rather than trusting the
+//! [`CandidateShape`] the enumerator attached, the checker recomputes a
+//! candidate's interface from the program text and validates it against
+//! the paper's mini-graph legality constraints — at most
+//! [`SelectionConfig::max_size`] constituents, at most
+//! [`SelectionConfig::max_ext_inputs`] external register inputs, at most
+//! one register output, at most one memory operation, and at most one
+//! control transfer which must come last. Rewritten programs are
+//! re-validated through `mg-isa`'s structural validator from scratch.
+
+use mg_core::candidate::{Candidate, SelectionConfig, MAX_CANDIDATE_LEN};
+use mg_isa::dataflow::liveness;
+use mg_isa::{IsaError, Program, Reg};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One violated mini-graph legality constraint.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum InvariantViolation {
+    /// Fewer than two or more than the configured maximum constituents.
+    BadSize {
+        /// Constituent count.
+        len: usize,
+    },
+    /// Positions are not strictly ascending or fall outside the block.
+    BadPositions,
+    /// A constituent's opcode is not mini-graph eligible.
+    IneligibleOpcode {
+        /// Block position of the offending constituent.
+        pos: usize,
+    },
+    /// More external register inputs than the interface allows.
+    TooManyExtInputs {
+        /// Distinct external input registers, recomputed.
+        inputs: Vec<Reg>,
+    },
+    /// More than one value escapes the candidate.
+    MultipleOutputs {
+        /// Block positions whose defined value escapes.
+        outputs: Vec<usize>,
+    },
+    /// More than one memory operation.
+    MultipleMemOps {
+        /// Number of memory constituents.
+        count: usize,
+    },
+    /// More than one control transfer, or control not last.
+    BadControl,
+    /// The recorded [`CandidateShape`] disagrees with the recomputed
+    /// interface.
+    ///
+    /// [`CandidateShape`]: mg_core::candidate::CandidateShape
+    ShapeMismatch {
+        /// Which interface field disagrees.
+        field: &'static str,
+    },
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvariantViolation::BadSize { len } => write!(f, "illegal size {len}"),
+            InvariantViolation::BadPositions => write!(f, "positions not ascending/in range"),
+            InvariantViolation::IneligibleOpcode { pos } => {
+                write!(f, "ineligible opcode at block position {pos}")
+            }
+            InvariantViolation::TooManyExtInputs { inputs } => {
+                write!(f, "{} external inputs: {inputs:?}", inputs.len())
+            }
+            InvariantViolation::MultipleOutputs { outputs } => {
+                write!(f, "multiple escaping outputs at positions {outputs:?}")
+            }
+            InvariantViolation::MultipleMemOps { count } => {
+                write!(f, "{count} memory operations")
+            }
+            InvariantViolation::BadControl => write!(f, "control transfer not unique/last"),
+            InvariantViolation::ShapeMismatch { field } => {
+                write!(f, "recorded shape disagrees on {field}")
+            }
+        }
+    }
+}
+
+/// Checks one selected candidate against the paper's legality
+/// constraints, recomputing its interface from the program. Returns every
+/// violation found (empty = legal).
+pub fn check_candidate(
+    program: &Program,
+    cand: &Candidate,
+    cfg: &SelectionConfig,
+) -> Vec<InvariantViolation> {
+    let mut violations = Vec::new();
+    let block = match program.blocks().get(cand.block.index()) {
+        Some(b) => b,
+        None => return vec![InvariantViolation::BadPositions],
+    };
+    let n = block.insts.len();
+    if cand.positions.windows(2).any(|w| w[0] >= w[1])
+        || cand.positions.iter().any(|&p| p >= n)
+        || cand.positions.is_empty()
+    {
+        return vec![InvariantViolation::BadPositions];
+    }
+    if cand.len() < 2 || cand.len() > cfg.max_size.min(MAX_CANDIDATE_LEN) {
+        violations.push(InvariantViolation::BadSize { len: cand.len() });
+    }
+    let members: BTreeSet<usize> = cand.positions.iter().copied().collect();
+    for &p in &cand.positions {
+        if !block.insts[p].op.mg_eligible() {
+            violations.push(InvariantViolation::IneligibleOpcode { pos: p });
+        }
+    }
+
+    // External inputs: a register read by a member whose reaching def is
+    // not an earlier member.
+    let mut ext_inputs: Vec<Reg> = Vec::new();
+    for &p in &cand.positions {
+        for r in block.insts[p].uses() {
+            let internal = (0..p)
+                .rev()
+                .find(|&q| block.insts[q].def() == Some(r))
+                .is_some_and(|q| members.contains(&q));
+            if !internal && !ext_inputs.contains(&r) {
+                ext_inputs.push(r);
+            }
+        }
+    }
+    if ext_inputs.len() > cfg.max_ext_inputs {
+        violations.push(InvariantViolation::TooManyExtInputs {
+            inputs: ext_inputs.clone(),
+        });
+    }
+
+    // Outputs: a member def consumed by a non-member before redefinition,
+    // or still live at block exit.
+    let live_out = liveness(program).live_out(cand.block);
+    let mut outputs: Vec<usize> = Vec::new();
+    for &p in &cand.positions {
+        let Some(d) = block.insts[p].def() else {
+            continue;
+        };
+        let mut escapes = false;
+        let mut redefined = false;
+        for (q, inst) in block.insts.iter().enumerate().skip(p + 1) {
+            if inst.uses().any(|r| r == d) && !members.contains(&q) {
+                escapes = true;
+            }
+            if mg_isa::dataflow::uses_all_regs(inst) && !members.contains(&q) {
+                escapes = true;
+            }
+            if inst.def() == Some(d) {
+                redefined = true;
+                break;
+            }
+        }
+        if !redefined && live_out.contains(d) {
+            escapes = true;
+        }
+        if escapes {
+            outputs.push(p);
+        }
+    }
+    if outputs.len() > 1 {
+        violations.push(InvariantViolation::MultipleOutputs {
+            outputs: outputs.clone(),
+        });
+    }
+
+    // Memory and control counts; control must be the last member.
+    let mem_count = cand
+        .positions
+        .iter()
+        .filter(|&&p| block.insts[p].op.is_mem())
+        .count();
+    if mem_count > 1 {
+        violations.push(InvariantViolation::MultipleMemOps { count: mem_count });
+    }
+    let controls: Vec<usize> = cand
+        .positions
+        .iter()
+        .copied()
+        .filter(|&p| block.insts[p].op.is_control())
+        .collect();
+    if controls.len() > 1 || (controls.len() == 1 && controls[0] != *cand.positions.last().unwrap())
+    {
+        violations.push(InvariantViolation::BadControl);
+    }
+
+    // Cross-check the recorded shape against the recomputed interface.
+    if cand.shape.srcs.len() != cand.len() || cand.shape.lat_prefix.len() != cand.len() + 1 {
+        violations.push(InvariantViolation::ShapeMismatch { field: "lengths" });
+    }
+    let shape_ext: BTreeSet<Reg> = cand.shape.ext_inputs.iter().map(|&(r, _)| r).collect();
+    let recomputed_ext: BTreeSet<Reg> = ext_inputs.into_iter().collect();
+    if shape_ext != recomputed_ext {
+        violations.push(InvariantViolation::ShapeMismatch {
+            field: "ext_inputs",
+        });
+    }
+    let shape_out = cand.shape.output_pos.map(|op| cand.positions[op as usize]);
+    if shape_out != outputs.first().copied() && outputs.len() <= 1 {
+        violations.push(InvariantViolation::ShapeMismatch { field: "output" });
+    }
+    let shape_mem = cand.shape.mem.map(|(mp, _)| cand.positions[mp as usize]);
+    let recomputed_mem = cand
+        .positions
+        .iter()
+        .copied()
+        .find(|&p| block.insts[p].op.is_mem());
+    if shape_mem != recomputed_mem {
+        violations.push(InvariantViolation::ShapeMismatch { field: "mem" });
+    }
+    violations
+}
+
+/// Re-validates a (rewritten) program through `mg-isa`'s structural
+/// validator from its raw parts, including every mini-graph tag.
+///
+/// # Errors
+///
+/// Returns the structural error `Program::new` reports, if any.
+pub fn revalidate(program: &Program) -> Result<(), IsaError> {
+    Program::new(
+        program.name().to_string(),
+        program.blocks().to_vec(),
+        program.funcs().to_vec(),
+        program.entry_func(),
+    )
+    .map(|_| ())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mg_core::candidate::{enumerate, CandidateShape};
+    use mg_isa::{BlockId, Instruction, ProgramBuilder};
+
+    fn program_of(insts: Vec<Instruction>) -> Program {
+        let mut pb = ProgramBuilder::new("t");
+        let f = pb.func("main");
+        let b = pb.block(f);
+        for i in insts {
+            pb.push(b, i);
+        }
+        pb.push(b, Instruction::halt());
+        pb.build().unwrap()
+    }
+
+    #[test]
+    fn enumerated_candidates_are_all_legal() {
+        let p = program_of(vec![
+            Instruction::li(Reg::R1, 1),
+            Instruction::addi(Reg::R2, Reg::R1, 1),
+            Instruction::load(Reg::R3, Reg::R2, 0),
+            Instruction::add(Reg::R4, Reg::R3, Reg::R1),
+            Instruction::store(Reg::R10, Reg::R4, 0),
+        ]);
+        let cfg = SelectionConfig::default();
+        for cand in enumerate(&p, &cfg) {
+            let v = check_candidate(&p, &cand, &cfg);
+            assert!(v.is_empty(), "candidate {:?}: {v:?}", cand.positions);
+        }
+    }
+
+    #[test]
+    fn corrupt_candidates_are_flagged() {
+        let p = program_of(vec![
+            Instruction::li(Reg::R1, 1),
+            Instruction::addi(Reg::R2, Reg::R1, 1),
+        ]);
+        // Descending positions.
+        let bad = Candidate {
+            block: BlockId(0),
+            positions: vec![1, 0],
+            shape: CandidateShape::default(),
+        };
+        assert_eq!(
+            check_candidate(&p, &bad, &SelectionConfig::default()),
+            vec![InvariantViolation::BadPositions]
+        );
+        // An otherwise-plausible pair with a fabricated empty shape must
+        // at least trip the shape cross-check.
+        let fake = Candidate {
+            block: BlockId(0),
+            positions: vec![0, 1],
+            shape: CandidateShape::default(),
+        };
+        let v = check_candidate(&p, &fake, &SelectionConfig::default());
+        assert!(
+            v.iter()
+                .any(|x| matches!(x, InvariantViolation::ShapeMismatch { .. })),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn ineligible_and_overweight_candidates_are_flagged() {
+        let p = program_of(vec![
+            Instruction::load(Reg::R1, Reg::R10, 0),
+            Instruction::load(Reg::R2, Reg::R10, 8),
+            Instruction::mul(Reg::R3, Reg::R1, Reg::R2),
+        ]);
+        let bad = Candidate {
+            block: BlockId(0),
+            positions: vec![0, 1, 2],
+            shape: CandidateShape::default(),
+        };
+        let v = check_candidate(&p, &bad, &SelectionConfig::default());
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, InvariantViolation::IneligibleOpcode { pos: 2 })));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, InvariantViolation::MultipleMemOps { count: 2 })));
+    }
+
+    #[test]
+    fn revalidate_accepts_valid_programs() {
+        let p = program_of(vec![Instruction::li(Reg::R1, 1)]);
+        assert!(revalidate(&p).is_ok());
+    }
+}

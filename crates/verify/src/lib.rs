@@ -1,0 +1,41 @@
+//! Differential oracle and property-based fuzzing for the mini-graph
+//! toolchain.
+//!
+//! The simulator computes no architectural values — the timing engine is
+//! trace-driven — so correctness is established differentially:
+//!
+//! * [`gen`] — seeded random-program generation over the `mg-isa`
+//!   builder: structured control flow (loops, diamonds, calls) that
+//!   terminates by construction, plus adversarial shapes (1-instruction
+//!   blocks, blocks past the 255-position `u8` encoding range);
+//! * [`diff`] — the harness: the functional [`Executor`] is the oracle;
+//!   every generated program runs through the full pipeline under all
+//!   five selector variants, asserting bit-identical final architectural
+//!   state, exact committed-instruction counts, and an independent
+//!   functional replay of the committed trace;
+//! * [`invariants`] — recomputes each *selected* candidate's interface
+//!   from the program text and checks it against the paper's legality
+//!   constraints (≤ 3 external inputs, ≤ 1 output, ≤ 1 memory op,
+//!   ≤ 1 control op which must be last), and re-validates rewritten
+//!   programs structurally from scratch;
+//! * [`shrink`] — greedy delta-debugging of failing workloads, keeping
+//!   the original failure bucket; every counterexample carries a
+//!   one-line repro command.
+//!
+//! [`Executor`]: mg_workloads::Executor
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod diff;
+pub mod gen;
+pub mod invariants;
+pub mod shrink;
+
+pub use diff::{
+    repro_command, run_seed, run_seed_variants, run_variant, run_variant_caught, Counterexample,
+    DiffConfig, MismatchKind, Variant,
+};
+pub use gen::{generate, GenConfig};
+pub use invariants::{check_candidate, revalidate, InvariantViolation};
+pub use shrink::shrink_workload;

@@ -1,0 +1,156 @@
+//! Counterexample shrinking: greedy delta-debugging over block contents.
+//!
+//! Given a failing workload and a predicate that re-checks the failure,
+//! the shrinker repeatedly tries removing chunks of instructions (halving
+//! chunk sizes, per block) and dropping the initial memory image, keeping
+//! each reduction only when the *same* failure bucket still reproduces.
+//! Structural validity is enforced by rebuilding through `Program::new`
+//! after every edit — removals that leave an empty block or a dangling
+//! fallthrough are simply skipped, so the shrinker can never manufacture
+//! an invalid program.
+//!
+//! The predicate sees a complete [`Workload`]; callers typically close
+//! over a `(variant, config)` pair and compare
+//! [`MismatchKind::bucket`](crate::diff::MismatchKind::bucket) so the
+//! shrink keeps the original failure mode rather than sliding into a
+//! different one.
+
+use mg_isa::Program;
+use mg_workloads::Workload;
+
+/// Upper bound on full improvement rounds (each round scans every block).
+const MAX_ROUNDS: usize = 32;
+
+/// Rebuilds `program` with `count` instructions removed from block
+/// `block_idx` starting at `start`. Returns `None` when the result does
+/// not validate.
+fn without(program: &Program, block_idx: usize, start: usize, count: usize) -> Option<Program> {
+    let mut blocks = program.blocks().to_vec();
+    let insts = &mut blocks[block_idx].insts;
+    if start >= insts.len() {
+        return None;
+    }
+    let end = (start + count).min(insts.len());
+    insts.drain(start..end);
+    Program::new(
+        program.name().to_string(),
+        blocks,
+        program.funcs().to_vec(),
+        program.entry_func(),
+    )
+    .ok()
+}
+
+/// Greedily shrinks a failing workload while `still_fails` holds.
+///
+/// Returns the smallest workload found (possibly the input itself). If
+/// the input does not satisfy `still_fails` — a flaky failure — it is
+/// returned unchanged.
+pub fn shrink_workload(w: &Workload, still_fails: impl Fn(&Workload) -> bool) -> Workload {
+    let mut best = w.clone();
+    if !still_fails(&best) {
+        return best;
+    }
+
+    // Dropping the memory image first often removes an entire dimension.
+    if !best.init_mem.is_empty() {
+        let cand = Workload {
+            program: best.program.clone(),
+            init_mem: Vec::new(),
+        };
+        if still_fails(&cand) {
+            best = cand;
+        }
+    }
+
+    for _ in 0..MAX_ROUNDS {
+        let mut improved = false;
+        for bi in 0..best.program.blocks().len() {
+            let len = best.program.blocks()[bi].insts.len();
+            // Bisect: big chunks first, down to single instructions.
+            let mut chunk = (len / 2).max(1);
+            loop {
+                let mut start = 0;
+                while start < best.program.blocks()[bi].insts.len() {
+                    let reduced = without(&best.program, bi, start, chunk)
+                        .map(|program| Workload {
+                            program,
+                            init_mem: best.init_mem.clone(),
+                        })
+                        .filter(&still_fails);
+                    if let Some(cand) = reduced {
+                        best = cand;
+                        improved = true;
+                        // Retry the same offset: the tail shifted left.
+                    } else {
+                        start += chunk;
+                    }
+                }
+                if chunk == 1 {
+                    break;
+                }
+                chunk /= 2;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, GenConfig};
+    use mg_isa::Opcode;
+
+    fn inst_count(w: &Workload) -> usize {
+        w.program.blocks().iter().map(|b| b.insts.len()).sum()
+    }
+
+    fn has_op(w: &Workload, op: Opcode) -> bool {
+        w.program
+            .blocks()
+            .iter()
+            .any(|b| b.insts.iter().any(|i| i.op == op))
+    }
+
+    #[test]
+    fn shrinks_toward_a_minimal_witness() {
+        // Find a seed whose program contains a Mul, then shrink with
+        // "still contains a Mul" as the failure predicate.
+        let (seed, w) = (0..64)
+            .map(|s| (s, generate(s, &GenConfig::default())))
+            .find(|(_, w)| has_op(w, Opcode::Mul))
+            .expect("some seed generates a Mul");
+        let before = inst_count(&w);
+        let shrunk = shrink_workload(&w, |c| has_op(c, Opcode::Mul));
+        assert!(has_op(&shrunk, Opcode::Mul), "seed {seed} lost the witness");
+        assert!(
+            inst_count(&shrunk) < before,
+            "seed {seed}: no reduction from {before}"
+        );
+        // Every block survives structurally (the shrinker can only emit
+        // validated programs), and the witness block is tiny.
+        assert!(inst_count(&shrunk) <= before / 2);
+    }
+
+    #[test]
+    fn non_reproducing_failures_are_returned_unchanged() {
+        let w = generate(1, &GenConfig::default());
+        let out = shrink_workload(&w, |_| false);
+        assert_eq!(inst_count(&out), inst_count(&w));
+        assert_eq!(out.init_mem, w.init_mem);
+    }
+
+    #[test]
+    fn init_mem_is_dropped_when_irrelevant() {
+        let w = (0..32)
+            .map(|s| generate(s, &GenConfig::default()))
+            .find(|w| !w.init_mem.is_empty())
+            .expect("some seed has init mem");
+        let shrunk = shrink_workload(&w, |_| true);
+        assert!(shrunk.init_mem.is_empty());
+    }
+}

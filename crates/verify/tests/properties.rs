@@ -1,0 +1,93 @@
+//! Fixed-seed property tests: the differential harness over all five
+//! selector variants.
+//!
+//! The proptest cases derive their seeds deterministically, so CI runs
+//! are reproducible; the wider seed sweep (hundreds of seeds) lives in
+//! the `verify` binary of `mg-bench`, which CI also runs.
+
+use mg_verify::diff::{run_variant_caught, DiffConfig, Variant};
+use mg_verify::gen::{generate, GenConfig};
+use mg_verify::{run_seed, shrink_workload};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every variant is clean on every generated default-mix program.
+    #[test]
+    fn all_variants_clean_on_default_mix(seed in 0u64..1024) {
+        let cfg = DiffConfig::default();
+        let w = generate(seed, &cfg.gen);
+        for variant in Variant::ALL {
+            let r = run_variant_caught(&w, variant, &cfg);
+            prop_assert!(
+                r.is_ok(),
+                "seed {seed} / {}: {}", variant.name(), r.unwrap_err()
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    /// Adversarial shapes — 1-instruction blocks and >255-instruction
+    /// blocks — are handled by every variant without panics or
+    /// mismatches.
+    fn all_variants_clean_on_adversarial_mix(seed in 0u64..1024) {
+        let cfg = DiffConfig::adversarial();
+        let w = generate(seed, &cfg.gen);
+        for variant in Variant::ALL {
+            let r = run_variant_caught(&w, variant, &cfg);
+            prop_assert!(
+                r.is_ok(),
+                "seed {seed} / {}: {}", variant.name(), r.unwrap_err()
+            );
+        }
+    }
+
+    #[test]
+    /// The harness itself is deterministic: running a seed twice gives
+    /// the same verdict.
+    fn harness_is_deterministic(seed in 0u64..256) {
+        let cfg = DiffConfig::default();
+        let a = run_seed(seed, &cfg);
+        let b = run_seed(seed, &cfg);
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(&x.kind, &y.kind);
+            prop_assert_eq!(&x.program, &y.program);
+        }
+    }
+}
+
+/// Empty blocks cannot exist in a validated program; the generator's
+/// probe returns the typed structural error instead of panicking.
+#[test]
+fn empty_blocks_are_a_typed_error() {
+    assert!(matches!(
+        mg_verify::gen::empty_block_error(),
+        mg_isa::IsaError::EmptyBlock(_)
+    ));
+}
+
+/// Shrinking preserves the failure predicate and only ever produces
+/// structurally valid programs.
+#[test]
+fn shrinking_preserves_the_failure_bucket() {
+    let w = generate(11, &GenConfig::adversarial());
+    // Use "some block is oversized" as a stand-in failure: shrink must
+    // keep an oversized block while discarding unrelated instructions.
+    let oversized =
+        |c: &mg_workloads::Workload| c.program.blocks().iter().any(|b| b.insts.len() > 255);
+    assert!(oversized(&w));
+    let shrunk = shrink_workload(&w, oversized);
+    assert!(oversized(&shrunk));
+    let total = |c: &mg_workloads::Workload| -> usize {
+        c.program.blocks().iter().map(|b| b.insts.len()).sum()
+    };
+    assert!(total(&shrunk) < total(&w));
+    // The result still passes full structural validation.
+    assert!(mg_verify::revalidate(&shrunk.program).is_ok());
+}
