@@ -6,7 +6,7 @@
 //! set, the exhaustive best, and each selector's per-candidate verdicts
 //! (the paper's bottom table).
 
-use mg_bench::{par_map, save_json, try_default_jobs};
+use mg_bench::{par_map, save_json, Config};
 use mg_core::candidate::{enumerate, Candidate};
 use mg_core::classify::{classify, Serialization};
 use mg_core::depgraph::{schedule_with_groups, BlockDeps};
@@ -108,13 +108,7 @@ fn main() {
         (r.stats.coverage(), r.ipc() / base_ipc)
     };
     let masks: Vec<u16> = (0u16..1024).collect();
-    let jobs = match try_default_jobs() {
-        Ok(jobs) => jobs,
-        Err(e) => {
-            eprintln!("{e}");
-            std::process::exit(2);
-        }
-    };
+    let jobs = Config::init_cli().effective_jobs();
     let points: Vec<Point> = par_map(&masks, jobs, |_, &mask| {
         let (cov, perf) = run_subset(mask);
         Point {

@@ -22,6 +22,7 @@ fn main() {
     use mg_sim::MachineConfig;
     use mg_workloads::suite;
 
+    mg_bench::Config::init_cli();
     let bench = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "mib_crc32".into());

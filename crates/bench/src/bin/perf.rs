@@ -260,6 +260,7 @@ fn obs_profile(_target_dyn: usize) -> Option<ObsPerf> {
 }
 
 fn main() {
+    mg_bench::Config::init_cli();
     let take: usize = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())

@@ -78,6 +78,7 @@ fn save_counterexample(ce: &Counterexample) -> std::io::Result<PathBuf> {
 }
 
 fn main() -> ExitCode {
+    mg_bench::Config::init_cli();
     let args = match parse_args() {
         Ok(a) => a,
         Err(e) => return usage(&e),

@@ -55,11 +55,6 @@ pub const QUARANTINE_DIR: &str = "results/cache/quarantine";
 /// so a recurring corruption source cannot grow the directory unbounded.
 const QUARANTINE_KEEP: usize = 32;
 
-/// Environment variable bounding the on-disk cache size, in megabytes
-/// (`0` disables the disk layer's growth entirely: every entry is evicted
-/// on the next store). Default: [`DEFAULT_CACHE_MAX_MB`].
-pub const CACHE_MAX_MB_ENV: &str = "MG_CACHE_MAX_MB";
-
 /// Default on-disk cache size cap in megabytes. Generous for the full
 /// suite (an entry is a few hundred KB) while keeping long-lived working
 /// trees from accumulating stale keys without bound.
@@ -303,25 +298,25 @@ fn disk_load(key: u64, spec: &BenchmarkSpec) -> Option<(Vec<u64>, SlackProfile)>
     Some((entry.freqs, entry.slack))
 }
 
-/// The configured size cap in bytes: `MG_CACHE_MAX_MB` if set to a valid
-/// non-negative integer (an invalid value is reported once and ignored),
-/// else the default.
+/// Configured size cap in megabytes. `u64::MAX` is the "unset"
+/// sentinel resolving to [`DEFAULT_CACHE_MAX_MB`]; the environment knob
+/// (`MG_CACHE_MAX_MB`) reaches here only through
+/// [`crate::config::Config::apply`].
+static CACHE_CAP_MB: AtomicU64 = AtomicU64::new(u64::MAX);
+
+/// Sets the on-disk cache size cap, in megabytes, for the rest of the
+/// process (`0` disables the disk layer's growth entirely: every entry
+/// is evicted on the next store). Unset, the cap is
+/// [`DEFAULT_CACHE_MAX_MB`].
+pub fn set_cache_cap_mb(mb: u64) {
+    CACHE_CAP_MB.store(mb, Ordering::Relaxed);
+}
+
+/// The configured size cap in bytes.
 fn cache_cap_bytes() -> u64 {
-    static WARNED: OnceLock<()> = OnceLock::new();
-    let mb = match std::env::var(CACHE_MAX_MB_ENV) {
-        Ok(v) => match v.trim().parse::<u64>() {
-            Ok(mb) => mb,
-            Err(_) => {
-                WARNED.get_or_init(|| {
-                    eprintln!(
-                        "warning: invalid {CACHE_MAX_MB_ENV}={v:?} (expected megabytes); \
-                         using default {DEFAULT_CACHE_MAX_MB}"
-                    );
-                });
-                DEFAULT_CACHE_MAX_MB
-            }
-        },
-        Err(_) => DEFAULT_CACHE_MAX_MB,
+    let mb = match CACHE_CAP_MB.load(Ordering::Relaxed) {
+        u64::MAX => DEFAULT_CACHE_MAX_MB,
+        mb => mb,
     };
     mb.saturating_mul(1024 * 1024)
 }

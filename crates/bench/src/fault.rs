@@ -21,10 +21,10 @@
 //!   `(seed, bench, cell)` falls below `P` parts per million. Purely
 //!   hash-based, so the same seed always fails the same cells.
 //!
-//! The plan comes from `MG_FAULT` (read once per process by
-//! [`init_from_env`], which the sweep runner calls) or from
-//! [`set_plan`] in tests. Injected panics carry a payload starting with
-//! `mg-fault:` so assertions can tell them from real bugs.
+//! The plan comes from `MG_FAULT`, parsed by [`crate::config`] at a
+//! binary's entry point and installed via [`set_plan`] (tests call
+//! [`set_plan`] directly). Injected panics carry a payload starting
+//! with `mg-fault:` so assertions can tell them from real bugs.
 //!
 //! **Zero-cost contract:** without the `fault-inject` feature every
 //! hook in this module is an empty `#[inline]` function — the compiled
@@ -34,6 +34,7 @@
 #[cfg(feature = "fault-inject")]
 pub use enabled::{parse_plan, set_plan, FaultPlan};
 
+#[cfg(feature = "fault-inject")]
 use crate::harness::BenchError;
 
 /// Environment variable naming the fault plan (see the module docs for
@@ -84,9 +85,6 @@ mod enabled {
         plan: RwLock<Option<FaultPlan>>,
         /// Per-(bench, cell) attempt counters for `flaky`.
         attempts: Mutex<HashMap<(String, usize), u32>>,
-        /// Set once the plan has been chosen (env or [`set_plan`]), so
-        /// the environment is read at most once per process.
-        inited: Mutex<bool>,
     }
 
     fn state() -> &'static State {
@@ -94,7 +92,6 @@ mod enabled {
         STATE.get_or_init(|| State {
             plan: RwLock::new(None),
             attempts: Mutex::new(HashMap::new()),
-            inited: Mutex::new(false),
         })
     }
 
@@ -173,32 +170,14 @@ mod enabled {
         Ok(FaultPlan { directives })
     }
 
-    /// Installs (or clears, with `None`) the active fault plan,
-    /// overriding whatever `MG_FAULT` says. Also resets the `flaky`
-    /// attempt counters so plans are independent across tests.
+    /// Installs (or clears, with `None`) the active fault plan. Also
+    /// resets the `flaky` attempt counters so plans are independent
+    /// across tests. [`crate::config::Config::apply`] calls this with
+    /// the parsed `MG_FAULT` plan at binary entry.
     pub fn set_plan(plan: Option<FaultPlan>) {
         let s = state();
-        *s.inited.lock().expect("fault init flag") = true;
         s.attempts.lock().expect("fault attempt counters").clear();
         *s.plan.write().expect("fault plan lock") = plan;
-    }
-
-    /// Loads the plan from `MG_FAULT` the first time it is called; later
-    /// calls (and calls after [`set_plan`]) are no-ops. An unparseable
-    /// value is a [`BenchError::Config`], surfaced by
-    /// [`crate::SweepSpec::try_run`] like any other bad knob.
-    pub fn init_from_env() -> Result<(), BenchError> {
-        let s = state();
-        let mut inited = s.inited.lock().expect("fault init flag");
-        if *inited {
-            return Ok(());
-        }
-        *inited = true;
-        if let Ok(v) = std::env::var(FAULT_ENV) {
-            let plan = parse_plan(&v)?;
-            *s.plan.write().expect("fault plan lock") = Some(plan);
-        }
-        Ok(())
     }
 
     fn matches(bench: &str, cell: usize, b: &Option<String>, c: &Option<usize>) -> bool {
@@ -328,16 +307,6 @@ mod enabled {
 // Disabled build: every hook is an empty inline function, so the sweep
 // path compiles to exactly the production code.
 // ---------------------------------------------------------------------
-
-/// No-op without `fault-inject`: the environment is not even read.
-#[cfg(not(feature = "fault-inject"))]
-#[inline]
-pub fn init_from_env() -> Result<(), BenchError> {
-    Ok(())
-}
-
-#[cfg(feature = "fault-inject")]
-pub use enabled::init_from_env;
 
 #[cfg(not(feature = "fault-inject"))]
 #[inline]

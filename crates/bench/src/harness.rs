@@ -5,8 +5,8 @@
 //! [`BenchContext::builder`] (or [`BenchContext::try_new`]) and runs
 //! executed with [`BenchContext::try_run`], both returning
 //! [`Result`]s over [`BenchError`] so a sweep can record a failed cell
-//! and continue. The panicking [`BenchContext::new`] / [`BenchContext::run`]
-//! are kept as deprecated `expect`-wrappers for one release.
+//! and continue. This is the only construction path — the old
+//! panicking wrappers are gone.
 
 use crate::cache::{self, CacheOutcome, ContextArtifacts};
 use mg_core::candidate::SelectionConfig;
@@ -373,27 +373,6 @@ impl BenchContext {
         Self::builder(spec, train_cfg).build()
     }
 
-    /// Panicking shorthand, kept for one release.
-    #[deprecated(note = "use `BenchContext::try_new` or `BenchContext::builder`")]
-    pub fn new(spec: &BenchmarkSpec, train_cfg: &MachineConfig) -> BenchContext {
-        Self::try_new(spec, train_cfg).expect("benchmark context builds")
-    }
-
-    /// Panicking two-input constructor, kept for one release.
-    #[deprecated(note = "use `BenchContext::builder` with `train_input`/`run_input`")]
-    pub fn with_inputs(
-        spec: &BenchmarkSpec,
-        train_cfg: &MachineConfig,
-        train_input: &InputSet,
-        run_input: &InputSet,
-    ) -> BenchContext {
-        Self::builder(spec, train_cfg)
-            .train_input(train_input.clone())
-            .run_input(run_input.clone())
-            .build()
-            .expect("benchmark context builds")
-    }
-
     /// How this context's artifacts were served by the cache (a context
     /// built with caching disabled reports a miss).
     pub fn cache_outcome(&self) -> CacheOutcome {
@@ -536,12 +515,6 @@ impl BenchContext {
                 })
             }
         }
-    }
-
-    /// Panicking run, kept for one release.
-    #[deprecated(note = "use `BenchContext::try_run`")]
-    pub fn run(&self, scheme: Scheme, machine: &MachineConfig) -> SchemeRun {
-        self.try_run(scheme, machine).expect("scheme run succeeds")
     }
 
     /// Runs one scheme on one machine with the pipeline observer

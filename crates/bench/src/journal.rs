@@ -21,6 +21,28 @@
 //!
 //! All journal I/O is best-effort, like the context cache: an
 //! unwritable directory degrades to journaling nothing.
+//!
+//! # Key derivation
+//!
+//! Row identity is shared by every front end — a CLI figure binary and
+//! an `mg-serve` submitted job that describe the same work derive the
+//! same keys, so results coalesce and replay across them:
+//!
+//! 1. [`sweep_repr`] renders the sweep *shape*: the machine-family
+//!    fingerprint ([`machine_fingerprint`]), the training machine, both
+//!    input selections, and the ordered cell list, all via `Debug`
+//!    formatting of plain-data configs (deterministic, and any shape
+//!    change conservatively invalidates old records).
+//! 2. [`row_key`] hashes (FNV-1a, via [`stable_hash64`]) the journal
+//!    schema version, the benchmark's name and params, and the shared
+//!    `sweep_repr` — everything that determines the row's bytes.
+//! 3. The sweep directory name is `stable_hash64(sweep_repr)`; each row
+//!    file embeds its `row_key` and is revalidated on load.
+//!
+//! Anything that would change a result — a different machine, cell
+//! order, input, `target_dyn`, schema bump — lands in a different key;
+//! anything that would not (worker count, logging, who submitted the
+//! job) is deliberately excluded.
 
 use crate::cache::{open_record, seal_record, stable_hash64, CacheOutcome};
 use crate::harness::{machine_fingerprint, BenchError, SchemeRun};
@@ -176,8 +198,10 @@ impl Journal {
 /// The content key of benchmark row `bench` inside a sweep whose cells
 /// and training setup render as `sweep_repr`. Uses `Debug` formatting of
 /// plain-data configs, like the context cache: deterministic, and any
-/// shape change conservatively invalidates old records.
-pub(crate) fn row_key(bench: &mg_workloads::BenchmarkSpec, sweep_repr: &str) -> u64 {
+/// shape change conservatively invalidates old records. Public so other
+/// front ends (`mg-serve`) can derive the identical key for the
+/// identical work; see the module-level *Key derivation* section.
+pub fn row_key(bench: &mg_workloads::BenchmarkSpec, sweep_repr: &str) -> u64 {
     let repr = format!(
         "v{JOURNAL_SCHEMA}|{}|{:?}|{sweep_repr}",
         bench.name, bench.params
@@ -185,10 +209,11 @@ pub(crate) fn row_key(bench: &mg_workloads::BenchmarkSpec, sweep_repr: &str) -> 
     stable_hash64(repr.as_bytes())
 }
 
-/// The sweep-shape key (directory name) and the shared per-row repr:
-/// cells, input selection, training machine, and the machine-family
-/// fingerprint.
-pub(crate) fn sweep_repr(
+/// The sweep-shape repr shared by every row key (and, hashed, the
+/// journal directory name): cells, input selection, training machine,
+/// and the machine-family fingerprint. See the module-level *Key
+/// derivation* section.
+pub fn sweep_repr(
     train_cfg: &mg_sim::MachineConfig,
     train_input: &crate::runner::InputSel,
     run_input: &crate::runner::InputSel,

@@ -4,10 +4,11 @@
 //! Each figure has a binary under `src/bin/`; the shared machinery lives
 //! in [`harness`] (benchmark contexts and scheme runs), [`runner`] (the
 //! parallel [`SweepSpec`] executor), [`supervisor`] (panic isolation,
-//! watchdogs, retry, and graceful shutdown around it), [`journal`]
-//! (crash-safe resume for interrupted sweeps), [`fault`] (deterministic
-//! fault injection behind the `fault-inject` feature), [`cache`]
-//! (content-keyed context memoization), and [`stats`]. See
+//! watchdogs, retry, and graceful shutdown around it), [`config`] (the
+//! single typed parse point for every `MG_*` environment knob),
+//! [`journal`] (crash-safe resume for interrupted sweeps), [`fault`]
+//! (deterministic fault injection behind the `fault-inject` feature),
+//! [`cache`] (content-keyed context memoization), and [`stats`]. See
 //! `EXPERIMENTS.md` at the repository root for the paper-vs-measured
 //! record.
 
@@ -17,6 +18,7 @@
 #![deny(unsafe_code)]
 
 pub mod cache;
+pub mod config;
 pub mod fault;
 pub mod figures;
 pub mod golden;
@@ -28,6 +30,7 @@ pub mod stats;
 pub mod supervisor;
 
 pub use cache::CacheOutcome;
+pub use config::{default_jobs, parse_jobs, try_default_jobs, Config};
 #[cfg(feature = "obs")]
 pub use harness::ObsSection;
 pub use harness::{
@@ -35,8 +38,10 @@ pub use harness::{
     Scheme, SchemeRun, SCHEMA_VERSION,
 };
 pub use runner::{
-    default_jobs, par_map, par_map_catch, parse_jobs, try_default_jobs, BenchProfile, BenchRows,
-    InputSel, SweepCell, SweepResult, SweepSpec, SweepSummary, TaskPanic,
+    par_map, par_map_catch, BenchProfile, BenchRows, InputSel, SweepCell, SweepResult, SweepSpec,
+    SweepSummary, TaskPanic,
 };
 pub use stats::{geomean, mean, s_curve};
-pub use supervisor::{clear_shutdown, request_shutdown, run_cli, shutdown_requested};
+pub use supervisor::{
+    clear_shutdown, request_shutdown, run_cli, shutdown_requested, supervise_cell,
+};

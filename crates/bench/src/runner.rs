@@ -6,8 +6,9 @@
 //! [`SweepSpec`] declares that sweep; [`SweepSpec::run`] executes it on a
 //! pool of [`std::thread::scope`] workers pulling benchmark tasks from a
 //! shared queue (worker count = available parallelism, overridable with
-//! the `MG_JOBS` environment variable or [`SweepSpec::jobs`]), with
-//! per-benchmark artifacts memoized by [`crate::cache`].
+//! [`SweepSpec::jobs`] or, for binaries, the `MG_JOBS` knob parsed by
+//! [`crate::config`]), with per-benchmark artifacts memoized by
+//! [`crate::cache`].
 //!
 //! Results are collected in deterministic sweep order — row `i` is always
 //! benchmark `i` of the spec, cell `j` always the `j`-th added cell — so
@@ -181,10 +182,20 @@ impl SweepSpec {
         self
     }
 
-    /// Forces the worker count (otherwise `MG_JOBS`, then available
-    /// parallelism).
+    /// Forces the worker count (otherwise available parallelism, or
+    /// whatever the binary's [`crate::config::Config`] resolved).
     pub fn jobs(mut self, jobs: usize) -> SweepSpec {
         self.jobs = Some(jobs.max(1));
+        self
+    }
+
+    /// Sets the worker count only if none has been forced yet — how the
+    /// config layer injects `MG_JOBS` without overriding an explicit
+    /// [`SweepSpec::jobs`] call.
+    pub fn jobs_if_unset(mut self, jobs: usize) -> SweepSpec {
+        if self.jobs.is_none() {
+            self.jobs = Some(jobs.max(1));
+        }
         self
     }
 
@@ -273,10 +284,11 @@ impl SweepSpec {
     ///
     /// # Panics
     ///
-    /// Panics on a *configuration* error (invalid `MG_JOBS` or
-    /// `MG_FAULT`); use [`SweepSpec::try_run`] to handle those as
-    /// values. Cell-level failures never panic either way — they are
-    /// recorded as error rows and the sweep continues.
+    /// Panics on a configuration error reported by
+    /// [`SweepSpec::try_run`] (none are currently possible from a
+    /// well-typed spec; the environment is parsed separately by
+    /// [`crate::config`]). Cell-level failures never panic either way —
+    /// they are recorded as error rows and the sweep continues.
     pub fn run(&self) -> SweepResult {
         self.try_run().unwrap_or_else(|e| panic!("{e}"))
     }
@@ -312,11 +324,7 @@ impl SweepSpec {
     /// interrupted run of the same sweep are replayed bit-identically
     /// instead of re-executed.
     pub fn try_run(&self) -> Result<SweepResult, BenchError> {
-        crate::fault::init_from_env()?;
-        let jobs = match self.jobs {
-            Some(j) => j,
-            None => try_default_jobs()?,
-        };
+        let jobs = self.jobs.unwrap_or_else(crate::config::available_jobs);
         // Journal identity: the sweep shape (training setup, inputs,
         // cells, machine fingerprint) names the directory; each
         // benchmark row carries a content key. Both must match for a
@@ -702,49 +710,6 @@ impl SweepSummary {
     }
 }
 
-/// Parses an `MG_JOBS`-style worker count. A worker count must be a
-/// positive integer; `0` and garbage are rejected with a
-/// [`BenchError::Config`] naming the offending value, rather than being
-/// silently replaced by a default (which would mask typos like
-/// `MG_JOBS=O8` behind an unexpected parallelism level).
-pub fn parse_jobs(value: &str) -> Result<usize, BenchError> {
-    match value.trim().parse::<usize>() {
-        Ok(0) => Err(BenchError::Config {
-            knob: "MG_JOBS".to_string(),
-            value: value.to_string(),
-            detail: "worker count must be at least 1".to_string(),
-        }),
-        Ok(n) => Ok(n),
-        Err(_) => Err(BenchError::Config {
-            knob: "MG_JOBS".to_string(),
-            value: value.to_string(),
-            detail: "expected a positive integer".to_string(),
-        }),
-    }
-}
-
-/// Worker count: `MG_JOBS` if set (validated by [`parse_jobs`]), else
-/// available parallelism.
-pub fn try_default_jobs() -> Result<usize, BenchError> {
-    match std::env::var("MG_JOBS") {
-        Ok(v) => parse_jobs(&v),
-        Err(_) => Ok(std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)),
-    }
-}
-
-/// Worker count: `MG_JOBS` if set, else available parallelism.
-///
-/// # Panics
-///
-/// Panics with the rendered [`BenchError`] if `MG_JOBS` is set to an
-/// invalid value; binaries get a clear diagnostic instead of a silent
-/// fallback. Use [`try_default_jobs`] to handle the error.
-pub fn default_jobs() -> usize {
-    try_default_jobs().unwrap_or_else(|e| panic!("{e}"))
-}
-
 /// A panic captured from one [`par_map_catch`] task.
 #[derive(Clone, Debug)]
 pub struct TaskPanic {
@@ -921,35 +886,5 @@ mod tests {
             items.len() - 1,
             "no sibling task is abandoned when one panics"
         );
-    }
-
-    #[test]
-    fn default_jobs_is_at_least_one() {
-        assert!(default_jobs() >= 1);
-    }
-
-    #[test]
-    fn parse_jobs_accepts_positive_counts() {
-        assert_eq!(parse_jobs("1").unwrap(), 1);
-        assert_eq!(parse_jobs("8").unwrap(), 8);
-        assert_eq!(parse_jobs(" 4 ").unwrap(), 4, "whitespace is trimmed");
-    }
-
-    #[test]
-    fn parse_jobs_rejects_zero_and_garbage() {
-        for bad in ["0", "", "abc", "-2", "1.5", "O8"] {
-            let err = parse_jobs(bad).expect_err(bad);
-            match &err {
-                BenchError::Config { knob, value, .. } => {
-                    assert_eq!(*knob, "MG_JOBS");
-                    assert_eq!(value, bad, "error names the offending value");
-                }
-                other => panic!("expected Config error for {bad:?}, got {other:?}"),
-            }
-            assert!(
-                err.to_string().contains("MG_JOBS"),
-                "diagnostic names the knob: {err}"
-            );
-        }
     }
 }

@@ -40,22 +40,6 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
 use std::time::Duration;
 
-/// Environment variable binaries check to resume an interrupted sweep
-/// from its journal (`1`/`true`/`yes`).
-pub const RESUME_ENV: &str = "MG_RESUME";
-
-/// Environment variable (`1`/`true`/`yes`) that makes [`run_cli`] keep
-/// the journal of a sweep that completed without interruption, instead
-/// of clearing it. For audits and CI artifacts: the kept records show
-/// per-row wall time, cache outcome, and any error rows.
-pub const JOURNAL_KEEP_ENV: &str = "MG_JOURNAL_KEEP";
-
-fn env_flag(name: &str) -> bool {
-    std::env::var(name)
-        .map(|v| matches!(v.trim(), "1" | "true" | "yes"))
-        .unwrap_or(false)
-}
-
 /// Process-wide shutdown flag. One flag (not per-sweep) because it
 /// mirrors what a signal means: this *process* should wind down.
 static SHUTDOWN: AtomicBool = AtomicBool::new(false);
@@ -234,13 +218,29 @@ pub(crate) fn run_cell_supervised(
     }
 }
 
-/// Reads [`RESUME_ENV`] the way binaries do.
-pub fn resume_requested() -> bool {
-    env_flag(RESUME_ENV)
+/// Runs one cell under the full supervision stack without the pipeline
+/// observer attached — the entry point `mg-serve` workers use, sharing
+/// shutdown, retry, and watchdog semantics with batch sweeps. Returns
+/// the run (or its error) and how many retries were spent on it.
+pub fn supervise_cell(
+    ctx: &Arc<BenchContext>,
+    cell: &SweepCell,
+    cell_idx: usize,
+    watchdog: Option<Duration>,
+    max_retries: u32,
+) -> (Result<SchemeRun, BenchError>, u32) {
+    #[cfg(feature = "obs")]
+    let obs: ObsArg = None;
+    #[cfg(not(feature = "obs"))]
+    let obs: ObsArg = ();
+    let (res, retries) = run_cell_supervised(ctx, cell, cell_idx, watchdog, max_retries, obs);
+    (res.map(|(run, _payload)| run), retries)
 }
 
 /// The standard binary entry point for a sweep: journaled, resumable,
-/// and signal-aware.
+/// and signal-aware. All `MG_*` knobs arrive through
+/// [`crate::config::Config::init_cli`] — the one environment parse
+/// point.
 ///
 /// - Journals every finished row under `results/journal/` and clears the
 ///   journal when the sweep completes without interruption (error rows
@@ -251,13 +251,15 @@ pub fn resume_requested() -> bool {
 ///   invocation of the same sweep bit-identically.
 /// - SIGINT/SIGTERM drain in-flight benchmarks, flush the journal, and
 ///   exit `130` with a resume hint; a second signal aborts immediately.
-/// - Configuration errors (`MG_JOBS`, `MG_FAULT`) print a diagnostic and
-///   exit `2` instead of panicking.
+/// - Configuration errors (`MG_JOBS`, `MG_FAULT`, any malformed knob)
+///   print a diagnostic and exit `2` instead of panicking.
 pub fn run_cli(spec: SweepSpec) -> SweepResult {
+    let cfg = crate::config::Config::init_cli();
     let spec = spec
         .journal(true)
         .graceful_shutdown(true)
-        .resume(resume_requested());
+        .resume(cfg.resume)
+        .jobs_if_unset(cfg.effective_jobs());
     match spec.try_run() {
         Err(e) => {
             mg_error!("sweep configuration error: {e}");
@@ -267,7 +269,7 @@ pub fn run_cli(spec: SweepSpec) -> SweepResult {
             if result.summary.interrupted > 0 {
                 std::process::exit(130);
             }
-            if !env_flag(JOURNAL_KEEP_ENV) {
+            if !cfg.journal_keep {
                 if let Some(dir) = &result.summary.journal_dir {
                     let _ = std::fs::remove_dir_all(dir);
                 }

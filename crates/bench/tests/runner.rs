@@ -1,6 +1,6 @@
 //! Integration tests for the parallel sweep runner: determinism of
-//! parallel output, context-cache behaviour, and the deprecated
-//! compatibility wrappers.
+//! parallel output, context-cache behaviour, and the fallible harness
+//! construction paths.
 //!
 //! The context cache and its counters are process-wide, so every test
 //! that touches them serializes on [`LOCK`].
@@ -89,21 +89,26 @@ fn cycle_capped_run_surfaces_as_bench_error() {
     }
 }
 
-/// The deprecated panicking API still works and agrees with the fallible
-/// path it wraps.
+/// The `try_new` shorthand agrees with the explicit builder path it
+/// abbreviates (same inputs, same cache policy, same bits).
 #[test]
-#[allow(deprecated)]
-fn deprecated_wrappers_match_fallible_api() {
+fn try_new_shorthand_matches_explicit_builder() {
     use mg_bench::BenchContext;
     let _guard = LOCK.lock().unwrap();
     let spec = mg_workloads::limit_study_benchmark();
     let red = MachineConfig::reduced();
-    let old = BenchContext::new(&spec, &red).run(Scheme::StructAll, &red);
-    let new = BenchContext::try_new(&spec, &red)
+    let short = BenchContext::try_new(&spec, &red)
         .unwrap()
         .try_run(Scheme::StructAll, &red)
         .unwrap();
-    assert_eq!(old.cycles, new.cycles);
-    assert_eq!(old.ipc, new.ipc);
-    assert_eq!(old.coverage, new.coverage);
+    let explicit = BenchContext::builder(&spec, &red)
+        .train_input(spec.primary_input())
+        .run_input(spec.primary_input())
+        .build()
+        .unwrap()
+        .try_run(Scheme::StructAll, &red)
+        .unwrap();
+    assert_eq!(short.cycles, explicit.cycles);
+    assert_eq!(short.ipc, explicit.ipc);
+    assert_eq!(short.coverage, explicit.coverage);
 }

@@ -3,9 +3,9 @@
 //! This crate collects everything the workspace uses to *explain* a cycle
 //! count instead of just reporting one:
 //!
-//! - [`log`]: a tiny leveled logger driven by the `MG_LOG` environment
-//!   variable (`off` / `error` / `info` / `debug`), used by the sweep
-//!   runner for progress output.
+//! - [`log`]: a tiny leveled logger (`off` / `error` / `info` /
+//!   `debug`; binaries wire the `MG_LOG` knob to it via their config
+//!   layer), used by the sweep runner for progress output.
 //! - [`ring`]: a fixed-capacity ring buffer — the allocation-free backing
 //!   store for the pipeline tracer.
 //! - [`trace`]: per-op pipeline stage records ([`OpTrace`]) and a

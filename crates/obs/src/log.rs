@@ -1,10 +1,11 @@
-//! Minimal leveled logger driven by the `MG_LOG` environment variable.
+//! Minimal leveled logger.
 //!
-//! Levels are `off < error < info < debug`. The level is read lazily from
-//! `MG_LOG` on first use (default: `info`) and can be overridden at
-//! runtime with [`set_level`] — useful in tests, which must not depend on
-//! process environment. Output goes to stderr so it never corrupts JSON
-//! results written to stdout or files.
+//! Levels are `off < error < info < debug`, default `info`. This module
+//! never reads the environment: the `MG_LOG` knob is parsed by the
+//! harness config layer (`mg_bench::config`) at a binary's entry point
+//! and installed with [`set_level`] — tests and library code therefore
+//! never depend on process environment. Output goes to stderr so it
+//! never corrupts JSON results written to stdout or files.
 //!
 //! The [`mg_error!`](crate::mg_error), [`mg_info!`](crate::mg_info) and
 //! [`mg_debug!`](crate::mg_debug) macros check the level before
@@ -51,34 +52,17 @@ impl Level {
     }
 }
 
-/// Sentinel meaning "not yet initialized from the environment".
-const UNINIT: u8 = u8::MAX;
+static LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
 
-static LEVEL: AtomicU8 = AtomicU8::new(UNINIT);
-
-fn decode(raw: u8) -> Level {
-    match raw {
+/// The current log level (default [`Level::Info`] until [`set_level`]
+/// says otherwise).
+pub fn level() -> Level {
+    match LEVEL.load(Ordering::Relaxed) {
         0 => Level::Off,
         1 => Level::Error,
         3 => Level::Debug,
         _ => Level::Info,
     }
-}
-
-/// The current log level, initializing from `MG_LOG` on first call.
-pub fn level() -> Level {
-    let raw = LEVEL.load(Ordering::Relaxed);
-    if raw != UNINIT {
-        return decode(raw);
-    }
-    let initial = match std::env::var("MG_LOG") {
-        Ok(v) => Level::parse(&v),
-        Err(_) => Level::Info,
-    };
-    // A racing set_level may land between the load and this store; last
-    // writer wins, which is fine for a diagnostics knob.
-    LEVEL.store(initial as u8, Ordering::Relaxed);
-    initial
 }
 
 /// Overrides the log level for the rest of the process.

@@ -1,0 +1,235 @@
+//! Load test: hundreds of concurrent client sessions against one
+//! server, reporting throughput, dedup hit rate, and tail latency to
+//! `results/BENCH_serve.json`.
+//!
+//! By default the server runs in-process on an ephemeral port (so the
+//! binary is self-contained for CI); `--addr HOST:PORT` points it at an
+//! external daemon instead. Sessions deliberately outnumber distinct
+//! jobs by an order of magnitude: most sessions should be served by
+//! coalescing onto an in-flight execution or replaying a finished one,
+//! and the test fails if none are.
+//!
+//! Flags: `--sessions N` (default 240), `--addr HOST:PORT`.
+
+use mg_serve::protocol::Request;
+use mg_serve::{Client, ServeConfig, Server};
+use serde::Serialize;
+use std::time::{Duration, Instant};
+
+/// The row written to `results/BENCH_serve.json`.
+#[derive(Serialize)]
+struct LoadReport {
+    sessions: u64,
+    distinct_jobs: u64,
+    completed: u64,
+    rejected: u64,
+    client_errors: u64,
+    panics: u64,
+    wall_ms: u64,
+    sessions_per_sec: f64,
+    dedup_hits: u64,
+    dedup_rate: f64,
+    latency_p50_ms: u64,
+    latency_p90_ms: u64,
+    latency_p99_ms: u64,
+    latency_max_ms: u64,
+}
+
+/// The distinct job mix: a handful of benchmarks crossed with two
+/// scheme sets, at a small dynamic-instruction target so the load test
+/// exercises the service machinery rather than the simulator. Sessions
+/// outnumber these jobs ~20:1, keeping the job set well inside the
+/// default 64-slot queue while making dedup the common case.
+fn job_mix() -> Vec<Request> {
+    let scheme_sets: [&[&str]; 2] = [
+        &["no-minigraphs", "Struct-All"],
+        &["Slack-Profile", "Slack-Dynamic"],
+    ];
+    mg_workloads::suite()
+        .iter()
+        .take(6)
+        .flat_map(|bench| {
+            scheme_sets
+                .iter()
+                .enumerate()
+                .map(move |(i, schemes)| Request {
+                    id: format!("{}-{i}", bench.name),
+                    bench: bench.name.clone(),
+                    schemes: schemes.iter().map(|s| s.to_string()).collect(),
+                    machines: vec!["reduced".to_string()],
+                    target_dyn: Some(2_000),
+                })
+        })
+        .collect()
+}
+
+struct SessionResult {
+    completed: bool,
+    dedup: bool,
+    error: Option<String>,
+    latency: Duration,
+}
+
+fn run_session(addr: &str, mut request: Request, session: usize) -> SessionResult {
+    let start = Instant::now();
+    // Each session uses its own request id: dedup must come from the
+    // content key, never from the id.
+    request.id = format!("{}-s{session}", request.id);
+    let outcome = Client::connect_with_retry(addr, Duration::from_secs(10))
+        .and_then(|mut client| client.run_job(&request));
+    match outcome {
+        Ok(outcome) if outcome.completed() => SessionResult {
+            completed: true,
+            dedup: outcome.dedup,
+            error: None,
+            latency: start.elapsed(),
+        },
+        Ok(outcome) => SessionResult {
+            completed: false,
+            dedup: false,
+            error: outcome
+                .rejected
+                .map(|(code, detail)| format!("{code:?}: {detail}")),
+            latency: start.elapsed(),
+        },
+        Err(e) => SessionResult {
+            completed: false,
+            dedup: false,
+            error: Some(e),
+            latency: start.elapsed(),
+        },
+    }
+}
+
+fn percentile(sorted_ms: &[u64], p: f64) -> u64 {
+    if sorted_ms.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted_ms.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+fn main() {
+    mg_bench::Config::init_cli();
+    let mut sessions = 240usize;
+    let mut external: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--sessions" => {
+                sessions = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("loadtest: --sessions needs a positive integer");
+                    std::process::exit(2);
+                });
+            }
+            "--addr" => external = args.next(),
+            other => {
+                eprintln!("loadtest: unknown flag {other:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // In-process server unless an external daemon was named.
+    let (addr, server_thread) = match &external {
+        Some(addr) => (addr.clone(), None),
+        None => {
+            let server = Server::bind(ServeConfig::default()).unwrap_or_else(|e| {
+                eprintln!("loadtest: bind: {e}");
+                std::process::exit(2);
+            });
+            let addr = server.local_addr().to_string();
+            (addr, Some(std::thread::spawn(move || server.run())))
+        }
+    };
+
+    let jobs = job_mix();
+    let distinct_jobs = jobs.len();
+    println!("loadtest: {sessions} sessions over {distinct_jobs} distinct jobs at {addr}");
+
+    let start = Instant::now();
+    let handles: Vec<_> = (0..sessions)
+        .map(|s| {
+            let addr = addr.clone();
+            let request = jobs[s % distinct_jobs].clone();
+            std::thread::spawn(move || run_session(&addr, request, s))
+        })
+        .collect();
+    let mut results = Vec::with_capacity(sessions);
+    let mut panics = 0u64;
+    for h in handles {
+        match h.join() {
+            Ok(r) => results.push(r),
+            Err(_) => panics += 1,
+        }
+    }
+    let wall = start.elapsed();
+
+    if let Some(thread) = server_thread {
+        mg_bench::request_shutdown();
+        let stats = thread.join().expect("server thread");
+        mg_bench::clear_shutdown();
+        println!(
+            "server: {} connections, store counters {:?}",
+            stats.connections, stats.store
+        );
+    }
+
+    let completed = results.iter().filter(|r| r.completed).count() as u64;
+    let dedup_hits = results.iter().filter(|r| r.completed && r.dedup).count() as u64;
+    let rejected = results
+        .iter()
+        .filter(|r| !r.completed && r.error.is_some())
+        .count() as u64;
+    let client_errors = results.iter().filter(|r| !r.completed).count() as u64;
+    for r in results.iter().filter(|r| !r.completed).take(5) {
+        eprintln!("loadtest: failed session: {:?}", r.error);
+    }
+    let mut latencies_ms: Vec<u64> = results
+        .iter()
+        .filter(|r| r.completed)
+        .map(|r| r.latency.as_millis() as u64)
+        .collect();
+    latencies_ms.sort_unstable();
+
+    let report = LoadReport {
+        sessions: sessions as u64,
+        distinct_jobs: distinct_jobs as u64,
+        completed,
+        rejected,
+        client_errors,
+        panics,
+        wall_ms: wall.as_millis() as u64,
+        sessions_per_sec: completed as f64 / wall.as_secs_f64().max(1e-9),
+        dedup_hits,
+        dedup_rate: dedup_hits as f64 / (completed.max(1)) as f64,
+        latency_p50_ms: percentile(&latencies_ms, 0.50),
+        latency_p90_ms: percentile(&latencies_ms, 0.90),
+        latency_p99_ms: percentile(&latencies_ms, 0.99),
+        latency_max_ms: percentile(&latencies_ms, 1.00),
+    };
+    let path = mg_bench::save_json("BENCH_serve", &report);
+    println!(
+        "loadtest: {}/{} sessions completed in {} ms ({:.1}/s), dedup rate {:.3}, \
+         p50/p90/p99/max = {}/{}/{}/{} ms -> {}",
+        report.completed,
+        report.sessions,
+        report.wall_ms,
+        report.sessions_per_sec,
+        report.dedup_rate,
+        report.latency_p50_ms,
+        report.latency_p90_ms,
+        report.latency_p99_ms,
+        report.latency_max_ms,
+        path.display()
+    );
+
+    if panics > 0 || completed != sessions as u64 {
+        eprintln!("loadtest: FAILED — {panics} panics, {client_errors} incomplete sessions");
+        std::process::exit(1);
+    }
+    if sessions > distinct_jobs && dedup_hits == 0 {
+        eprintln!("loadtest: FAILED — no session was served by coalescing/replay");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,132 @@
+//! A small blocking client for the wire protocol, used by the loadtest,
+//! the smoke client, and the protocol tests.
+
+use crate::protocol::{decode_reply, request_line, ErrorCode, Reply, Request};
+use mg_bench::{BenchError, SchemeRun};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Everything a finished request produced.
+#[derive(Debug, Default)]
+pub struct JobOutcome {
+    /// `(cell index, outcome)` in arrival order.
+    pub rows: Vec<(u64, Result<SchemeRun, BenchError>)>,
+    /// The `Done` reply's dedup flag (false for the owning request).
+    pub dedup: bool,
+    /// Set instead of rows/dedup when the request was rejected.
+    pub rejected: Option<(ErrorCode, String)>,
+}
+
+impl JobOutcome {
+    /// Whether the request streamed to completion (not rejected).
+    pub fn completed(&self) -> bool {
+        self.rejected.is_none()
+    }
+}
+
+/// One connection to an `mg-serve` daemon. The server's `Hello` is
+/// consumed at connect time and exposed via [`Client::fingerprint`].
+pub struct Client {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+    fingerprint: String,
+}
+
+impl Client {
+    /// Connects and consumes the `Hello` line.
+    pub fn connect(addr: &str) -> Result<Client, String> {
+        let stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+        let read_half = stream
+            .try_clone()
+            .map_err(|e| format!("clone stream: {e}"))?;
+        let mut client = Client {
+            stream,
+            reader: BufReader::new(read_half),
+            fingerprint: String::new(),
+        };
+        match client.read_reply()? {
+            Reply::Hello { fingerprint, .. } => client.fingerprint = fingerprint,
+            other => return Err(format!("expected Hello, got {other:?}")),
+        }
+        Ok(client)
+    }
+
+    /// Retries [`Client::connect`] until `deadline` elapses — for
+    /// scripts racing a freshly spawned daemon.
+    pub fn connect_with_retry(addr: &str, deadline: Duration) -> Result<Client, String> {
+        let start = Instant::now();
+        loop {
+            match Client::connect(addr) {
+                Ok(client) => return Ok(client),
+                Err(e) if start.elapsed() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(100)),
+            }
+        }
+    }
+
+    /// The serving machine's fingerprint, from its `Hello`.
+    pub fn fingerprint(&self) -> &str {
+        &self.fingerprint
+    }
+
+    /// Sends one request line.
+    pub fn submit(&mut self, request: &Request) -> Result<(), String> {
+        self.send_raw(&request_line(request))
+    }
+
+    /// Sends a raw line verbatim (protocol tests craft invalid ones).
+    pub fn send_raw(&mut self, line: &str) -> Result<(), String> {
+        self.stream
+            .write_all(line.as_bytes())
+            .and_then(|()| self.stream.flush())
+            .map_err(|e| format!("send: {e}"))
+    }
+
+    /// Reads and decodes the next reply line (blocking).
+    pub fn read_reply(&mut self) -> Result<Reply, String> {
+        let mut line = String::new();
+        let n = self
+            .reader
+            .read_line(&mut line)
+            .map_err(|e| format!("read: {e}"))?;
+        if n == 0 {
+            return Err("server closed the connection".to_string());
+        }
+        decode_reply(line.trim_end())
+    }
+
+    /// Submits `request` and collects its whole stream: replies until
+    /// the matching `Done` or a `Rejected`. Replies for other request
+    /// ids (a pipelining client) are an error here — use raw
+    /// [`Client::read_reply`] to demultiplex manually.
+    pub fn run_job(&mut self, request: &Request) -> Result<JobOutcome, String> {
+        self.submit(request)?;
+        self.collect(&request.id)
+    }
+
+    /// Collects one request's stream (see [`Client::run_job`]).
+    pub fn collect(&mut self, want_id: &str) -> Result<JobOutcome, String> {
+        let mut outcome = JobOutcome::default();
+        loop {
+            match self.read_reply()? {
+                Reply::Accepted { id, .. } if id == want_id => {}
+                Reply::Row { id, cell, run } if id == want_id => {
+                    outcome.rows.push((cell, Ok(run)));
+                }
+                Reply::CellError { id, cell, error } if id == want_id => {
+                    outcome.rows.push((cell, Err(error)));
+                }
+                Reply::Done { id, dedup, .. } if id == want_id => {
+                    outcome.dedup = dedup;
+                    return Ok(outcome);
+                }
+                Reply::Rejected { id, code, detail } if id == want_id || id.is_empty() => {
+                    outcome.rejected = Some((code, detail));
+                    return Ok(outcome);
+                }
+                other => return Err(format!("interleaved reply for another id: {other:?}")),
+            }
+        }
+    }
+}

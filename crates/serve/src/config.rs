@@ -1,0 +1,152 @@
+//! Daemon configuration: typed, argument-driven, no environment reads.
+//!
+//! The serve crate follows the harness's config discipline
+//! ([`mg_bench::config`]): every knob is a typed field with one parse
+//! point, and nothing in the library reads `std::env`. The daemon
+//! binary parses its command line into a [`ServeConfig`]; tests and the
+//! loadtest construct one directly.
+
+use crate::jobs::machine_by_tag;
+use crate::protocol::DEFAULT_MAX_LINE_BYTES;
+use mg_sim::MachineConfig;
+use std::time::Duration;
+
+/// Everything the server needs, with defaults suitable for tests
+/// (ephemeral port) and overridable per knob.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Listen address. The default `127.0.0.1:0` picks an ephemeral
+    /// port; the daemon prints the bound address on startup.
+    pub addr: String,
+    /// Job-queue capacity; a full queue rejects with `QueueFull`.
+    pub queue_cap: usize,
+    /// Worker threads draining the queue. Zero is legal
+    /// ("admission-only", used by the queue-full tests): jobs queue but
+    /// never run, and a drain aborts them with `ShuttingDown`.
+    pub workers: usize,
+    /// Per-cell wall-clock watchdog handed to the supervisor.
+    pub watchdog: Option<Duration>,
+    /// Per-cell retry budget for transient failures.
+    pub retries: u32,
+    /// Request-line size cap; longer lines reject with `OverLong`.
+    pub max_line_bytes: usize,
+    /// Whether benchmark contexts use the on-disk cache layer.
+    pub disk_cache: bool,
+    /// Training machine for every job's profiling run (uniform across
+    /// the server so identical requests share context-cache entries).
+    pub train_machine: MachineConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            queue_cap: 64,
+            workers: mg_bench::config::available_jobs(),
+            watchdog: None,
+            retries: 1,
+            max_line_bytes: DEFAULT_MAX_LINE_BYTES,
+            disk_cache: true,
+            train_machine: MachineConfig::reduced(),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Parses daemon command-line flags:
+    ///
+    /// * `--addr HOST:PORT` — listen address
+    /// * `--queue-cap N` — queue capacity
+    /// * `--workers N` — worker threads
+    /// * `--watchdog-ms MS` — per-cell watchdog (0 disables)
+    /// * `--retries N` — per-cell retry budget
+    /// * `--train TAG` — training machine tag (see
+    ///   [`machine_by_tag`])
+    /// * `--no-disk-cache` — in-memory context cache only
+    pub fn from_args<I, S>(args: I) -> Result<ServeConfig, String>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut cfg = ServeConfig::default();
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            let arg = arg.as_ref();
+            let mut value = |flag: &str| {
+                args.next()
+                    .map(|v| v.as_ref().to_string())
+                    .ok_or_else(|| format!("{flag} needs a value"))
+            };
+            match arg {
+                "--addr" => cfg.addr = value("--addr")?,
+                "--queue-cap" => {
+                    cfg.queue_cap = parse_num(&value("--queue-cap")?, "--queue-cap")?;
+                    if cfg.queue_cap == 0 {
+                        return Err("--queue-cap must be at least 1".to_string());
+                    }
+                }
+                "--workers" => cfg.workers = parse_num(&value("--workers")?, "--workers")?,
+                "--watchdog-ms" => {
+                    let ms: u64 = parse_num(&value("--watchdog-ms")?, "--watchdog-ms")?;
+                    cfg.watchdog = (ms > 0).then(|| Duration::from_millis(ms));
+                }
+                "--retries" => cfg.retries = parse_num(&value("--retries")?, "--retries")?,
+                "--train" => {
+                    let tag = value("--train")?;
+                    cfg.train_machine = machine_by_tag(&tag)
+                        .ok_or_else(|| format!("unknown machine tag {tag:?}"))?;
+                }
+                "--no-disk-cache" => cfg.disk_cache = false,
+                other => return Err(format!("unknown flag {other:?}")),
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(value: &str, flag: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("{flag} got unparseable value {value:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_override_defaults() {
+        let cfg = ServeConfig::from_args([
+            "--addr",
+            "0.0.0.0:7700",
+            "--queue-cap",
+            "8",
+            "--workers",
+            "2",
+            "--watchdog-ms",
+            "1500",
+            "--train",
+            "8way",
+            "--no-disk-cache",
+        ])
+        .unwrap();
+        assert_eq!(cfg.addr, "0.0.0.0:7700");
+        assert_eq!(cfg.queue_cap, 8);
+        assert_eq!(cfg.workers, 2);
+        assert_eq!(cfg.watchdog, Some(Duration::from_millis(1500)));
+        assert!(!cfg.disk_cache);
+        assert_eq!(
+            cfg.train_machine.fetch_width,
+            MachineConfig::eight_way().fetch_width
+        );
+    }
+
+    #[test]
+    fn bad_flags_are_rejected_with_a_reason() {
+        assert!(ServeConfig::from_args(["--mystery"]).is_err());
+        assert!(ServeConfig::from_args(["--queue-cap"]).is_err());
+        assert!(ServeConfig::from_args(["--queue-cap", "zero"]).is_err());
+        assert!(ServeConfig::from_args(["--queue-cap", "0"]).is_err());
+        assert!(ServeConfig::from_args(["--train", "11way"]).is_err());
+    }
+}

@@ -1,0 +1,289 @@
+//! The `mg-serve` wire protocol: line-delimited JSON with versioned
+//! envelopes.
+//!
+//! Every message is one JSON object on one `\n`-terminated line.
+//! Requests and replies are wrapped in envelopes carrying a
+//! `schema_version`, following the same convention as the
+//! [`mg_bench::save_json`] results [`mg_bench::Envelope`]; a version
+//! mismatch is a typed reject, never a silent misparse.
+//!
+//! Conversation shape, per connection:
+//!
+//! 1. Server sends [`Reply::Hello`] (protocol version + machine
+//!    fingerprint, so a client can refuse to mix results across
+//!    machine families).
+//! 2. Client sends any number of [`Request`]s, each naming a benchmark
+//!    and a scheme × machine cell grid. Requests are independent; a
+//!    client may pipeline them.
+//! 3. For each request the server replies [`Reply::Accepted`] (with the
+//!    job's content key), then streams one [`Reply::Row`] or
+//!    [`Reply::CellError`] per cell *as it commits*, then
+//!    [`Reply::Done`] — or a single [`Reply::Rejected`] with a typed
+//!    [`ErrorCode`] if the request never became a job.
+//!
+//! Replies for different in-flight requests may interleave; every reply
+//! carries the client-chosen request `id` so streams can be
+//! demultiplexed.
+
+use mg_bench::{BenchError, SchemeRun};
+use serde::{Deserialize, Serialize};
+
+/// Version of the wire protocol. Bump on any change to the envelope or
+/// message shapes; mismatched requests are rejected with
+/// [`ErrorCode::WrongVersion`].
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Default cap on one request line, in bytes. Longer lines are rejected
+/// with [`ErrorCode::OverLong`] — a whole job description is a few
+/// hundred bytes, so anything larger is a confused or hostile client.
+pub const DEFAULT_MAX_LINE_BYTES: usize = 64 * 1024;
+
+/// A client request wrapped in its versioned envelope.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RequestEnvelope {
+    /// Must equal [`PROTOCOL_VERSION`].
+    pub schema_version: u32,
+    /// The job description.
+    pub request: Request,
+}
+
+/// One job: a benchmark swept over a scheme × machine cell grid.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Request {
+    /// Client-chosen identifier echoed on every reply for this job.
+    pub id: String,
+    /// Benchmark name (see `mg_workloads::suite`), e.g. `mib_sha`.
+    pub bench: String,
+    /// Scheme names ([`mg_bench::Scheme::from_name`], case-insensitive
+    /// paper spellings like `Slack-Dynamic`). Cells are ordered
+    /// scheme-major: every machine of scheme 0, then scheme 1, …
+    pub schemes: Vec<String>,
+    /// Machine tags: `baseline`/`base`/`4way`, `reduced`/`red`/`3way`,
+    /// `2way`, `8way`, `dmem4`.
+    pub machines: Vec<String>,
+    /// Dynamic-instruction target override; `null` keeps the
+    /// benchmark's default. Changing it changes the job's content key.
+    pub target_dyn: Option<u64>,
+}
+
+/// A server reply wrapped in its versioned envelope.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ReplyEnvelope {
+    /// Equals [`PROTOCOL_VERSION`].
+    pub schema_version: u32,
+    /// The reply payload.
+    pub reply: Reply,
+}
+
+/// Every message the server sends.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum Reply {
+    /// First line on every connection.
+    Hello {
+        /// Wire protocol version this server speaks.
+        protocol: u32,
+        /// [`mg_bench::machine_fingerprint`] of the serving machine.
+        fingerprint: String,
+    },
+    /// The request was validated and registered (or coalesced onto an
+    /// identical in-flight/finished job). If the job subsequently fails
+    /// admission — queue full, server draining — a [`Reply::Rejected`]
+    /// follows and supersedes this.
+    Accepted {
+        /// Echo of the request id.
+        id: String,
+        /// Content key of the job (hex), shared with the sweep journal
+        /// — see `mg_bench::journal`'s *Key derivation*.
+        key: String,
+        /// Number of cells the job will stream.
+        cells: u64,
+    },
+    /// One finished cell.
+    Row {
+        /// Echo of the request id.
+        id: String,
+        /// Cell index in the request's scheme-major order.
+        cell: u64,
+        /// The condensed run, bit-identical to a batch-mode sweep.
+        run: SchemeRun,
+    },
+    /// One failed cell (the job continues; failures are data).
+    CellError {
+        /// Echo of the request id.
+        id: String,
+        /// Cell index in the request's scheme-major order.
+        cell: u64,
+        /// What felled the cell.
+        error: BenchError,
+    },
+    /// The job finished; every cell has been streamed.
+    Done {
+        /// Echo of the request id.
+        id: String,
+        /// Cells streamed (rows + cell errors).
+        cells: u64,
+        /// Whether this request was served by coalescing onto another
+        /// request's execution (in-flight or already finished) instead
+        /// of running itself.
+        dedup: bool,
+    },
+    /// The request was refused; nothing was or will be executed for it.
+    Rejected {
+        /// Echo of the request id (empty if the request never parsed).
+        id: String,
+        /// Typed reason.
+        code: ErrorCode,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+/// Typed rejection reasons.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorCode {
+    /// The line was not a valid request envelope.
+    Malformed,
+    /// The envelope's `schema_version` is not [`PROTOCOL_VERSION`].
+    WrongVersion,
+    /// The line exceeded the server's size cap.
+    OverLong,
+    /// The job queue is at capacity; retry later.
+    QueueFull,
+    /// Unknown benchmark name.
+    UnknownBench,
+    /// Unknown scheme name.
+    UnknownScheme,
+    /// Unknown machine tag.
+    UnknownMachine,
+    /// The request is structurally valid but describes no runnable job
+    /// (empty grids, out-of-range `target_dyn`, too many cells).
+    BadRequest,
+    /// The server is draining and admits no new jobs.
+    ShuttingDown,
+}
+
+/// Renders one reply as a wire line (newline included).
+pub fn reply_line(reply: Reply) -> String {
+    let envelope = ReplyEnvelope {
+        schema_version: PROTOCOL_VERSION,
+        reply,
+    };
+    let mut line = serde_json::to_string(&envelope).expect("replies always serialize");
+    line.push('\n');
+    line
+}
+
+/// Renders one request as a wire line (newline included).
+pub fn request_line(request: &Request) -> String {
+    let envelope = RequestEnvelope {
+        schema_version: PROTOCOL_VERSION,
+        request: request.clone(),
+    };
+    let mut line = serde_json::to_string(&envelope).expect("requests always serialize");
+    line.push('\n');
+    line
+}
+
+/// Parses one request line: envelope first (anything unparseable is
+/// [`ErrorCode::Malformed`]), then the version gate.
+pub fn decode_request(line: &str) -> Result<Request, (ErrorCode, String)> {
+    let envelope: RequestEnvelope = serde_json::from_str(line)
+        .map_err(|e| (ErrorCode::Malformed, format!("request does not parse: {e}")))?;
+    if envelope.schema_version != PROTOCOL_VERSION {
+        return Err((
+            ErrorCode::WrongVersion,
+            format!(
+                "protocol version {} is not {PROTOCOL_VERSION}",
+                envelope.schema_version
+            ),
+        ));
+    }
+    Ok(envelope.request)
+}
+
+/// Parses one reply line (the client side of [`reply_line`]).
+pub fn decode_reply(line: &str) -> Result<Reply, String> {
+    let envelope: ReplyEnvelope =
+        serde_json::from_str(line).map_err(|e| format!("reply does not parse: {e}"))?;
+    if envelope.schema_version != PROTOCOL_VERSION {
+        return Err(format!(
+            "reply protocol version {} is not {PROTOCOL_VERSION}",
+            envelope.schema_version
+        ));
+    }
+    Ok(envelope.reply)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_request() -> Request {
+        Request {
+            id: "job-1".into(),
+            bench: "mib_sha".into(),
+            schemes: vec!["Slack-Dynamic".into(), "no-minigraphs".into()],
+            machines: vec!["reduced".into()],
+            target_dyn: Some(2_000),
+        }
+    }
+
+    #[test]
+    fn request_round_trips_through_the_wire_encoding() {
+        let line = request_line(&demo_request());
+        assert!(line.ends_with('\n'));
+        let back = decode_request(line.trim_end()).unwrap();
+        assert_eq!(back.id, "job-1");
+        assert_eq!(back.schemes.len(), 2);
+        assert_eq!(back.target_dyn, Some(2_000));
+    }
+
+    #[test]
+    fn wrong_version_is_a_typed_reject() {
+        let mut env = RequestEnvelope {
+            schema_version: PROTOCOL_VERSION + 1,
+            request: demo_request(),
+        };
+        let line = serde_json::to_string(&env).unwrap();
+        let (code, _) = decode_request(&line).unwrap_err();
+        assert_eq!(code, ErrorCode::WrongVersion);
+        env.schema_version = PROTOCOL_VERSION;
+        let line = serde_json::to_string(&env).unwrap();
+        assert!(decode_request(&line).is_ok());
+    }
+
+    #[test]
+    fn garbage_is_malformed() {
+        let (code, _) = decode_request("not json at all").unwrap_err();
+        assert_eq!(code, ErrorCode::Malformed);
+        let (code, _) = decode_request("{\"schema_version\":1}").unwrap_err();
+        assert_eq!(code, ErrorCode::Malformed, "missing request body");
+    }
+
+    #[test]
+    fn replies_round_trip() {
+        for reply in [
+            Reply::Hello {
+                protocol: PROTOCOL_VERSION,
+                fingerprint: "fp".into(),
+            },
+            Reply::Done {
+                id: "j".into(),
+                cells: 3,
+                dedup: true,
+            },
+            Reply::Rejected {
+                id: String::new(),
+                code: ErrorCode::QueueFull,
+                detail: "cap 64".into(),
+            },
+        ] {
+            let line = reply_line(reply.clone());
+            let back = decode_reply(line.trim_end()).unwrap();
+            assert_eq!(
+                serde_json::to_string(&back).unwrap(),
+                serde_json::to_string(&reply).unwrap()
+            );
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Bounded, per-client-fair job queue.
+//!
+//! Admission control and fairness live here: the queue holds at most
+//! `cap` jobs *total* (a full queue rejects, it never blocks the
+//! submitting connection), and jobs are dequeued round-robin across the
+//! clients that have work queued — a client that dumps 50 jobs cannot
+//! starve one that submitted a single job; their next jobs alternate.
+//!
+//! Shutdown is a drain: [`FairQueue::close`] stops admission while
+//! [`FairQueue::pop`] keeps delivering until the queue is empty, then
+//! reports [`Pop::Closed`] so workers exit.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Why a push was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity; nothing was enqueued.
+    Full,
+    /// The queue is closed for shutdown; nothing was enqueued.
+    Closed,
+}
+
+/// What a pop produced.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Pop<T> {
+    /// The next job, round-robin across clients.
+    Item(T),
+    /// Nothing arrived within the timeout; check shutdown and retry.
+    TimedOut,
+    /// The queue is closed *and* drained; the worker should exit.
+    Closed,
+}
+
+struct State<T> {
+    /// One FIFO per client with queued work, in round-robin rotation
+    /// order; emptied queues leave the rotation.
+    queues: VecDeque<(u64, VecDeque<T>)>,
+    len: usize,
+    closed: bool,
+}
+
+/// The bounded multi-client queue. All methods are `&self`; the queue
+/// is shared behind an `Arc`.
+pub struct FairQueue<T> {
+    state: Mutex<State<T>>,
+    cond: Condvar,
+    cap: usize,
+}
+
+impl<T> FairQueue<T> {
+    /// A queue admitting at most `cap` jobs at once (floored at 1).
+    pub fn new(cap: usize) -> FairQueue<T> {
+        FairQueue {
+            state: Mutex::new(State {
+                queues: VecDeque::new(),
+                len: 0,
+                closed: false,
+            }),
+            cond: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Jobs currently queued (across all clients).
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue lock").len
+    }
+
+    /// Whether no jobs are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueues one job for `client`. Full or closed queues refuse
+    /// immediately — admission control must never block the connection
+    /// that asked.
+    pub fn push(&self, client: u64, item: T) -> Result<(), PushError> {
+        let mut s = self.state.lock().expect("queue lock");
+        if s.closed {
+            return Err(PushError::Closed);
+        }
+        if s.len >= self.cap {
+            return Err(PushError::Full);
+        }
+        match s.queues.iter_mut().find(|(c, _)| *c == client) {
+            Some((_, q)) => q.push_back(item),
+            None => {
+                let mut q = VecDeque::new();
+                q.push_back(item);
+                s.queues.push_back((client, q));
+            }
+        }
+        s.len += 1;
+        drop(s);
+        self.cond.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the next job, rotating across clients: the serving
+    /// client's queue moves to the back of the rotation (or leaves it
+    /// when emptied). Waits up to `wait` for work.
+    pub fn pop(&self, wait: Duration) -> Pop<T> {
+        let mut s = self.state.lock().expect("queue lock");
+        loop {
+            if s.len > 0 {
+                let (client, mut q) = s.queues.pop_front().expect("len>0 implies a queue");
+                let item = q.pop_front().expect("client queues are never empty");
+                if !q.is_empty() {
+                    s.queues.push_back((client, q));
+                }
+                s.len -= 1;
+                return Pop::Item(item);
+            }
+            if s.closed {
+                return Pop::Closed;
+            }
+            let (next, timeout) = self.cond.wait_timeout(s, wait).expect("queue lock");
+            s = next;
+            if timeout.timed_out() && s.len == 0 && !s.closed {
+                return Pop::TimedOut;
+            }
+        }
+    }
+
+    /// Closes admission: pushes refuse from now on, pops drain what is
+    /// queued and then report [`Pop::Closed`].
+    pub fn close(&self) {
+        self.state.lock().expect("queue lock").closed = true;
+        self.cond.notify_all();
+    }
+
+    /// Drains everything still queued right now (used to refuse leftover
+    /// jobs in typed form when shutting down with no workers to run
+    /// them).
+    pub fn drain_now(&self) -> Vec<T> {
+        let mut s = self.state.lock().expect("queue lock");
+        let mut out = Vec::with_capacity(s.len);
+        while let Some((_, mut q)) = s.queues.pop_front() {
+            out.extend(q.drain(..));
+        }
+        s.len = 0;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    const WAIT: Duration = Duration::from_millis(10);
+
+    #[test]
+    fn round_robins_across_clients() {
+        let q = FairQueue::new(16);
+        // Client 1 floods before client 2 gets a word in.
+        for i in 0..3 {
+            q.push(1, (1, i)).unwrap();
+        }
+        for i in 0..2 {
+            q.push(2, (2, i)).unwrap();
+        }
+        let order: Vec<(u64, u64)> = std::iter::from_fn(|| match q.pop(WAIT) {
+            Pop::Item(x) => Some(x),
+            _ => None,
+        })
+        .collect();
+        assert_eq!(order, vec![(1, 0), (2, 0), (1, 1), (2, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn full_queue_rejects_instead_of_blocking() {
+        let q = FairQueue::new(2);
+        q.push(1, "a").unwrap();
+        q.push(2, "b").unwrap();
+        assert_eq!(q.push(1, "c"), Err(PushError::Full));
+        assert_eq!(q.len(), 2, "the rejected job was not enqueued");
+        // Freeing a slot re-admits.
+        assert!(matches!(q.pop(WAIT), Pop::Item("a")));
+        q.push(1, "c").unwrap();
+    }
+
+    #[test]
+    fn close_drains_then_reports_closed() {
+        let q = FairQueue::new(4);
+        q.push(1, 10).unwrap();
+        q.push(1, 11).unwrap();
+        q.close();
+        assert_eq!(q.push(1, 12), Err(PushError::Closed));
+        assert!(matches!(q.pop(WAIT), Pop::Item(10)));
+        assert!(matches!(q.pop(WAIT), Pop::Item(11)));
+        assert!(matches!(q.pop(WAIT), Pop::Closed));
+    }
+
+    #[test]
+    fn pop_wakes_on_push_from_another_thread() {
+        let q = Arc::new(FairQueue::new(4));
+        let q2 = Arc::clone(&q);
+        let t = std::thread::spawn(move || q2.pop(Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(20));
+        q.push(7, 99).unwrap();
+        assert!(matches!(t.join().unwrap(), Pop::Item(99)));
+    }
+
+    #[test]
+    fn empty_pop_times_out() {
+        let q: FairQueue<u8> = FairQueue::new(1);
+        assert!(matches!(q.pop(Duration::from_millis(5)), Pop::TimedOut));
+    }
+}

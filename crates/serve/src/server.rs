@@ -1,0 +1,355 @@
+//! The server: accept loop, per-connection reader/writer threads, and
+//! the worker pool that actually runs jobs.
+//!
+//! Layout per connection:
+//!
+//! * a *writer* thread owns the socket's sending half and drains an
+//!   `mpsc` channel of pre-rendered protocol lines — the store and the
+//!   reader both just `send` strings, so interleaving is a channel
+//!   property, not a locking discipline;
+//! * a *reader* thread parses request lines (with a read timeout so it
+//!   can observe shutdown), validates them into jobs, and registers
+//!   them on the [`ResultStore`].
+//!
+//! The worker pool pops jobs off the [`FairQueue`] (round-robin across
+//! clients) and commits rows through the store as each cell finishes.
+//! Shutdown is cooperative via [`mg_bench::shutdown_requested`]: the
+//! accept loop stops, the queue closes, workers drain what is already
+//! queued (cells started after the request come back `Interrupted`,
+//! so a drain is prompt but every stream still terminates with `Done`),
+//! and leftover jobs that no worker will run are aborted with a typed
+//! `ShuttingDown` reject.
+
+use crate::config::ServeConfig;
+use crate::jobs::JobSpec;
+use crate::protocol::{decode_request, reply_line, ErrorCode, Reply, PROTOCOL_VERSION};
+use crate::queue::{FairQueue, Pop, PushError};
+use crate::store::{Begin, CounterSnapshot, ResultStore, Sub};
+use mg_bench::{machine_fingerprint, shutdown_requested, BenchContext};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How often blocked loops re-check the shutdown flag.
+const POLL: Duration = Duration::from_millis(50);
+
+/// One queued unit of work: a validated job under its content key.
+struct QueuedJob {
+    key: u64,
+    spec: JobSpec,
+}
+
+/// What [`Server::run`] reports after draining.
+#[derive(Clone, Copy, Debug, serde::Serialize)]
+pub struct ServeStats {
+    /// Connections accepted over the server's lifetime.
+    pub connections: u64,
+    /// Result-store counters at drain time.
+    pub store: CounterSnapshot,
+}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    cfg: ServeConfig,
+    store: Arc<ResultStore>,
+    queue: Arc<FairQueue<QueuedJob>>,
+    local_addr: SocketAddr,
+}
+
+impl Server {
+    /// Binds the listen socket; nothing is served until [`Server::run`].
+    pub fn bind(cfg: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            queue: Arc::new(FairQueue::new(cfg.queue_cap)),
+            store: Arc::new(ResultStore::new()),
+            cfg,
+            local_addr,
+        })
+    }
+
+    /// The bound address (resolves the ephemeral port of the default
+    /// `127.0.0.1:0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The shared result store (counters are read from here).
+    pub fn store(&self) -> Arc<ResultStore> {
+        Arc::clone(&self.store)
+    }
+
+    /// Serves until [`mg_bench::request_shutdown`] (typically wired to
+    /// SIGINT/SIGTERM by the daemon binary), then drains: the queue
+    /// closes, workers finish what was queued, jobs nothing will run
+    /// are aborted with `ShuttingDown`. Returns lifetime stats.
+    pub fn run(self) -> ServeStats {
+        let workers: Vec<JoinHandle<()>> = (0..self.cfg.workers)
+            .map(|w| {
+                let queue = Arc::clone(&self.queue);
+                let store = Arc::clone(&self.store);
+                let cfg = self.cfg.clone();
+                std::thread::Builder::new()
+                    .name(format!("mg-serve-worker-{w}"))
+                    .spawn(move || worker_loop(&queue, &store, &cfg))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+
+        let client_ids = AtomicU64::new(0);
+        let mut connections = 0u64;
+        while !shutdown_requested() {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    connections += 1;
+                    let client = client_ids.fetch_add(1, Ordering::Relaxed);
+                    let store = Arc::clone(&self.store);
+                    let queue = Arc::clone(&self.queue);
+                    let cfg = self.cfg.clone();
+                    // Connection threads are detached: they exit when
+                    // the peer hangs up (or at process exit); the store
+                    // prunes their subscriptions on the first failed
+                    // send either way.
+                    let _ = std::thread::Builder::new()
+                        .name(format!("mg-serve-conn-{client}"))
+                        .spawn(move || serve_connection(stream, client, &store, &queue, &cfg));
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(POLL),
+                Err(_) => std::thread::sleep(POLL),
+            }
+        }
+
+        self.queue.close();
+        for w in workers {
+            let _ = w.join();
+        }
+        // With zero workers (or if a worker died), refuse whatever is
+        // still queued in typed form rather than leaving streams open.
+        for job in self.queue.drain_now() {
+            self.store
+                .abort(job.key, ErrorCode::ShuttingDown, "server is draining");
+        }
+        ServeStats {
+            connections,
+            store: self.store.counters(),
+        }
+    }
+}
+
+fn worker_loop(queue: &FairQueue<QueuedJob>, store: &ResultStore, cfg: &ServeConfig) {
+    loop {
+        match queue.pop(POLL) {
+            Pop::Item(job) => run_job(job, store, cfg),
+            Pop::TimedOut => continue,
+            Pop::Closed => return,
+        }
+    }
+}
+
+/// Runs one job to completion: context build (shared through the
+/// process-wide cache), then one supervised cell at a time, each
+/// committed to the store the moment it finishes.
+fn run_job(job: QueuedJob, store: &ResultStore, cfg: &ServeConfig) {
+    let spec = job.spec;
+    let built = catch_unwind(AssertUnwindSafe(|| {
+        BenchContext::builder(&spec.bench, &spec.train_cfg)
+            .disk_cache(cfg.disk_cache)
+            .build()
+    }));
+    let ctx = match built {
+        Ok(Ok(ctx)) => Arc::new(ctx),
+        Ok(Err(e)) => {
+            for cell in 0..spec.cells.len() {
+                store.commit_row(job.key, cell, Err(e.clone()));
+            }
+            store.finish(job.key);
+            return;
+        }
+        Err(payload) => {
+            let rendered = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            for cell in 0..spec.cells.len() {
+                store.commit_row(
+                    job.key,
+                    cell,
+                    Err(mg_bench::BenchError::Panicked {
+                        bench: spec.bench.name.clone(),
+                        cell,
+                        payload: rendered.clone(),
+                    }),
+                );
+            }
+            store.finish(job.key);
+            return;
+        }
+    };
+    for (idx, cell) in spec.cells.iter().enumerate() {
+        let (res, _retries) = mg_bench::supervise_cell(&ctx, cell, idx, cfg.watchdog, cfg.retries);
+        store.commit_row(job.key, idx, res);
+    }
+    store.finish(job.key);
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    client: u64,
+    store: &ResultStore,
+    queue: &FairQueue<QueuedJob>,
+    cfg: &ServeConfig,
+) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let (tx, rx) = channel::<String>();
+    let writer = std::thread::Builder::new()
+        .name(format!("mg-serve-write-{client}"))
+        .spawn(move || {
+            let mut out = write_half;
+            while let Ok(line) = rx.recv() {
+                if out.write_all(line.as_bytes()).is_err() || out.flush().is_err() {
+                    // Peer is gone; drain and drop remaining lines so
+                    // senders keep succeeding until the store prunes us.
+                    break;
+                }
+            }
+        });
+    if writer.is_err() {
+        return;
+    }
+    let _ = tx.send(reply_line(Reply::Hello {
+        protocol: PROTOCOL_VERSION,
+        fingerprint: machine_fingerprint(),
+    }));
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    read_requests(stream, client, &tx, store, queue, cfg);
+    // Dropping `tx` here does NOT end the writer: the store may still
+    // hold subscription clones streaming rows for this client's jobs.
+}
+
+/// The reader loop: one request line at a time, with overlong lines
+/// rejected once and then discarded up to their terminating newline.
+fn read_requests(
+    stream: TcpStream,
+    client: u64,
+    tx: &Sender<String>,
+    store: &ResultStore,
+    queue: &FairQueue<QueuedJob>,
+    cfg: &ServeConfig,
+) {
+    let mut reader = BufReader::new(stream);
+    let mut buf = String::new();
+    let mut discarding = false;
+    loop {
+        match reader.read_line(&mut buf) {
+            Ok(0) => return, // peer closed its sending half
+            Ok(_) => {
+                let was_discarding = discarding;
+                discarding = false;
+                if !was_discarding && !overlong_reject(&buf, tx, cfg) {
+                    handle_line(buf.trim(), client, tx, store, queue, cfg);
+                }
+                buf.clear();
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+                ) =>
+            {
+                // Timeout mid-line: `read_line` has appended whatever
+                // arrived so far, so an overlong line can be rejected
+                // (once) before its newline ever shows up.
+                if !discarding && buf.len() > cfg.max_line_bytes {
+                    overlong_reject(&buf, tx, cfg);
+                    discarding = true;
+                }
+                if discarding {
+                    buf.clear();
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Rejects an overlong line. Returns whether it was overlong.
+fn overlong_reject(buf: &str, tx: &Sender<String>, cfg: &ServeConfig) -> bool {
+    if buf.len() <= cfg.max_line_bytes {
+        return false;
+    }
+    let _ = tx.send(reply_line(Reply::Rejected {
+        id: String::new(),
+        code: ErrorCode::OverLong,
+        detail: format!("request line exceeds the {}-byte cap", cfg.max_line_bytes),
+    }));
+    true
+}
+
+fn handle_line(
+    line: &str,
+    client: u64,
+    tx: &Sender<String>,
+    store: &ResultStore,
+    queue: &FairQueue<QueuedJob>,
+    cfg: &ServeConfig,
+) {
+    if line.is_empty() {
+        return;
+    }
+    let reject = |id: String, code: ErrorCode, detail: String| {
+        let _ = tx.send(reply_line(Reply::Rejected { id, code, detail }));
+    };
+    let request = match decode_request(line) {
+        Ok(request) => request,
+        Err((code, detail)) => return reject(String::new(), code, detail),
+    };
+    let job = match JobSpec::from_request(&request, &cfg.train_machine) {
+        Ok(job) => job,
+        Err((code, detail)) => return reject(request.id, code, detail),
+    };
+    if shutdown_requested() {
+        return reject(
+            request.id,
+            ErrorCode::ShuttingDown,
+            "server is draining".to_string(),
+        );
+    }
+    let key = job.content_key();
+    let cells = job.cells.len() as u64;
+    let _ = tx.send(reply_line(Reply::Accepted {
+        id: request.id.clone(),
+        key: format!("{key:016x}"),
+        cells,
+    }));
+    let sub = Sub {
+        id: request.id,
+        tx: tx.clone(),
+        dedup: false,
+    };
+    if store.subscribe(key, sub) == Begin::Owner {
+        let push = queue.push(client, QueuedJob { key, spec: job });
+        match push {
+            Ok(()) => {}
+            Err(PushError::Full) => store.abort(
+                key,
+                ErrorCode::QueueFull,
+                &format!("job queue is at its {}-job capacity", queue.cap()),
+            ),
+            Err(PushError::Closed) => {
+                store.abort(key, ErrorCode::ShuttingDown, "server is draining")
+            }
+        }
+    }
+}

@@ -1,0 +1,365 @@
+//! Content-keyed result store: streaming, coalescing, replay.
+//!
+//! Every admitted job registers here under its content key (see
+//! [`crate::jobs::JobSpec::content_key`]). The first request for a key
+//! becomes the *owner* and actually runs; identical requests arriving
+//! while it is in flight *coalesce* — they subscribe to the same entry
+//! and receive the same rows, each rendered against their own request
+//! id. Requests arriving after the job finished are *replayed* from the
+//! retained rows without touching the queue at all.
+//!
+//! Subscribers hand in the sending half of their connection's outbound
+//! channel. A subscriber whose connection died simply fails `send` and
+//! is pruned — a mid-stream disconnect never poisons the job, the other
+//! subscribers, or the worker pool.
+
+use crate::protocol::{reply_line, ErrorCode, Reply};
+use mg_bench::{BenchError, SchemeRun};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Mutex};
+
+/// Finished jobs retained for replay. The cap bounds memory; eviction
+/// is FIFO by completion order.
+const DONE_RETENTION: usize = 4096;
+
+/// One cell outcome as committed by a worker.
+pub type CellOutcome = (usize, Result<SchemeRun, BenchError>);
+
+/// A request listening on a key: its id (stamped on every reply) and
+/// the outbound line channel of its connection.
+pub struct Sub {
+    /// The client-chosen request id.
+    pub id: String,
+    /// Sending half of the connection's writer channel.
+    pub tx: Sender<String>,
+    /// Whether this request coalesced/replayed rather than owning the
+    /// execution — echoed in its `Done` reply.
+    pub dedup: bool,
+}
+
+enum Entry {
+    InFlight {
+        rows: Vec<CellOutcome>,
+        subs: Vec<Sub>,
+    },
+    Done {
+        rows: Arc<Vec<CellOutcome>>,
+    },
+}
+
+/// How a subscription began.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Begin {
+    /// First request for this key: the caller must enqueue the job.
+    Owner,
+    /// Joined an in-flight execution; rows will stream as they commit.
+    Coalesced,
+    /// The job already finished; all rows were replayed immediately.
+    Replayed,
+}
+
+/// Monotonic service counters, readable without the store lock.
+#[derive(Debug, Default)]
+pub struct Counters {
+    /// Requests that registered on the store (accepted jobs).
+    pub submitted: AtomicU64,
+    /// Requests that joined an in-flight execution.
+    pub coalesced: AtomicU64,
+    /// Requests replayed from a finished entry.
+    pub replayed: AtomicU64,
+    /// Jobs that ran to completion.
+    pub completed: AtomicU64,
+}
+
+/// A snapshot of [`Counters`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, serde::Serialize)]
+pub struct CounterSnapshot {
+    /// Requests that registered on the store.
+    pub submitted: u64,
+    /// Requests that joined an in-flight execution.
+    pub coalesced: u64,
+    /// Requests replayed from a finished entry.
+    pub replayed: u64,
+    /// Jobs that ran to completion.
+    pub completed: u64,
+}
+
+/// The shared store. One per server, behind an `Arc`.
+pub struct ResultStore {
+    entries: Mutex<StoreState>,
+    counters: Counters,
+}
+
+struct StoreState {
+    by_key: HashMap<u64, Entry>,
+    done_order: VecDeque<u64>,
+}
+
+impl Default for ResultStore {
+    fn default() -> ResultStore {
+        ResultStore::new()
+    }
+}
+
+impl ResultStore {
+    /// An empty store.
+    pub fn new() -> ResultStore {
+        ResultStore {
+            entries: Mutex::new(StoreState {
+                by_key: HashMap::new(),
+                done_order: VecDeque::new(),
+            }),
+            counters: Counters::default(),
+        }
+    }
+
+    /// Current counter values.
+    pub fn counters(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            submitted: self.counters.submitted.load(Ordering::Relaxed),
+            coalesced: self.counters.coalesced.load(Ordering::Relaxed),
+            replayed: self.counters.replayed.load(Ordering::Relaxed),
+            completed: self.counters.completed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Registers a request on `key`. Exactly one of three things
+    /// happens, atomically under the store lock:
+    ///
+    /// * no entry → the request becomes [`Begin::Owner`] and must
+    ///   enqueue the job;
+    /// * in-flight entry → already-committed rows are sent immediately
+    ///   (no gap: commit and replay serialize on the lock) and the sub
+    ///   joins the stream ([`Begin::Coalesced`]);
+    /// * finished entry → every row plus `Done` is sent immediately
+    ///   ([`Begin::Replayed`]).
+    pub fn subscribe(&self, key: u64, mut sub: Sub) -> Begin {
+        let mut s = self.entries.lock().expect("store lock");
+        self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        match s.by_key.get_mut(&key) {
+            None => {
+                sub.dedup = false;
+                s.by_key.insert(
+                    key,
+                    Entry::InFlight {
+                        rows: Vec::new(),
+                        subs: vec![sub],
+                    },
+                );
+                Begin::Owner
+            }
+            Some(Entry::InFlight { rows, subs, .. }) => {
+                sub.dedup = true;
+                self.counters.coalesced.fetch_add(1, Ordering::Relaxed);
+                for row in rows.iter() {
+                    // A dead subscriber is pruned below on the next
+                    // commit; here it simply stops receiving.
+                    let _ = sub.tx.send(render_row(&sub.id, row));
+                }
+                subs.push(sub);
+                Begin::Coalesced
+            }
+            Some(Entry::Done { rows }) => {
+                self.counters.replayed.fetch_add(1, Ordering::Relaxed);
+                for row in rows.iter() {
+                    let _ = sub.tx.send(render_row(&sub.id, row));
+                }
+                let _ = sub.tx.send(reply_line(Reply::Done {
+                    id: sub.id,
+                    cells: rows.len() as u64,
+                    dedup: true,
+                }));
+                Begin::Replayed
+            }
+        }
+    }
+
+    /// Commits one cell outcome: recorded for late subscribers and
+    /// streamed to every live one. Subscribers whose connection has
+    /// gone away are pruned here.
+    pub fn commit_row(&self, key: u64, cell: usize, outcome: Result<SchemeRun, BenchError>) {
+        let mut s = self.entries.lock().expect("store lock");
+        if let Some(Entry::InFlight { rows, subs, .. }) = s.by_key.get_mut(&key) {
+            let row = (cell, outcome);
+            subs.retain(|sub| sub.tx.send(render_row(&sub.id, &row)).is_ok());
+            rows.push(row);
+        }
+    }
+
+    /// Finishes a job: sends `Done` to every subscriber (with their own
+    /// dedup flag) and converts the entry for replay, releasing the
+    /// subscriber list.
+    pub fn finish(&self, key: u64) {
+        let mut s = self.entries.lock().expect("store lock");
+        let Some(Entry::InFlight { rows, subs }) = s.by_key.remove(&key) else {
+            return;
+        };
+        self.counters.completed.fetch_add(1, Ordering::Relaxed);
+        let cells = rows.len() as u64;
+        for sub in subs {
+            let _ = sub.tx.send(reply_line(Reply::Done {
+                id: sub.id,
+                cells,
+                dedup: sub.dedup,
+            }));
+        }
+        s.by_key.insert(
+            key,
+            Entry::Done {
+                rows: Arc::new(rows),
+            },
+        );
+        s.done_order.push_back(key);
+        while s.done_order.len() > DONE_RETENTION {
+            if let Some(old) = s.done_order.pop_front() {
+                if matches!(s.by_key.get(&old), Some(Entry::Done { .. })) {
+                    s.by_key.remove(&old);
+                }
+            }
+        }
+    }
+
+    /// Aborts an in-flight entry: every subscriber gets a typed
+    /// [`Reply::Rejected`] and the entry is removed so a retry can own
+    /// the key afresh. Used when the owner failed to enqueue
+    /// (queue-full, shutdown).
+    pub fn abort(&self, key: u64, code: ErrorCode, detail: &str) {
+        let mut s = self.entries.lock().expect("store lock");
+        if let Some(Entry::InFlight { subs, .. }) = s.by_key.remove(&key) {
+            for sub in subs {
+                let _ = sub.tx.send(reply_line(Reply::Rejected {
+                    id: sub.id,
+                    code,
+                    detail: detail.to_string(),
+                }));
+            }
+        }
+    }
+}
+
+fn render_row(id: &str, row: &CellOutcome) -> String {
+    let (cell, outcome) = row;
+    match outcome {
+        Ok(run) => reply_line(Reply::Row {
+            id: id.to_string(),
+            cell: *cell as u64,
+            run: run.clone(),
+        }),
+        Err(error) => reply_line(Reply::CellError {
+            id: id.to_string(),
+            cell: *cell as u64,
+            error: error.clone(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::decode_reply;
+    use std::sync::mpsc::{channel, Receiver};
+
+    fn sub(id: &str) -> (Sub, Receiver<String>) {
+        let (tx, rx) = channel();
+        (
+            Sub {
+                id: id.into(),
+                tx,
+                dedup: false,
+            },
+            rx,
+        )
+    }
+
+    fn replies(rx: &Receiver<String>) -> Vec<Reply> {
+        rx.try_iter()
+            .map(|line| decode_reply(line.trim_end()).unwrap())
+            .collect()
+    }
+
+    fn fake_err(msg: &str) -> BenchError {
+        BenchError::Interrupted {
+            bench: msg.to_string(),
+        }
+    }
+
+    #[test]
+    fn owner_then_coalesce_then_replay() {
+        let store = ResultStore::new();
+        let (a, rx_a) = sub("a");
+        assert_eq!(store.subscribe(7, a), Begin::Owner);
+
+        store.commit_row(7, 0, Err(fake_err("cell 0")));
+
+        // B arrives mid-flight: gets the committed row replayed, then
+        // streams the rest live.
+        let (b, rx_b) = sub("b");
+        assert_eq!(store.subscribe(7, b), Begin::Coalesced);
+        store.commit_row(7, 1, Err(fake_err("cell 1")));
+        store.finish(7);
+
+        let a_replies = replies(&rx_a);
+        let b_replies = replies(&rx_b);
+        assert_eq!(a_replies.len(), 3, "two cells + done");
+        assert_eq!(b_replies.len(), 3, "replayed cell + live cell + done");
+        assert!(
+            matches!(&a_replies[2], Reply::Done { dedup: false, id, .. } if id == "a"),
+            "owner is not a dedup"
+        );
+        assert!(
+            matches!(&b_replies[2], Reply::Done { dedup: true, id, .. } if id == "b"),
+            "coalesced request is a dedup"
+        );
+
+        // C arrives after the fact: full replay, no queue involvement.
+        let (c, rx_c) = sub("c");
+        assert_eq!(store.subscribe(7, c), Begin::Replayed);
+        let c_replies = replies(&rx_c);
+        assert_eq!(c_replies.len(), 3);
+        assert!(matches!(&c_replies[2], Reply::Done { dedup: true, .. }));
+
+        let counters = store.counters();
+        assert_eq!(counters.submitted, 3);
+        assert_eq!(counters.coalesced, 1);
+        assert_eq!(counters.replayed, 1);
+        assert_eq!(counters.completed, 1);
+    }
+
+    #[test]
+    fn dead_subscriber_is_pruned_not_fatal() {
+        let store = ResultStore::new();
+        let (a, rx_a) = sub("a");
+        store.subscribe(9, a);
+        drop(rx_a); // Client A disconnects mid-stream.
+        let (b, rx_b) = sub("b");
+        store.subscribe(9, b);
+        store.commit_row(9, 0, Err(fake_err("row")));
+        store.finish(9);
+        let b_replies = replies(&rx_b);
+        assert_eq!(b_replies.len(), 2, "B still gets its row and done");
+    }
+
+    #[test]
+    fn abort_rejects_all_subscribers_and_frees_the_key() {
+        let store = ResultStore::new();
+        let (a, rx_a) = sub("a");
+        assert_eq!(store.subscribe(3, a), Begin::Owner);
+        store.abort(3, ErrorCode::QueueFull, "queue at capacity");
+        let a_replies = replies(&rx_a);
+        assert!(
+            matches!(
+                &a_replies[0],
+                Reply::Rejected {
+                    code: ErrorCode::QueueFull,
+                    ..
+                }
+            ),
+            "subscriber saw the typed reject"
+        );
+        // The key is free again: a retry becomes a fresh owner.
+        let (b, _rx_b) = sub("b");
+        assert_eq!(store.subscribe(3, b), Begin::Owner);
+    }
+}

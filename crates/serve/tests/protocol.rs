@@ -1,0 +1,286 @@
+//! Wire-protocol coverage against a real in-process server: typed
+//! rejects, admission control, coalescing, and disconnect resilience.
+//!
+//! The server's shutdown flag and the context cache are process-global,
+//! so every test serializes on one lock and cleans the flag up around
+//! itself.
+
+use mg_serve::protocol::{Request, PROTOCOL_VERSION};
+use mg_serve::{Client, ErrorCode, Reply, ServeConfig, ServeStats, Server};
+use std::sync::{Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+struct TestServer {
+    addr: String,
+    thread: Option<JoinHandle<ServeStats>>,
+    _guard: MutexGuard<'static, ()>,
+}
+
+impl TestServer {
+    fn start(cfg: ServeConfig) -> TestServer {
+        let guard = LOCK.lock().unwrap_or_else(|poison| poison.into_inner());
+        mg_bench::clear_shutdown();
+        let server = Server::bind(cfg).expect("bind ephemeral port");
+        let addr = server.local_addr().to_string();
+        TestServer {
+            addr,
+            thread: Some(std::thread::spawn(move || server.run())),
+            _guard: guard,
+        }
+    }
+
+    fn stop(mut self) -> ServeStats {
+        mg_bench::request_shutdown();
+        let stats = self
+            .thread
+            .take()
+            .expect("not yet stopped")
+            .join()
+            .expect("server thread");
+        mg_bench::clear_shutdown();
+        stats
+    }
+}
+
+impl Drop for TestServer {
+    fn drop(&mut self) {
+        if let Some(thread) = self.thread.take() {
+            mg_bench::request_shutdown();
+            let _ = thread.join();
+            mg_bench::clear_shutdown();
+        }
+    }
+}
+
+fn tiny_cfg() -> ServeConfig {
+    ServeConfig {
+        disk_cache: false,
+        ..ServeConfig::default()
+    }
+}
+
+/// A small real job; `target_dyn` varies per test so each test's
+/// content key (and context-cache key) is its own.
+fn request(id: &str, target_dyn: u64) -> Request {
+    Request {
+        id: id.to_string(),
+        bench: mg_workloads::suite()[0].name.clone(),
+        schemes: vec!["no-minigraphs".into(), "Struct-All".into()],
+        machines: vec!["reduced".into()],
+        target_dyn: Some(target_dyn),
+    }
+}
+
+fn connect(addr: &str) -> Client {
+    Client::connect_with_retry(addr, Duration::from_secs(10)).expect("connect")
+}
+
+#[test]
+fn malformed_and_wrong_version_lines_get_typed_rejects() {
+    let server = TestServer::start(tiny_cfg());
+    let mut client = connect(&server.addr);
+
+    client.send_raw("this is not json\n").unwrap();
+    match client.read_reply().unwrap() {
+        Reply::Rejected { code, .. } => assert_eq!(code, ErrorCode::Malformed),
+        other => panic!("expected Malformed reject, got {other:?}"),
+    }
+
+    let versioned = format!(
+        "{{\"schema_version\":{},\"request\":{{\"id\":\"v\",\"bench\":\"x\",\"schemes\":[\"Struct-All\"],\"machines\":[\"reduced\"],\"target_dyn\":null}}}}\n",
+        PROTOCOL_VERSION + 7
+    );
+    client.send_raw(&versioned).unwrap();
+    match client.read_reply().unwrap() {
+        Reply::Rejected { code, .. } => assert_eq!(code, ErrorCode::WrongVersion),
+        other => panic!("expected WrongVersion reject, got {other:?}"),
+    }
+
+    // Unknown names are rejected with their specific codes and the
+    // request's own id.
+    let mut bad = request("bad-bench", 2_100);
+    bad.bench = "no_such_bench".into();
+    client.submit(&bad).unwrap();
+    match client.read_reply().unwrap() {
+        Reply::Rejected { id, code, .. } => {
+            assert_eq!(code, ErrorCode::UnknownBench);
+            assert_eq!(id, "bad-bench");
+        }
+        other => panic!("expected UnknownBench reject, got {other:?}"),
+    }
+    server.stop();
+}
+
+#[test]
+fn overlong_lines_reject_without_killing_the_connection() {
+    let cfg = ServeConfig {
+        max_line_bytes: 1024,
+        workers: 0,
+        ..tiny_cfg()
+    };
+    let server = TestServer::start(cfg);
+    let mut client = connect(&server.addr);
+
+    let long = format!("{}\n", "x".repeat(5_000));
+    client.send_raw(&long).unwrap();
+    match client.read_reply().unwrap() {
+        Reply::Rejected { code, .. } => assert_eq!(code, ErrorCode::OverLong),
+        other => panic!("expected OverLong reject, got {other:?}"),
+    }
+
+    // The connection survives and still validates the next line.
+    let mut bad = request("after-overlong", 2_200);
+    bad.schemes = vec!["warp-drive".into()];
+    client.submit(&bad).unwrap();
+    match client.read_reply().unwrap() {
+        Reply::Rejected { code, .. } => assert_eq!(code, ErrorCode::UnknownScheme),
+        other => panic!("expected UnknownScheme reject, got {other:?}"),
+    }
+    server.stop();
+}
+
+#[test]
+fn full_queue_rejects_but_duplicates_still_coalesce() {
+    // Admission-only server: jobs queue and never run, so the single
+    // queue slot stays occupied for the whole test.
+    let cfg = ServeConfig {
+        workers: 0,
+        queue_cap: 1,
+        ..tiny_cfg()
+    };
+    let server = TestServer::start(cfg);
+    let mut client = connect(&server.addr);
+
+    // First job takes the only slot.
+    client.submit(&request("first", 2_300)).unwrap();
+    assert!(matches!(client.read_reply().unwrap(), Reply::Accepted { id, .. } if id == "first"));
+
+    // A *different* job cannot be admitted: Accepted, then the typed
+    // queue-full reject supersedes it.
+    client.submit(&request("second", 2_400)).unwrap();
+    assert!(matches!(client.read_reply().unwrap(), Reply::Accepted { id, .. } if id == "second"));
+    match client.read_reply().unwrap() {
+        Reply::Rejected { id, code, .. } => {
+            assert_eq!(code, ErrorCode::QueueFull);
+            assert_eq!(id, "second");
+        }
+        other => panic!("expected QueueFull reject, got {other:?}"),
+    }
+
+    // An *identical* job (same content, new id) needs no queue slot: it
+    // coalesces onto the queued one and is NOT rejected.
+    client.submit(&request("first-again", 2_300)).unwrap();
+    assert!(
+        matches!(client.read_reply().unwrap(), Reply::Accepted { id, .. } if id == "first-again")
+    );
+
+    // Drain: the queued job never ran, so both its subscriptions are
+    // refused in typed form.
+    mg_bench::request_shutdown();
+    let mut codes = Vec::new();
+    for _ in 0..2 {
+        match client.read_reply().unwrap() {
+            Reply::Rejected { id, code, .. } => codes.push((id, code)),
+            other => panic!("expected ShuttingDown rejects, got {other:?}"),
+        }
+    }
+    codes.sort_by(|a, b| a.0.cmp(&b.0));
+    assert_eq!(
+        codes,
+        vec![
+            ("first".to_string(), ErrorCode::ShuttingDown),
+            ("first-again".to_string(), ErrorCode::ShuttingDown),
+        ]
+    );
+    let stats = server.stop();
+    assert_eq!(stats.store.coalesced, 1);
+    assert_eq!(stats.store.completed, 0);
+}
+
+#[test]
+fn identical_requests_coalesce_onto_one_execution() {
+    let server = TestServer::start(tiny_cfg());
+    let before = mg_bench::cache::counters();
+
+    let addr_a = server.addr.clone();
+    let addr_b = server.addr.clone();
+    let a =
+        std::thread::spawn(move || connect(&addr_a).run_job(&request("twin-a", 2_500)).unwrap());
+    let b =
+        std::thread::spawn(move || connect(&addr_b).run_job(&request("twin-b", 2_500)).unwrap());
+    let out_a = a.join().expect("client a");
+    let out_b = b.join().expect("client b");
+
+    for out in [&out_a, &out_b] {
+        assert!(out.completed(), "rejected: {:?}", out.rejected);
+        assert_eq!(out.rows.len(), 2, "both schemes streamed");
+        assert!(out.rows.iter().all(|(_, r)| r.is_ok()));
+    }
+    // Same content key, same rows, byte for byte.
+    let render = |out: &mg_serve::JobOutcome| {
+        let mut rows: Vec<String> = out
+            .rows
+            .iter()
+            .map(|(cell, run)| {
+                format!(
+                    "{cell}:{}",
+                    serde_json::to_string(run.as_ref().unwrap()).unwrap()
+                )
+            })
+            .collect();
+        rows.sort();
+        rows
+    };
+    assert_eq!(render(&out_a), render(&out_b));
+    assert_eq!(
+        u32::from(out_a.dedup) + u32::from(out_b.dedup),
+        1,
+        "exactly one of the twins owned the execution"
+    );
+
+    // The context cache saw exactly one build for this key: the twin
+    // was served without touching the simulator.
+    let delta = mg_bench::cache::counters().since(&before);
+    assert_eq!(delta.misses, 1, "one fresh context build");
+    assert_eq!(delta.total(), 1, "and no second context request at all");
+
+    let stats = server.stop();
+    assert_eq!(stats.store.completed, 1, "one execution served both");
+    assert_eq!(stats.store.coalesced + stats.store.replayed, 1);
+}
+
+#[test]
+fn mid_stream_disconnect_does_not_poison_the_pool() {
+    let server = TestServer::start(tiny_cfg());
+
+    // Client A submits and vanishes without reading a single reply.
+    {
+        let mut a = connect(&server.addr);
+        a.submit(&request("ghost", 2_600)).unwrap();
+    }
+
+    // Client B asks for the same content and must get everything,
+    // whether it joins the in-flight run or replays the finished one.
+    let mut b = connect(&server.addr);
+    let same = b.run_job(&request("same-as-ghost", 2_600)).unwrap();
+    assert!(same.completed(), "rejected: {:?}", same.rejected);
+    assert_eq!(same.rows.len(), 2);
+    assert!(same.rows.iter().all(|(_, r)| r.is_ok()));
+
+    // And the pool still serves fresh work afterwards.
+    let fresh = b.run_job(&request("fresh", 2_700)).unwrap();
+    assert!(fresh.completed(), "rejected: {:?}", fresh.rejected);
+    assert!(!fresh.dedup, "a new content key runs for real");
+
+    let stats = server.stop();
+    assert!(stats.store.completed >= 2);
+    server_stats_sane(&stats);
+}
+
+fn server_stats_sane(stats: &ServeStats) {
+    assert!(stats.connections >= 1);
+    assert!(stats.store.submitted >= stats.store.completed);
+}
