@@ -1,6 +1,7 @@
 //! Full-suite calibration sweep: every benchmark, every scheme, both
 //! machines; prints suite-wide summary statistics against paper targets.
 use mg_bench::{mean, Scheme, SweepCell, SweepSpec};
+use mg_obs::mg_error;
 use mg_sim::MachineConfig;
 use mg_workloads::suite;
 use std::time::Instant;
@@ -42,7 +43,7 @@ fn main() {
         let ok = match bench.all_ok() {
             Ok(runs) => runs,
             Err(e) => {
-                eprintln!("skipped: {e}");
+                mg_error!("skipped: {e}");
                 continue;
             }
         };

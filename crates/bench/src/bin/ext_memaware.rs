@@ -11,6 +11,7 @@
 //! Usage: `ext_memaware [N]`.
 
 use mg_bench::{mean, save_json, Scheme, SweepCell, SweepSpec};
+use mg_obs::{mg_error, mg_info};
 use mg_sim::MachineConfig;
 use mg_workloads::suite;
 use serde::Serialize;
@@ -46,7 +47,7 @@ fn main() {
         let ok = match bench.all_ok() {
             Ok(runs) => runs,
             Err(e) => {
-                eprintln!("skipped: {e}");
+                mg_error!("skipped: {e}");
                 continue;
             }
         };
@@ -101,5 +102,5 @@ fn main() {
     );
     println!("\nThe extension should help (or at least not hurt) the memory-bound set\nwhile leaving the rest unchanged.");
     let path = save_json("ext_memaware", &rows);
-    eprintln!("rows written to {}", path.display());
+    mg_info!("rows written to {}", path.display());
 }

@@ -7,6 +7,7 @@
 //! Usage: `fig1 [N]` limits the sweep to the first N benchmarks.
 
 use mg_bench::{mean, s_curve, save_json, Scheme, SweepCell, SweepSpec};
+use mg_obs::{mg_error, mg_info};
 use mg_sim::MachineConfig;
 use mg_workloads::suite;
 use serde::Serialize;
@@ -40,7 +41,7 @@ fn main() {
         let ok = match bench.all_ok() {
             Ok(runs) => runs,
             Err(e) => {
-                eprintln!("skipped: {e}");
+                mg_error!("skipped: {e}");
                 continue;
             }
         };
@@ -104,5 +105,5 @@ fn main() {
         }
     );
     let path = save_json("fig1", &rows);
-    eprintln!("rows written to {}", path.display());
+    mg_info!("rows written to {}", path.display());
 }

@@ -12,6 +12,7 @@
 //! benchmarks.
 
 use mg_bench::{mean, save_json, InputSel, Scheme, SweepCell, SweepSpec};
+use mg_obs::{mg_error, mg_info};
 use mg_sim::MachineConfig;
 use mg_workloads::{suite, BenchmarkSpec, Suite};
 use serde::Serialize;
@@ -71,7 +72,7 @@ fn main() {
             cross_d.rows[i].get(0),
         );
         let (Ok(ok), Ok(c2), Ok(c8), Ok(cd)) = cells else {
-            eprintln!("skipped: {} (a training sweep failed)", bench.bench);
+            mg_error!("skipped: {} (a training sweep failed)", bench.bench);
             continue;
         };
         let b = ok[0];
@@ -120,7 +121,7 @@ fn main() {
     let mut bottom = Vec::new();
     for (i, bench) in self_i.rows.iter().enumerate() {
         let (Ok(ok), Ok(cx)) = (bench.all_ok(), cross_i.rows[i].get(0)) else {
-            eprintln!("skipped: {} (an input sweep failed)", bench.bench);
+            mg_error!("skipped: {} (an input sweep failed)", bench.bench);
             continue;
         };
         let b = ok[0];
@@ -146,5 +147,5 @@ fn main() {
 
     let path = save_json("fig9_top", &top);
     let path2 = save_json("fig9_bottom", &bottom);
-    eprintln!("rows written to {} and {}", path.display(), path2.display());
+    mg_info!("rows written to {} and {}", path.display(), path2.display());
 }

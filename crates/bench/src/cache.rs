@@ -239,6 +239,7 @@ fn disk_path(key: u64) -> PathBuf {
 /// warns through the leveled logger. Keeps at most [`QUARANTINE_KEEP`]
 /// quarantined files, deleting the oldest beyond that.
 fn quarantine(path: &std::path::Path, why: &str) {
+    mg_obs::tele_counter!("mg_cache_quarantined_total").inc();
     let dir = std::path::Path::new(QUARANTINE_DIR);
     let moved = std::fs::create_dir_all(dir).is_ok()
         && path
@@ -449,6 +450,7 @@ pub(crate) fn context(
     let key = context_key(spec, train_cfg, train_input, run_input);
     if let Some(hit) = mem().lock().expect("context cache lock").get(&key) {
         MEM_HITS.fetch_add(1, Ordering::Relaxed);
+        mg_obs::tele_counter!("mg_cache_mem_hits_total").inc();
         return Ok((Arc::clone(hit), CacheOutcome::MemHit));
     }
     let disk_entry = if use_disk { disk_load(key, spec) } else { None };
@@ -473,9 +475,11 @@ pub(crate) fn context(
     match outcome {
         CacheOutcome::DiskHit => {
             DISK_HITS.fetch_add(1, Ordering::Relaxed);
+            mg_obs::tele_counter!("mg_cache_disk_hits_total").inc();
         }
         _ => {
             MISSES.fetch_add(1, Ordering::Relaxed);
+            mg_obs::tele_counter!("mg_cache_misses_total").inc();
             if use_disk {
                 disk_store(key, spec, &artifacts.freqs, &artifacts.slack);
             }

@@ -18,6 +18,7 @@
 //! | `MG_RESUME` | [`Config::resume`] | resume an interrupted sweep from its journal |
 //! | `MG_JOURNAL_KEEP` | [`Config::journal_keep`] | keep the journal of a completed sweep |
 //! | `MG_LOG` | [`Config::log_level`] | logger verbosity (`off`/`error`/`info`/`debug`) |
+//! | `MG_TRACE` | [`Config::trace`] | collect wall-time spans; `run_cli` writes `results/TRACE_<bin>.json` |
 //! | `MG_FAULT` | [`Config::fault`] | fault-injection plan (feature `fault-inject`) |
 //!
 //! Every malformed value is a [`BenchError::Config`] naming the knob,
@@ -50,6 +51,13 @@ pub const JOURNAL_KEEP_ENV: &str = "MG_JOURNAL_KEEP";
 /// Environment variable selecting the logger verbosity.
 pub const LOG_ENV: &str = "MG_LOG";
 
+/// Environment variable (`1`/`true`/`yes`) enabling wall-time span
+/// collection (`mg_obs::span`). When on,
+/// [`crate::supervisor::run_cli`] drains the collected spans to
+/// `results/TRACE_<bin>.json` (Chrome trace-event JSON, loadable in
+/// Perfetto) at sweep exit.
+pub const TRACE_ENV: &str = "MG_TRACE";
+
 /// All `MG_*` knobs as one typed value.
 ///
 /// `Default` is the no-environment configuration: automatic worker
@@ -70,6 +78,8 @@ pub struct Config {
     /// Logger verbosity (`MG_LOG`); `None` leaves the current level
     /// (default `info`) in place.
     pub log_level: Option<Level>,
+    /// Collect wall-time spans for a Perfetto trace (`MG_TRACE`).
+    pub trace: bool,
     /// Fault-injection plan (`MG_FAULT`); `None` leaves whatever plan
     /// is installed (none, unless a test set one) in place.
     #[cfg(feature = "fault-inject")]
@@ -142,6 +152,10 @@ impl Config {
         // `Level::parse` is deliberately lenient (a typo must never
         // silence error output), so this knob cannot fail.
         let log_level = env_var(LOG_ENV).map(|v| Level::parse(&v));
+        let trace = env_var(TRACE_ENV)
+            .map(|v| parse_flag(TRACE_ENV, &v))
+            .transpose()?
+            .unwrap_or(false);
         #[cfg(feature = "fault-inject")]
         let fault = env_var(crate::fault::FAULT_ENV)
             .map(|v| crate::fault::parse_plan(&v))
@@ -152,6 +166,7 @@ impl Config {
             resume,
             journal_keep,
             log_level,
+            trace,
             #[cfg(feature = "fault-inject")]
             fault,
         })
@@ -167,6 +182,11 @@ impl Config {
         }
         if let Some(mb) = self.cache_max_mb {
             crate::cache::set_cache_cap_mb(mb);
+        }
+        // Only ever *enables* span collection, so applying a default
+        // config still leaves a test-enabled tracer alone.
+        if self.trace {
+            mg_obs::span::set_enabled(true);
         }
         #[cfg(feature = "fault-inject")]
         if let Some(plan) = &self.fault {
@@ -287,6 +307,7 @@ mod tests {
         assert_eq!(cfg.effective_jobs(), available_jobs());
         assert!(!cfg.resume);
         assert!(!cfg.journal_keep);
+        assert!(!cfg.trace);
         // Applying the default config must not disturb any subsystem.
         cfg.apply();
     }

@@ -126,6 +126,7 @@ impl Journal {
         {
             return None;
         }
+        mg_obs::tele_counter!("mg_journal_replays_total").inc();
         Some(BenchRows {
             bench: row.bench,
             runs: row
@@ -179,8 +180,9 @@ impl Journal {
             std::process::id(),
             TMP_SEQ.fetch_add(1, Ordering::Relaxed)
         ));
-        if std::fs::write(&tmp, bytes).is_ok() {
-            let _ = std::fs::rename(&tmp, self.row_path(idx));
+        if std::fs::write(&tmp, bytes).is_ok() && std::fs::rename(&tmp, self.row_path(idx)).is_ok()
+        {
+            mg_obs::tele_counter!("mg_journal_appends_total").inc();
         }
     }
 

@@ -31,7 +31,7 @@ use crate::journal::{self, Journal};
 use crate::signals::SignalWatch;
 use crate::supervisor;
 use mg_core::candidate::SelectionConfig;
-use mg_obs::{mg_debug, mg_error, mg_info};
+use mg_obs::{mg_debug, mg_error, mg_info, tele_counter, tele_hist};
 use mg_sim::{MachineConfig, MgConfig};
 use mg_workloads::{BenchmarkSpec, InputSet};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -367,6 +367,10 @@ impl SweepSpec {
             .flatten();
         let before = cache::counters();
         let t0 = Instant::now();
+        let _sweep_span = mg_obs::span(
+            "sweep",
+            format!("sweep:{}x{}", self.benches.len(), self.cells.len()),
+        );
         let quiet = self.quiet;
         let journal_ref = journal.as_ref();
         let replayed_ref = &replayed_rows;
@@ -454,6 +458,11 @@ impl SweepSpec {
                 })
                 .collect(),
         };
+        tele_counter!("mg_sweep_rows_total").add(summary.benches as u64);
+        tele_counter!("mg_sweep_cells_total").add((summary.benches * summary.cells) as u64);
+        tele_counter!("mg_sweep_failures_total").add(summary.failures as u64);
+        tele_counter!("mg_sweep_interrupted_total").add(summary.interrupted as u64);
+        tele_counter!("mg_sweep_rows_replayed_total").add(summary.replayed as u64);
         if !quiet {
             summary.print_footer();
         }
@@ -478,6 +487,7 @@ impl SweepSpec {
     /// ([`supervisor::run_cell_supervised`]).
     fn run_bench_task(&self, spec: &BenchmarkSpec) -> BenchRows {
         let task0 = Instant::now();
+        let _bench_span = mg_obs::span("bench", spec.name.clone());
         #[cfg(feature = "obs")]
         let obs_arg: supervisor::ObsArg = self.obs;
         #[cfg(not(feature = "obs"))]
@@ -493,6 +503,7 @@ impl SweepSpec {
                 bench: spec.name.clone(),
             })
         } else {
+            let _ctx_span = mg_obs::span("stage", format!("{}/context", spec.name));
             catch_unwind(AssertUnwindSafe(|| {
                 BenchContext::builder(spec, &self.train_cfg)
                     .train_input(self.train_input.resolve(spec))
@@ -536,10 +547,12 @@ impl SweepSpec {
                 None
             }
         };
+        let wall = task0.elapsed();
+        tele_hist!("mg_sweep_bench_us").record_duration(wall);
         BenchRows {
             bench: spec.name.clone(),
             runs,
-            wall: task0.elapsed(),
+            wall,
             cache: cache_outcome,
             replayed: false,
             retries: retries_total,
@@ -746,11 +759,11 @@ where
     let next = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<(usize, Result<R, TaskPanic>)>();
     std::thread::scope(|s| {
-        for _ in 0..jobs {
+        for w in 0..jobs {
             let tx = tx.clone();
             let next = &next;
             let catch = &catch;
-            s.spawn(move || loop {
+            let body = move || loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= items.len() {
                     break;
@@ -759,7 +772,16 @@ where
                 if tx.send((i, r)).is_err() {
                     break;
                 }
-            });
+            };
+            // Named workers keep log lines and trace spans attributable;
+            // fall back to an anonymous spawn if naming ever fails.
+            if std::thread::Builder::new()
+                .name(format!("mg-worker-{w}"))
+                .spawn_scoped(s, body.clone())
+                .is_err()
+            {
+                s.spawn(body);
+            }
         }
         drop(tx);
         let mut out: Vec<Option<Result<R, TaskPanic>>> =

@@ -34,7 +34,7 @@
 
 use crate::harness::{BenchContext, BenchError, SchemeRun};
 use crate::runner::{SweepCell, SweepResult, SweepSpec};
-use mg_obs::{mg_debug, mg_error};
+use mg_obs::{mg_debug, mg_error, mg_info, tele_counter};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
@@ -202,10 +202,23 @@ pub(crate) fn run_cell_supervised(
                 retries,
             );
         }
-        let res = attempt_cell(ctx, cell, cell_idx, watchdog, obs);
+        let res = {
+            let _cell_span = mg_obs::span("cell", format!("{}/cell{cell_idx}", ctx.spec.name));
+            attempt_cell(ctx, cell, cell_idx, watchdog, obs)
+        };
+        match &res {
+            Err(BenchError::Panicked { .. }) => {
+                tele_counter!("mg_supervisor_panics_total").inc();
+            }
+            Err(BenchError::TimedOut { .. }) => {
+                tele_counter!("mg_supervisor_watchdog_fires_total").inc();
+            }
+            _ => {}
+        }
         match &res {
             Err(e) if transient(e) && retries < max_retries => {
                 retries += 1;
+                tele_counter!("mg_supervisor_retries_total").inc();
                 // Exponential backoff, 10ms doubling to a 500ms cap:
                 // enough to ride out environmental hiccups without
                 // stalling a sweep on a deterministic panic.
@@ -253,6 +266,10 @@ pub fn supervise_cell(
 ///   exit `130` with a resume hint; a second signal aborts immediately.
 /// - Configuration errors (`MG_JOBS`, `MG_FAULT`, any malformed knob)
 ///   print a diagnostic and exit `2` instead of panicking.
+/// - At sweep exit (completed *or* interrupted) the global telemetry
+///   registry is snapshotted to `results/TELEMETRY_<bin>.json`, and
+///   with `MG_TRACE=1` the collected spans are drained to
+///   `results/TRACE_<bin>.json` (Chrome trace JSON for Perfetto).
 pub fn run_cli(spec: SweepSpec) -> SweepResult {
     let cfg = crate::config::Config::init_cli();
     let spec = spec
@@ -266,6 +283,7 @@ pub fn run_cli(spec: SweepSpec) -> SweepResult {
             std::process::exit(2);
         }
         Ok(result) => {
+            write_telemetry_artifacts(&bin_name(), cfg.trace);
             if result.summary.interrupted > 0 {
                 std::process::exit(130);
             }
@@ -275,6 +293,56 @@ pub fn run_cli(spec: SweepSpec) -> SweepResult {
                 }
             }
             result
+        }
+    }
+}
+
+/// The invoking binary's file stem, sanitized for use in a results
+/// file name (`fig1`, `perf`, ...).
+fn bin_name() -> String {
+    let name = std::env::args()
+        .next()
+        .and_then(|p| {
+            std::path::Path::new(&p)
+                .file_stem()
+                .map(|s| s.to_string_lossy().into_owned())
+        })
+        .unwrap_or_default();
+    let sanitized: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if sanitized.is_empty() {
+        "sweep".to_string()
+    } else {
+        sanitized
+    }
+}
+
+/// Snapshots the telemetry registry to `results/TELEMETRY_<bin>.json`
+/// and, when span collection is on, drains the span buffer to
+/// `results/TRACE_<bin>.json`. Best-effort: a failed write logs an
+/// error but never fails the sweep that produced the rows.
+pub fn write_telemetry_artifacts(bin: &str, trace: bool) {
+    let path =
+        crate::harness::save_json(&format!("TELEMETRY_{bin}"), &mg_obs::telemetry::snapshot());
+    mg_info!("telemetry snapshot written to {}", path.display());
+    if trace && mg_obs::span::enabled() {
+        let dir = std::path::Path::new("results");
+        let _ = std::fs::create_dir_all(dir);
+        let path = dir.join(format!("TRACE_{bin}.json"));
+        match mg_obs::span::write_chrome_trace(&path) {
+            Ok(n) => mg_info!(
+                "trace with {n} spans written to {} (open in Perfetto)",
+                path.display()
+            ),
+            Err(e) => mg_error!("failed to write trace {}: {e}", path.display()),
         }
     }
 }

@@ -22,10 +22,21 @@
 //! - [`schema`]: a minimal JSON-Schema subset validator used by the CI
 //!   `obs-smoke` job to check emitted trace JSON against a checked-in
 //!   schema.
+//! - [`telemetry`]: the always-on `mg-telemetry` runtime-metrics layer
+//!   — lock-free counters, gauges, and log-bucketed latency histograms
+//!   in a process-global registry with mergeable snapshots, rendered
+//!   as Prometheus text by mg-serve's `/metrics` listener and written
+//!   to `results/TELEMETRY_<bin>.json` by `run_cli`.
+//! - [`span`]: hierarchical wall-time spans (sweep → bench → cell →
+//!   stage) serializing to Chrome-trace-event JSON for Perfetto.
 //!
-//! The simulator only links this crate when built with its `obs` cargo
-//! feature; with the feature off, every hook site compiles to nothing and
-//! simulation results are bit-exact with an uninstrumented build.
+//! The *pipeline* instrumentation above is only linked when the
+//! simulator is built with its `obs` cargo feature; with the feature
+//! off, every hook site compiles to nothing and simulation results are
+//! bit-exact with an uninstrumented build. The `telemetry` and `span`
+//! modules are different: they observe the harness, not the simulated
+//! machine, and are compiled in unconditionally (spans additionally
+//! gate on the `MG_TRACE` knob at runtime).
 
 #![warn(missing_docs)]
 
@@ -35,7 +46,9 @@ pub mod metrics;
 pub mod report;
 pub mod ring;
 pub mod schema;
+pub mod span;
 pub mod stall;
+pub mod telemetry;
 pub mod trace;
 
 pub use collector::{
@@ -45,5 +58,7 @@ pub use log::Level;
 pub use metrics::{Histogram, WindowIpc};
 pub use report::{ObsAggregate, ObsReport, OccupancyReport};
 pub use ring::Ring;
+pub use span::{span, ChromeTrace, SpanGuard, TraceEvent};
 pub use stall::{StallCause, StallTable};
+pub use telemetry::{Counter, Gauge, HistSnapshot, TeleHist, TelemetrySnapshot};
 pub use trace::{pipeview, OpClass, OpTrace};

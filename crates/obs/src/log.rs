@@ -75,10 +75,23 @@ pub fn enabled(l: Level) -> bool {
     l != Level::Off && l <= level()
 }
 
-/// Writes one formatted line to stderr with a level tag. Prefer the
-/// `mg_*!` macros, which check [`enabled`] before formatting.
+/// Writes one formatted line to stderr with a level tag, the monotonic
+/// time since process start (shared with the span tracer's epoch), and
+/// the emitting thread's name — so interleaved output from sweep
+/// workers and serve workers stays attributable. Prefer the `mg_*!`
+/// macros, which check [`enabled`] before formatting.
 pub fn write(l: Level, args: fmt::Arguments<'_>) {
-    eprintln!("[mg:{}] {}", l.name(), args);
+    let us = crate::span::elapsed_us();
+    let thread = std::thread::current();
+    let name = thread.name().unwrap_or("?");
+    eprintln!(
+        "[mg:{} +{}.{:03}s {}] {}",
+        l.name(),
+        us / 1_000_000,
+        (us % 1_000_000) / 1_000,
+        name,
+        args
+    );
 }
 
 /// Writes a raw fragment (no newline, no tag) at `info` level — used for

@@ -1,8 +1,9 @@
 //! A small blocking client for the wire protocol, used by the loadtest,
 //! the smoke client, and the protocol tests.
 
-use crate::protocol::{decode_reply, request_line, ErrorCode, Reply, Request};
+use crate::protocol::{decode_reply, request_line, stats_line, ErrorCode, Reply, Request};
 use mg_bench::{BenchError, SchemeRun};
+use mg_obs::TelemetrySnapshot;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
@@ -23,6 +24,17 @@ impl JobOutcome {
     pub fn completed(&self) -> bool {
         self.rejected.is_none()
     }
+}
+
+/// The server's answer to a `Stats` request.
+#[derive(Debug)]
+pub struct ServerStats {
+    /// Jobs admitted but not yet claimed by a worker.
+    pub queue_depth: u64,
+    /// Size of the worker pool.
+    pub workers: u64,
+    /// The server's live telemetry registry at reply time.
+    pub telemetry: TelemetrySnapshot,
 }
 
 /// One connection to an `mg-serve` daemon. The server's `Hello` is
@@ -94,6 +106,26 @@ impl Client {
             return Err("server closed the connection".to_string());
         }
         decode_reply(line.trim_end())
+    }
+
+    /// Asks the server for its live telemetry ([`ServerStats`]). Not
+    /// for use while job replies are in flight on this connection —
+    /// like [`Client::run_job`], it expects the next matching reply.
+    pub fn stats(&mut self, id: &str) -> Result<ServerStats, String> {
+        self.send_raw(&stats_line(id))?;
+        match self.read_reply()? {
+            Reply::Stats {
+                id: got,
+                queue_depth,
+                workers,
+                telemetry,
+            } if got == id => Ok(ServerStats {
+                queue_depth,
+                workers,
+                telemetry,
+            }),
+            other => Err(format!("expected Stats for {id:?}, got {other:?}")),
+        }
     }
 
     /// Submits `request` and collects its whole stream: replies until

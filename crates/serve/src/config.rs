@@ -35,6 +35,10 @@ pub struct ServeConfig {
     /// Training machine for every job's profiling run (uniform across
     /// the server so identical requests share context-cache entries).
     pub train_machine: MachineConfig,
+    /// Listen address for the Prometheus `/metrics` HTTP endpoint;
+    /// `None` (the default) serves no metrics socket. The line protocol
+    /// `Stats` verb works either way.
+    pub metrics_addr: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -48,6 +52,7 @@ impl Default for ServeConfig {
             max_line_bytes: DEFAULT_MAX_LINE_BYTES,
             disk_cache: true,
             train_machine: MachineConfig::reduced(),
+            metrics_addr: None,
         }
     }
 }
@@ -63,6 +68,8 @@ impl ServeConfig {
     /// * `--train TAG` — training machine tag (see
     ///   [`machine_by_tag`])
     /// * `--no-disk-cache` — in-memory context cache only
+    /// * `--metrics-addr HOST:PORT` — serve Prometheus text on
+    ///   `GET /metrics` at this address (off unless given)
     pub fn from_args<I, S>(args: I) -> Result<ServeConfig, String>
     where
         I: IntoIterator<Item = S>,
@@ -97,6 +104,7 @@ impl ServeConfig {
                         .ok_or_else(|| format!("unknown machine tag {tag:?}"))?;
                 }
                 "--no-disk-cache" => cfg.disk_cache = false,
+                "--metrics-addr" => cfg.metrics_addr = Some(value("--metrics-addr")?),
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
@@ -128,9 +136,12 @@ mod tests {
             "--train",
             "8way",
             "--no-disk-cache",
+            "--metrics-addr",
+            "127.0.0.1:9100",
         ])
         .unwrap();
         assert_eq!(cfg.addr, "0.0.0.0:7700");
+        assert_eq!(cfg.metrics_addr.as_deref(), Some("127.0.0.1:9100"));
         assert_eq!(cfg.queue_cap, 8);
         assert_eq!(cfg.workers, 2);
         assert_eq!(cfg.watchdog, Some(Duration::from_millis(1500)));

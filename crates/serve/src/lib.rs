@@ -19,6 +19,8 @@
 //!   graceful drain on shutdown;
 //! * [`client`] — a blocking client used by the bundled binaries and
 //!   tests;
+//! * [`metrics`] — serve-side metric names, counted reply rendering,
+//!   and the Prometheus `/metrics` HTTP listener;
 //! * [`config`] — the daemon's typed configuration (no `std::env`
 //!   reads anywhere in this crate).
 
@@ -28,14 +30,16 @@
 pub mod client;
 pub mod config;
 pub mod jobs;
+pub mod metrics;
 pub mod protocol;
 pub mod queue;
 pub mod server;
 pub mod store;
 
-pub use client::{Client, JobOutcome};
+pub use client::{Client, JobOutcome, ServerStats};
 pub use config::ServeConfig;
 pub use jobs::JobSpec;
-pub use protocol::{ErrorCode, Reply, Request, PROTOCOL_VERSION};
+pub use metrics::MetricsServer;
+pub use protocol::{ErrorCode, Reply, Request, RequestBody, PROTOCOL_VERSION};
 pub use server::{ServeStats, Server};
 pub use store::ResultStore;

@@ -12,26 +12,35 @@
 //! 1. Server sends [`Reply::Hello`] (protocol version + machine
 //!    fingerprint, so a client can refuse to mix results across
 //!    machine families).
-//! 2. Client sends any number of [`Request`]s, each naming a benchmark
-//!    and a scheme × machine cell grid. Requests are independent; a
-//!    client may pipeline them.
-//! 3. For each request the server replies [`Reply::Accepted`] (with the
+//! 2. Client sends any number of [`RequestBody`] messages: a
+//!    [`RequestBody::Job`] names a benchmark and a scheme × machine
+//!    cell grid; a [`RequestBody::Stats`] asks for the server's live
+//!    telemetry. Requests are independent; a client may pipeline them.
+//! 3. For each job the server replies [`Reply::Accepted`] (with the
 //!    job's content key), then streams one [`Reply::Row`] or
 //!    [`Reply::CellError`] per cell *as it commits*, then
 //!    [`Reply::Done`] — or a single [`Reply::Rejected`] with a typed
-//!    [`ErrorCode`] if the request never became a job.
+//!    [`ErrorCode`] if the request never became a job. A `Stats`
+//!    request gets a single [`Reply::Stats`] carrying a
+//!    [`mg_obs::TelemetrySnapshot`] — the same numbers the
+//!    `/metrics` Prometheus listener renders.
 //!
 //! Replies for different in-flight requests may interleave; every reply
 //! carries the client-chosen request `id` so streams can be
 //! demultiplexed.
 
 use mg_bench::{BenchError, SchemeRun};
+use mg_obs::TelemetrySnapshot;
 use serde::{Deserialize, Serialize};
 
 /// Version of the wire protocol. Bump on any change to the envelope or
 /// message shapes; mismatched requests are rejected with
 /// [`ErrorCode::WrongVersion`].
-pub const PROTOCOL_VERSION: u32 = 1;
+///
+/// History: v1 carried a bare job as the envelope's `request`; v2
+/// introduced the [`RequestBody`] verb enum (`Job` / `Stats`) and the
+/// [`Reply::Stats`] telemetry reply.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Default cap on one request line, in bytes. Longer lines are rejected
 /// with [`ErrorCode::OverLong`] — a whole job description is a few
@@ -43,8 +52,21 @@ pub const DEFAULT_MAX_LINE_BYTES: usize = 64 * 1024;
 pub struct RequestEnvelope {
     /// Must equal [`PROTOCOL_VERSION`].
     pub schema_version: u32,
-    /// The job description.
-    pub request: Request,
+    /// The request verb and its payload.
+    pub request: RequestBody,
+}
+
+/// Every message a client can send.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum RequestBody {
+    /// Submit a benchmark job (the v1 request shape).
+    Job(Request),
+    /// Ask for the server's live telemetry snapshot; answered with a
+    /// single [`Reply::Stats`].
+    Stats {
+        /// Client-chosen identifier echoed on the reply.
+        id: String,
+    },
 }
 
 /// One job: a benchmark swept over a scheme × machine cell grid.
@@ -136,6 +158,21 @@ pub enum Reply {
         /// Human-readable detail.
         detail: String,
     },
+    /// Answer to a [`RequestBody::Stats`] request: the server's live
+    /// telemetry, as of this reply.
+    Stats {
+        /// Echo of the request id.
+        id: String,
+        /// Current queue depth (jobs admitted but not yet claimed by a
+        /// worker).
+        queue_depth: u64,
+        /// Size of the worker pool.
+        workers: u64,
+        /// Snapshot of the server's global telemetry registry — the
+        /// same registry the `/metrics` Prometheus listener renders,
+        /// so the two views always agree up to scrape timing.
+        telemetry: TelemetrySnapshot,
+    },
 }
 
 /// Typed rejection reasons.
@@ -173,31 +210,53 @@ pub fn reply_line(reply: Reply) -> String {
     line
 }
 
-/// Renders one request as a wire line (newline included).
+/// Renders one job request as a wire line (newline included).
 pub fn request_line(request: &Request) -> String {
+    body_line(&RequestBody::Job(request.clone()))
+}
+
+/// Renders a stats request as a wire line (newline included).
+pub fn stats_line(id: &str) -> String {
+    body_line(&RequestBody::Stats { id: id.to_string() })
+}
+
+/// Renders any request body as a wire line (newline included).
+pub fn body_line(body: &RequestBody) -> String {
     let envelope = RequestEnvelope {
         schema_version: PROTOCOL_VERSION,
-        request: request.clone(),
+        request: body.clone(),
     };
     let mut line = serde_json::to_string(&envelope).expect("requests always serialize");
     line.push('\n');
     line
 }
 
-/// Parses one request line: envelope first (anything unparseable is
-/// [`ErrorCode::Malformed`]), then the version gate.
-pub fn decode_request(line: &str) -> Result<Request, (ErrorCode, String)> {
-    let envelope: RequestEnvelope = serde_json::from_str(line)
+/// Just the version field of an envelope — probed before the body is
+/// parsed, so a client speaking an older protocol (whose body shape no
+/// longer parses) still gets the accurate [`ErrorCode::WrongVersion`]
+/// instead of [`ErrorCode::Malformed`].
+#[derive(Deserialize)]
+struct VersionProbe {
+    schema_version: u32,
+}
+
+/// Parses one request line: the version gate first (anything without a
+/// parseable `schema_version` is [`ErrorCode::Malformed`]), then the
+/// body.
+pub fn decode_request(line: &str) -> Result<RequestBody, (ErrorCode, String)> {
+    let probe: VersionProbe = serde_json::from_str(line)
         .map_err(|e| (ErrorCode::Malformed, format!("request does not parse: {e}")))?;
-    if envelope.schema_version != PROTOCOL_VERSION {
+    if probe.schema_version != PROTOCOL_VERSION {
         return Err((
             ErrorCode::WrongVersion,
             format!(
                 "protocol version {} is not {PROTOCOL_VERSION}",
-                envelope.schema_version
+                probe.schema_version
             ),
         ));
     }
+    let envelope: RequestEnvelope = serde_json::from_str(line)
+        .map_err(|e| (ErrorCode::Malformed, format!("request does not parse: {e}")))?;
     Ok(envelope.request)
 }
 
@@ -232,17 +291,28 @@ mod tests {
     fn request_round_trips_through_the_wire_encoding() {
         let line = request_line(&demo_request());
         assert!(line.ends_with('\n'));
-        let back = decode_request(line.trim_end()).unwrap();
+        let RequestBody::Job(back) = decode_request(line.trim_end()).unwrap() else {
+            panic!("expected a Job body");
+        };
         assert_eq!(back.id, "job-1");
         assert_eq!(back.schemes.len(), 2);
         assert_eq!(back.target_dyn, Some(2_000));
     }
 
     #[test]
+    fn stats_request_round_trips() {
+        let line = stats_line("health-check");
+        let RequestBody::Stats { id } = decode_request(line.trim_end()).unwrap() else {
+            panic!("expected a Stats body");
+        };
+        assert_eq!(id, "health-check");
+    }
+
+    #[test]
     fn wrong_version_is_a_typed_reject() {
         let mut env = RequestEnvelope {
             schema_version: PROTOCOL_VERSION + 1,
-            request: demo_request(),
+            request: RequestBody::Job(demo_request()),
         };
         let line = serde_json::to_string(&env).unwrap();
         let (code, _) = decode_request(&line).unwrap_err();
@@ -253,10 +323,22 @@ mod tests {
     }
 
     #[test]
+    fn v1_shaped_requests_get_wrong_version_not_malformed() {
+        // A v1 client sends the bare job as `request`; the version
+        // probe must flag the version before the body shape confuses
+        // the diagnosis.
+        let line = "{\"schema_version\":1,\"request\":{\"id\":\"old\",\"bench\":\"x\",\
+                    \"schemes\":[],\"machines\":[],\"target_dyn\":null}}";
+        let (code, detail) = decode_request(line).unwrap_err();
+        assert_eq!(code, ErrorCode::WrongVersion, "{detail}");
+    }
+
+    #[test]
     fn garbage_is_malformed() {
         let (code, _) = decode_request("not json at all").unwrap_err();
         assert_eq!(code, ErrorCode::Malformed);
-        let (code, _) = decode_request("{\"schema_version\":1}").unwrap_err();
+        let (code, _) =
+            decode_request(&format!("{{\"schema_version\":{PROTOCOL_VERSION}}}")).unwrap_err();
         assert_eq!(code, ErrorCode::Malformed, "missing request body");
     }
 
@@ -276,6 +358,12 @@ mod tests {
                 id: String::new(),
                 code: ErrorCode::QueueFull,
                 detail: "cap 64".into(),
+            },
+            Reply::Stats {
+                id: "health".into(),
+                queue_depth: 2,
+                workers: 4,
+                telemetry: TelemetrySnapshot::default(),
             },
         ] {
             let line = reply_line(reply.clone());

@@ -22,7 +22,10 @@
 
 use crate::config::ServeConfig;
 use crate::jobs::JobSpec;
-use crate::protocol::{decode_request, reply_line, ErrorCode, Reply, PROTOCOL_VERSION};
+use crate::metrics;
+use crate::protocol::{
+    decode_request, reply_line, ErrorCode, Reply, RequestBody, PROTOCOL_VERSION,
+};
 use crate::queue::{FairQueue, Pop, PushError};
 use crate::store::{Begin, CounterSnapshot, ResultStore, Sub};
 use mg_bench::{machine_fingerprint, shutdown_requested, BenchContext};
@@ -33,7 +36,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How often blocked loops re-check the shutdown flag.
 const POLL: Duration = Duration::from_millis(50);
@@ -42,6 +45,9 @@ const POLL: Duration = Duration::from_millis(50);
 struct QueuedJob {
     key: u64,
     spec: JobSpec,
+    /// When the owner pushed it — queue-wait and end-to-end latency
+    /// telemetry measure from here.
+    queued_at: Instant,
 }
 
 /// What [`Server::run`] reports after draining.
@@ -93,6 +99,7 @@ impl Server {
     /// closes, workers finish what was queued, jobs nothing will run
     /// are aborted with `ShuttingDown`. Returns lifetime stats.
     pub fn run(self) -> ServeStats {
+        mg_obs::tele_gauge!(metrics::WORKERS).set(self.cfg.workers as i64);
         let workers: Vec<JoinHandle<()>> = (0..self.cfg.workers)
             .map(|w| {
                 let queue = Arc::clone(&self.queue);
@@ -111,6 +118,7 @@ impl Server {
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
                     connections += 1;
+                    mg_obs::tele_counter!(metrics::CONNECTIONS).inc();
                     let client = client_ids.fetch_add(1, Ordering::Relaxed);
                     let store = Arc::clone(&self.store);
                     let queue = Arc::clone(&self.queue);
@@ -138,6 +146,7 @@ impl Server {
             self.store
                 .abort(job.key, ErrorCode::ShuttingDown, "server is draining");
         }
+        mg_obs::tele_gauge!(metrics::QUEUE_DEPTH).set(0);
         ServeStats {
             connections,
             store: self.store.counters(),
@@ -148,7 +157,14 @@ impl Server {
 fn worker_loop(queue: &FairQueue<QueuedJob>, store: &ResultStore, cfg: &ServeConfig) {
     loop {
         match queue.pop(POLL) {
-            Pop::Item(job) => run_job(job, store, cfg),
+            Pop::Item(job) => {
+                mg_obs::tele_gauge!(metrics::QUEUE_DEPTH).dec();
+                mg_obs::tele_hist!(metrics::QUEUE_WAIT_US).record_duration(job.queued_at.elapsed());
+                let busy = Instant::now();
+                run_job(job, store, cfg);
+                mg_obs::tele_counter!(metrics::WORKER_BUSY_US)
+                    .add(busy.elapsed().as_micros() as u64);
+            }
             Pop::TimedOut => continue,
             Pop::Closed => return,
         }
@@ -160,6 +176,12 @@ fn worker_loop(queue: &FairQueue<QueuedJob>, store: &ResultStore, cfg: &ServeCon
 /// committed to the store the moment it finishes.
 fn run_job(job: QueuedJob, store: &ResultStore, cfg: &ServeConfig) {
     let spec = job.spec;
+    // Admission-to-Done latency, recorded on every exit path right
+    // after the store finishes the job.
+    let finish = |key: u64| {
+        store.finish(key);
+        mg_obs::tele_hist!(metrics::JOB_US).record_duration(job.queued_at.elapsed());
+    };
     let built = catch_unwind(AssertUnwindSafe(|| {
         BenchContext::builder(&spec.bench, &spec.train_cfg)
             .disk_cache(cfg.disk_cache)
@@ -171,7 +193,7 @@ fn run_job(job: QueuedJob, store: &ResultStore, cfg: &ServeConfig) {
             for cell in 0..spec.cells.len() {
                 store.commit_row(job.key, cell, Err(e.clone()));
             }
-            store.finish(job.key);
+            finish(job.key);
             return;
         }
         Err(payload) => {
@@ -191,7 +213,7 @@ fn run_job(job: QueuedJob, store: &ResultStore, cfg: &ServeConfig) {
                     }),
                 );
             }
-            store.finish(job.key);
+            finish(job.key);
             return;
         }
     };
@@ -199,7 +221,7 @@ fn run_job(job: QueuedJob, store: &ResultStore, cfg: &ServeConfig) {
         let (res, _retries) = mg_bench::supervise_cell(&ctx, cell, idx, cfg.watchdog, cfg.retries);
         store.commit_row(job.key, idx, res);
     }
-    store.finish(job.key);
+    finish(job.key);
 }
 
 fn serve_connection(
@@ -289,11 +311,11 @@ fn overlong_reject(buf: &str, tx: &Sender<String>, cfg: &ServeConfig) -> bool {
     if buf.len() <= cfg.max_line_bytes {
         return false;
     }
-    let _ = tx.send(reply_line(Reply::Rejected {
-        id: String::new(),
-        code: ErrorCode::OverLong,
-        detail: format!("request line exceeds the {}-byte cap", cfg.max_line_bytes),
-    }));
+    let _ = tx.send(metrics::rejected_line(
+        String::new(),
+        ErrorCode::OverLong,
+        format!("request line exceeds the {}-byte cap", cfg.max_line_bytes),
+    ));
     true
 }
 
@@ -308,11 +330,22 @@ fn handle_line(
     if line.is_empty() {
         return;
     }
+    // Every rejection renders through `metrics::rejected_line`, so the
+    // labeled reject counters equal the `Rejected` replies on the wire.
     let reject = |id: String, code: ErrorCode, detail: String| {
-        let _ = tx.send(reply_line(Reply::Rejected { id, code, detail }));
+        let _ = tx.send(metrics::rejected_line(id, code, detail));
     };
     let request = match decode_request(line) {
-        Ok(request) => request,
+        Ok(RequestBody::Job(request)) => request,
+        Ok(RequestBody::Stats { id }) => {
+            let _ = tx.send(reply_line(Reply::Stats {
+                id,
+                queue_depth: queue.len() as u64,
+                workers: cfg.workers as u64,
+                telemetry: mg_obs::telemetry::snapshot(),
+            }));
+            return;
+        }
         Err((code, detail)) => return reject(String::new(), code, detail),
     };
     let job = match JobSpec::from_request(&request, &cfg.train_machine) {
@@ -328,6 +361,7 @@ fn handle_line(
     }
     let key = job.content_key();
     let cells = job.cells.len() as u64;
+    mg_obs::tele_counter!(metrics::ACCEPTS).inc();
     let _ = tx.send(reply_line(Reply::Accepted {
         id: request.id.clone(),
         key: format!("{key:016x}"),
@@ -339,9 +373,18 @@ fn handle_line(
         dedup: false,
     };
     if store.subscribe(key, sub) == Begin::Owner {
-        let push = queue.push(client, QueuedJob { key, spec: job });
+        let push = queue.push(
+            client,
+            QueuedJob {
+                key,
+                spec: job,
+                queued_at: Instant::now(),
+            },
+        );
         match push {
-            Ok(()) => {}
+            Ok(()) => {
+                mg_obs::tele_gauge!(metrics::QUEUE_DEPTH).inc();
+            }
             Err(PushError::Full) => store.abort(
                 key,
                 ErrorCode::QueueFull,

@@ -13,6 +13,7 @@
 //! is pruned — a mid-stream disconnect never poisons the job, the other
 //! subscribers, or the worker pool.
 
+use crate::metrics;
 use crate::protocol::{reply_line, ErrorCode, Reply};
 use mg_bench::{BenchError, SchemeRun};
 use std::collections::{HashMap, VecDeque};
@@ -138,6 +139,7 @@ impl ResultStore {
     pub fn subscribe(&self, key: u64, mut sub: Sub) -> Begin {
         let mut s = self.entries.lock().expect("store lock");
         self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        mg_obs::tele_counter!(metrics::JOBS_SUBMITTED).inc();
         match s.by_key.get_mut(&key) {
             None => {
                 sub.dedup = false;
@@ -153,6 +155,7 @@ impl ResultStore {
             Some(Entry::InFlight { rows, subs, .. }) => {
                 sub.dedup = true;
                 self.counters.coalesced.fetch_add(1, Ordering::Relaxed);
+                mg_obs::tele_counter!(metrics::JOBS_COALESCED).inc();
                 for row in rows.iter() {
                     // A dead subscriber is pruned below on the next
                     // commit; here it simply stops receiving.
@@ -163,14 +166,13 @@ impl ResultStore {
             }
             Some(Entry::Done { rows }) => {
                 self.counters.replayed.fetch_add(1, Ordering::Relaxed);
+                mg_obs::tele_counter!(metrics::JOBS_REPLAYED).inc();
                 for row in rows.iter() {
                     let _ = sub.tx.send(render_row(&sub.id, row));
                 }
-                let _ = sub.tx.send(reply_line(Reply::Done {
-                    id: sub.id,
-                    cells: rows.len() as u64,
-                    dedup: true,
-                }));
+                let _ = sub
+                    .tx
+                    .send(metrics::done_line(sub.id, rows.len() as u64, true));
                 Begin::Replayed
             }
         }
@@ -182,6 +184,7 @@ impl ResultStore {
     pub fn commit_row(&self, key: u64, cell: usize, outcome: Result<SchemeRun, BenchError>) {
         let mut s = self.entries.lock().expect("store lock");
         if let Some(Entry::InFlight { rows, subs, .. }) = s.by_key.get_mut(&key) {
+            mg_obs::tele_counter!(metrics::ROWS_COMMITTED).inc();
             let row = (cell, outcome);
             subs.retain(|sub| sub.tx.send(render_row(&sub.id, &row)).is_ok());
             rows.push(row);
@@ -197,13 +200,11 @@ impl ResultStore {
             return;
         };
         self.counters.completed.fetch_add(1, Ordering::Relaxed);
+        mg_obs::tele_counter!(metrics::JOBS_COMPLETED).inc();
         let cells = rows.len() as u64;
         for sub in subs {
-            let _ = sub.tx.send(reply_line(Reply::Done {
-                id: sub.id,
-                cells,
-                dedup: sub.dedup,
-            }));
+            let dedup = sub.dedup;
+            let _ = sub.tx.send(metrics::done_line(sub.id, cells, dedup));
         }
         s.by_key.insert(
             key,
@@ -229,11 +230,9 @@ impl ResultStore {
         let mut s = self.entries.lock().expect("store lock");
         if let Some(Entry::InFlight { subs, .. }) = s.by_key.remove(&key) {
             for sub in subs {
-                let _ = sub.tx.send(reply_line(Reply::Rejected {
-                    id: sub.id,
-                    code,
-                    detail: detail.to_string(),
-                }));
+                let _ = sub
+                    .tx
+                    .send(metrics::rejected_line(sub.id, code, detail.to_string()));
             }
         }
     }

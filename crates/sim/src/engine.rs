@@ -301,6 +301,14 @@ impl<'a> Engine<'a> {
         } else {
             200 * self.trace.len() as u64 + 100_000
         };
+        // Always-on telemetry: cycles are accumulated locally and
+        // flushed to the global counter in large batches, so the hot
+        // loop pays one subtract-and-compare per cycle and one relaxed
+        // atomic per batch (the perf-gate bounds this at < 3% against
+        // results/BENCH_engine.json).
+        const TELE_BATCH: u64 = 1 << 16;
+        let tele_cycles = mg_obs::tele_counter!("mg_sim_cycles_total");
+        let mut tele_flushed = 0u64;
         let mut hit_cap = false;
         while !self.finished() {
             if self.cycle >= cap {
@@ -314,7 +322,13 @@ impl<'a> Engine<'a> {
             #[cfg(feature = "obs")]
             self.obs_end_cycle();
             self.cycle += 1;
+            if self.cycle - tele_flushed >= TELE_BATCH {
+                tele_cycles.add(self.cycle - tele_flushed);
+                tele_flushed = self.cycle;
+            }
         }
+        tele_cycles.add(self.cycle - tele_flushed);
+        mg_obs::tele_counter!("mg_sim_runs_total").inc();
         self.stats.cycles = self.cycle;
         if let Some(ctl) = &self.dynctl {
             self.stats.disabled_templates = ctl.disabled_count();
