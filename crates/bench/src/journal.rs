@@ -85,8 +85,15 @@ struct JournalRow {
 }
 
 /// Where one sweep's records live, plus the per-row content keys.
+///
+/// Public because `mg-serve` journals its accepted jobs through exactly
+/// this layer (one record per *cell*, via [`Journal::store_cell`] /
+/// [`Journal::load_cell`]), so a SIGKILL'd daemon restarted on the same
+/// results directory re-derives finished cells instead of re-executing
+/// them — with the same atomic-rename + checksum guarantees CLI sweeps
+/// get.
 #[derive(Clone, Debug)]
-pub(crate) struct Journal {
+pub struct Journal {
     dir: PathBuf,
     row_keys: Vec<u64>,
 }
@@ -95,7 +102,7 @@ impl Journal {
     /// Opens (without creating) the journal for a sweep. `row_keys[i]`
     /// must be the content key of benchmark row `i`; `sweep_key` names
     /// the directory.
-    pub(crate) fn new(root: &Path, sweep_key: u64, row_keys: Vec<u64>) -> Journal {
+    pub fn new(root: &Path, sweep_key: u64, row_keys: Vec<u64>) -> Journal {
         Journal {
             dir: root.join(format!("sweep-{sweep_key:016x}")),
             row_keys,
@@ -103,7 +110,7 @@ impl Journal {
     }
 
     /// The journal's directory (for resume hints and artifacts).
-    pub(crate) fn dir(&self) -> &Path {
+    pub fn dir(&self) -> &Path {
         &self.dir
     }
 
@@ -115,7 +122,7 @@ impl Journal {
     /// Loads and validates row `idx`, reconstructing its [`BenchRows`].
     /// `None` on any mismatch (absent, torn, stale schema, wrong key, or
     /// wrong cell count) — the caller then just re-runs the row.
-    pub(crate) fn load_row(&self, idx: usize, cell_count: usize) -> Option<BenchRows> {
+    pub fn load_row(&self, idx: usize, cell_count: usize) -> Option<BenchRows> {
         let bytes = std::fs::read(self.row_path(idx)).ok()?;
         let payload = open_record(&bytes)?;
         let row: JournalRow = serde_json::from_str(&payload).ok()?;
@@ -146,9 +153,41 @@ impl Journal {
         })
     }
 
+    /// Loads the single-cell record written by [`Journal::store_cell`]
+    /// for cell `idx`; `None` on any mismatch, like [`Journal::load_row`].
+    pub fn load_cell(&self, idx: usize) -> Option<Result<SchemeRun, BenchError>> {
+        self.load_row(idx, 1)
+            .and_then(|rows| rows.runs.into_iter().next())
+    }
+
+    /// Persists one finished cell outcome as a single-cell record — the
+    /// granularity `mg-serve` workers journal at, so a daemon killed
+    /// mid-job loses at most the one cell in flight. Keeping the
+    /// [`BenchRows`] construction here (rather than in `mg-serve`) keeps
+    /// the feature-gated observer field out of downstream crates.
+    pub fn store_cell(
+        &self,
+        idx: usize,
+        bench: &str,
+        outcome: &Result<SchemeRun, BenchError>,
+        wall: Duration,
+    ) {
+        let rows = BenchRows {
+            bench: bench.to_string(),
+            runs: vec![outcome.clone()],
+            wall,
+            cache: None,
+            replayed: false,
+            retries: 0,
+            #[cfg(feature = "obs")]
+            obs: None,
+        };
+        self.store_row(idx, &rows);
+    }
+
     /// Persists a finished row (atomic temp + rename, checksummed).
     /// Best-effort: failures journal nothing and the sweep carries on.
-    pub(crate) fn store_row(&self, idx: usize, rows: &BenchRows) {
+    pub fn store_row(&self, idx: usize, rows: &BenchRows) {
         let row = JournalRow {
             schema_version: JOURNAL_SCHEMA,
             bench: rows.bench.clone(),
@@ -311,6 +350,26 @@ mod tests {
 
         journal.clear();
         assert!(!journal.dir().exists());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn cell_records_round_trip_for_serve_recovery() {
+        let root = temp_root("cell");
+        let journal = Journal::new(&root, 0xfeed, vec![1, 2, 3]);
+        let ok = demo_rows("mib_sha").runs[0].clone();
+        journal.store_cell(2, "mib_sha", &ok, Duration::from_millis(7));
+        let back = journal.load_cell(2).expect("cell replays");
+        assert_eq!(back.as_ref().unwrap().cycles, 4_800);
+        let err = demo_rows("mib_sha").runs[1].clone();
+        journal.store_cell(0, "mib_sha", &err, Duration::from_millis(1));
+        assert!(matches!(
+            journal.load_cell(0),
+            Some(Err(BenchError::Panicked { .. }))
+        ));
+        assert!(journal.load_cell(1).is_none(), "unwritten cells miss");
+        // A cell record never replays as a multi-cell row.
+        assert!(journal.load_row(2, 2).is_none());
         let _ = std::fs::remove_dir_all(&root);
     }
 

@@ -37,6 +37,7 @@ pub use harness::{
     machine_fingerprint, save_json, BenchContext, BenchContextBuilder, BenchError, Envelope,
     Scheme, SchemeRun, SCHEMA_VERSION,
 };
+pub use journal::Journal;
 pub use runner::{
     par_map, par_map_catch, BenchProfile, BenchRows, InputSel, SweepCell, SweepResult, SweepSpec,
     SweepSummary, TaskPanic,
@@ -44,4 +45,5 @@ pub use runner::{
 pub use stats::{geomean, mean, s_curve};
 pub use supervisor::{
     clear_shutdown, request_shutdown, run_cli, shutdown_requested, supervise_cell,
+    supervise_cell_until,
 };

@@ -250,6 +250,41 @@ pub fn supervise_cell(
     (res.map(|(run, _payload)| run), retries)
 }
 
+/// [`supervise_cell`] with an optional absolute deadline, for callers
+/// executing on behalf of a remote client that attached a `deadline_ms`
+/// budget. The effective watchdog is capped at the remaining budget so a
+/// cell never runs past the deadline by more than the watchdog poll, an
+/// already-expired deadline short-circuits to [`BenchError::TimedOut`]
+/// without running anything, and the retry budget is zeroed (a retry
+/// could only finish even later). `deadline: None` is exactly
+/// [`supervise_cell`].
+pub fn supervise_cell_until(
+    ctx: &Arc<BenchContext>,
+    cell: &SweepCell,
+    cell_idx: usize,
+    watchdog: Option<Duration>,
+    max_retries: u32,
+    deadline: Option<std::time::Instant>,
+) -> (Result<SchemeRun, BenchError>, u32) {
+    let Some(deadline) = deadline else {
+        return supervise_cell(ctx, cell, cell_idx, watchdog, max_retries);
+    };
+    let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+    if remaining.is_zero() {
+        tele_counter!("mg_supervisor_deadline_expiries_total").inc();
+        return (
+            Err(BenchError::TimedOut {
+                bench: ctx.spec.name.clone(),
+                cell: cell_idx,
+                limit_ms: 0,
+            }),
+            0,
+        );
+    }
+    let capped = Some(watchdog.map_or(remaining, |w| w.min(remaining)));
+    supervise_cell(ctx, cell, cell_idx, capped, 0)
+}
+
 /// The standard binary entry point for a sweep: journaled, resumable,
 /// and signal-aware. All `MG_*` knobs arrive through
 /// [`crate::config::Config::init_cli`] — the one environment parse

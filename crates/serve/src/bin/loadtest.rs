@@ -17,22 +17,26 @@
 //! independently observed — done replies, dedup replies, and typed
 //! rejects must agree exactly.
 //!
-//! Flags: `--sessions N` (default 240), `--addr HOST:PORT`.
+//! Flags: `--sessions N` (default 240), `--addr HOST:PORT`,
+//! `--connect-timeout-ms MS` (overall per-session retry budget,
+//! default 10000), `--backoff-base-ms MS` / `--backoff-cap-ms MS`
+//! (reconnect backoff shape, defaults 50/2000). All numeric flags are
+//! strict-parsed: a bad value exits 2.
 
 use mg_obs::TeleHist;
 use mg_serve::metrics::{self, MetricsServer};
 use mg_serve::protocol::Request;
-use mg_serve::{Client, ServeConfig, Server};
+use mg_serve::{BackoffPolicy, Client, ServeConfig, Server, Session};
 use serde::Serialize;
 use std::collections::BTreeMap;
 use std::io::{Read, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
-/// `results/BENCH_serve.json` row format version. Bumped to 2 when the
-/// latency fields moved to the shared histogram (adding p99.9) and the
-/// reject/dedup reply counters were added.
-const LOAD_SCHEMA: u32 = 2;
+/// `results/BENCH_serve.json` row format version. Bumped to 3 when the
+/// sessions moved to the resilient client (adding the reconnect and
+/// retried-reject counters).
+const LOAD_SCHEMA: u32 = 3;
 
 /// The row written to `results/BENCH_serve.json`.
 #[derive(Serialize)]
@@ -54,6 +58,8 @@ struct LoadReport {
     latency_p99_ms: u64,
     latency_p999_ms: u64,
     latency_max_ms: u64,
+    reconnects: u64,
+    transient_rejects: u64,
 }
 
 /// The distinct job mix: a handful of benchmarks crossed with two
@@ -79,6 +85,8 @@ fn job_mix() -> Vec<Request> {
                     schemes: schemes.iter().map(|s| s.to_string()).collect(),
                     machines: vec!["reduced".to_string()],
                     target_dyn: Some(2_000),
+                    deadline_ms: None,
+                    resume_from: None,
                 })
         })
         .collect()
@@ -90,15 +98,25 @@ struct SessionResult {
     reject_code: Option<String>,
     error: Option<String>,
     latency: Duration,
+    reconnects: u64,
+    transient_rejects: u64,
 }
 
-fn run_session(addr: &str, mut request: Request, session: usize) -> SessionResult {
+fn run_session(
+    addr: &str,
+    mut request: Request,
+    session: usize,
+    policy: &BackoffPolicy,
+) -> SessionResult {
     let start = Instant::now();
     // Each session uses its own request id: dedup must come from the
     // content key, never from the id.
     request.id = format!("{}-s{session}", request.id);
-    let outcome = Client::connect_with_retry(addr, Duration::from_secs(10))
-        .and_then(|mut client| client.run_job(&request));
+    // Per-session jitter seed so concurrent sessions desynchronize
+    // their retry schedules instead of thundering back together.
+    let mut policy = policy.clone();
+    policy.seed ^= session as u64;
+    let outcome = Session::new(addr, policy).run_job(&request);
     match outcome {
         Ok(outcome) if outcome.completed() => SessionResult {
             completed: true,
@@ -106,6 +124,8 @@ fn run_session(addr: &str, mut request: Request, session: usize) -> SessionResul
             reject_code: None,
             error: None,
             latency: start.elapsed(),
+            reconnects: outcome.reconnects,
+            transient_rejects: outcome.transient_rejects,
         },
         Ok(outcome) => SessionResult {
             completed: false,
@@ -116,8 +136,11 @@ fn run_session(addr: &str, mut request: Request, session: usize) -> SessionResul
                 .map(|(code, _)| format!("{code:?}")),
             error: outcome
                 .rejected
+                .as_ref()
                 .map(|(code, detail)| format!("{code:?}: {detail}")),
             latency: start.elapsed(),
+            reconnects: outcome.reconnects,
+            transient_rejects: outcome.transient_rejects,
         },
         Err(e) => SessionResult {
             completed: false,
@@ -125,6 +148,8 @@ fn run_session(addr: &str, mut request: Request, session: usize) -> SessionResul
             reject_code: None,
             error: Some(e),
             latency: start.elapsed(),
+            reconnects: 0,
+            transient_rejects: 0,
         },
     }
 }
@@ -165,10 +190,21 @@ fn prom_total_rejects(text: &str) -> u64 {
         .sum()
 }
 
+/// Strict-parses the next argument as a millisecond count; a missing
+/// or unparseable value exits 2.
+fn flag_ms(args: &mut impl Iterator<Item = String>, flag: &str) -> Duration {
+    let ms: u64 = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+        eprintln!("loadtest: {flag} needs a millisecond count");
+        std::process::exit(2);
+    });
+    Duration::from_millis(ms)
+}
+
 fn main() {
     mg_bench::Config::init_cli();
     let mut sessions = 240usize;
     let mut external: Option<String> = None;
+    let mut policy = BackoffPolicy::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -179,6 +215,9 @@ fn main() {
                 });
             }
             "--addr" => external = args.next(),
+            "--connect-timeout-ms" => policy.deadline = flag_ms(&mut args, "--connect-timeout-ms"),
+            "--backoff-base-ms" => policy.base = flag_ms(&mut args, "--backoff-base-ms"),
+            "--backoff-cap-ms" => policy.cap = flag_ms(&mut args, "--backoff-cap-ms"),
             other => {
                 eprintln!("loadtest: unknown flag {other:?}");
                 std::process::exit(2);
@@ -225,7 +264,8 @@ fn main() {
         .map(|s| {
             let addr = addr.clone();
             let request = jobs[s % distinct_jobs].clone();
-            std::thread::spawn(move || run_session(&addr, request, s))
+            let policy = policy.clone();
+            std::thread::spawn(move || run_session(&addr, request, s, &policy))
         })
         .collect();
     let mut results = Vec::with_capacity(sessions);
@@ -241,6 +281,8 @@ fn main() {
     let completed = results.iter().filter(|r| r.completed).count() as u64;
     let dedup_hits = results.iter().filter(|r| r.completed && r.dedup).count() as u64;
     let rejected = results.iter().filter(|r| r.reject_code.is_some()).count() as u64;
+    let reconnects: u64 = results.iter().map(|r| r.reconnects).sum();
+    let transient_rejects: u64 = results.iter().map(|r| r.transient_rejects).sum();
     let mut rejected_by_code: BTreeMap<String, u64> = BTreeMap::new();
     for code in results.iter().filter_map(|r| r.reject_code.as_deref()) {
         *rejected_by_code.entry(code.to_string()).or_insert(0) += 1;
@@ -294,11 +336,13 @@ fn main() {
                     dedup - base_dedup,
                     dedup_hits,
                 );
+                // Sessions absorb transient rejects by retrying; the
+                // server still counted each one it sent.
                 check(
                     &mut check_failures,
                     "/metrics rejects",
                     rejects - base_rejects,
-                    rejected,
+                    rejected + transient_rejects,
                 );
             }
             Err(e) => {
@@ -347,6 +391,8 @@ fn main() {
         latency_p99_ms: q_ms(0.99),
         latency_p999_ms: q_ms(0.999),
         latency_max_ms: q_ms(1.00),
+        reconnects,
+        transient_rejects,
     };
     let path = mg_bench::save_json("BENCH_serve", &report);
     println!(

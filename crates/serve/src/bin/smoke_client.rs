@@ -6,12 +6,18 @@
 //! byte-for-byte under JSON serialization. Assumes the daemon trains on
 //! the default `reduced` machine (mg-serve's default).
 //!
+//! Jobs run through the resilient [`Session`] wrapper, so a daemon
+//! restart or dropped connection mid-smoke is ridden out by reconnect
+//! + resume instead of failing the job.
+//!
 //! Flags: `--addr HOST:PORT` (required), `--connect-timeout-secs N`
-//! (default 30, to ride out a daemon that is still starting).
+//! (default 30, to ride out a daemon that is still starting),
+//! `--backoff-base-ms MS` / `--backoff-cap-ms MS` (reconnect backoff
+//! shape). Numeric flags are strict-parsed: a bad value exits 2.
 
 use mg_bench::SweepSpec;
 use mg_serve::protocol::Request;
-use mg_serve::{Client, JobSpec};
+use mg_serve::{BackoffPolicy, Client, JobSpec, Session};
 use mg_sim::MachineConfig;
 use std::time::Duration;
 
@@ -29,6 +35,8 @@ fn smoke_requests() -> Vec<Request> {
             ],
             machines: vec!["reduced".into(), "8way".into()],
             target_dyn: Some(2_000),
+            deadline_ms: None,
+            resume_from: None,
         })
         .collect()
 }
@@ -36,8 +44,18 @@ fn smoke_requests() -> Vec<Request> {
 fn main() {
     mg_bench::Config::init_cli();
     let mut addr: Option<String> = None;
-    let mut timeout = Duration::from_secs(30);
+    let mut policy = BackoffPolicy {
+        deadline: Duration::from_secs(30),
+        ..BackoffPolicy::default()
+    };
     let mut args = std::env::args().skip(1);
+    let flag_ms = |args: &mut std::iter::Skip<std::env::Args>, flag: &str| {
+        let ms: u64 = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+            eprintln!("smoke-client: {flag} needs a millisecond count");
+            std::process::exit(2);
+        });
+        Duration::from_millis(ms)
+    };
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--addr" => addr = args.next(),
@@ -46,8 +64,10 @@ fn main() {
                     eprintln!("smoke-client: --connect-timeout-secs needs an integer");
                     std::process::exit(2);
                 });
-                timeout = Duration::from_secs(secs);
+                policy.deadline = Duration::from_secs(secs);
             }
+            "--backoff-base-ms" => policy.base = flag_ms(&mut args, "--backoff-base-ms"),
+            "--backoff-cap-ms" => policy.cap = flag_ms(&mut args, "--backoff-cap-ms"),
             other => {
                 eprintln!("smoke-client: unknown flag {other:?}");
                 std::process::exit(2);
@@ -59,7 +79,9 @@ fn main() {
         std::process::exit(2);
     };
 
-    let mut client = Client::connect_with_retry(&addr, timeout).unwrap_or_else(|e| {
+    // One plain connect up front for the banner (and to wait out a
+    // still-starting daemon); the jobs themselves go through Session.
+    let client = Client::connect_with_retry(&addr, policy.deadline).unwrap_or_else(|e| {
         eprintln!("smoke-client: {e}");
         std::process::exit(1);
     });
@@ -67,12 +89,14 @@ fn main() {
         "smoke-client: connected to {addr} (fingerprint {})",
         client.fingerprint()
     );
+    drop(client);
+    let mut session = Session::new(&addr, policy);
 
     let train = MachineConfig::reduced();
     let mut mismatches = 0usize;
     for request in smoke_requests() {
         // The streamed answer.
-        let outcome = client.run_job(&request).unwrap_or_else(|e| {
+        let outcome = session.run_job(&request).unwrap_or_else(|e| {
             eprintln!("smoke-client: {}: {e}", request.id);
             std::process::exit(1);
         });

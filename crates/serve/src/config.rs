@@ -8,7 +8,9 @@
 
 use crate::jobs::machine_by_tag;
 use crate::protocol::DEFAULT_MAX_LINE_BYTES;
+use crate::shed::ShedConfig;
 use mg_sim::MachineConfig;
+use std::path::PathBuf;
 use std::time::Duration;
 
 /// Everything the server needs, with defaults suitable for tests
@@ -39,6 +41,24 @@ pub struct ServeConfig {
     /// `None` (the default) serves no metrics socket. The line protocol
     /// `Stats` verb works either way.
     pub metrics_addr: Option<String>,
+    /// Per-connection write timeout: a peer that stops reading its
+    /// replies (slow-loris reader) fails its writer thread instead of
+    /// wedging it. `None` disables.
+    pub write_timeout: Option<Duration>,
+    /// Shed new jobs when this many are already queued; `None`
+    /// disables depth-based shedding.
+    pub shed_depth: Option<usize>,
+    /// Shed new jobs when the recent queue-wait p99 exceeds this;
+    /// `None` disables wait-based shedding.
+    pub shed_wait_p99: Option<Duration>,
+    /// Floor for the `retry_after_ms` hint on `Overloaded` rejects.
+    pub shed_retry_after: Duration,
+    /// Root directory for the crash-recovery journal: finished cells
+    /// are persisted under it (one record per cell, keyed by
+    /// [`crate::jobs::JobSpec::cell_keys`]) and replayed after a
+    /// daemon crash instead of re-running. `None` (the default)
+    /// journals nothing.
+    pub journal_dir: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -53,6 +73,11 @@ impl Default for ServeConfig {
             disk_cache: true,
             train_machine: MachineConfig::reduced(),
             metrics_addr: None,
+            write_timeout: Some(Duration::from_secs(10)),
+            shed_depth: None,
+            shed_wait_p99: None,
+            shed_retry_after: Duration::from_millis(100),
+            journal_dir: None,
         }
     }
 }
@@ -70,6 +95,16 @@ impl ServeConfig {
     /// * `--no-disk-cache` — in-memory context cache only
     /// * `--metrics-addr HOST:PORT` — serve Prometheus text on
     ///   `GET /metrics` at this address (off unless given)
+    /// * `--write-timeout-ms MS` — per-connection write timeout
+    ///   (0 disables; default 10000)
+    /// * `--shed-depth N` — shed new jobs at this queue depth
+    ///   (0 disables; off by default)
+    /// * `--shed-p99-ms MS` — shed new jobs when the recent
+    ///   queue-wait p99 exceeds this (0 disables; off by default)
+    /// * `--shed-retry-ms MS` — floor for the `retry_after_ms` hint
+    ///   on `Overloaded` rejects (default 100)
+    /// * `--journal-dir PATH` — journal finished cells under `PATH`
+    ///   for crash recovery (off unless given)
     pub fn from_args<I, S>(args: I) -> Result<ServeConfig, String>
     where
         I: IntoIterator<Item = S>,
@@ -105,10 +140,36 @@ impl ServeConfig {
                 }
                 "--no-disk-cache" => cfg.disk_cache = false,
                 "--metrics-addr" => cfg.metrics_addr = Some(value("--metrics-addr")?),
+                "--write-timeout-ms" => {
+                    let ms: u64 = parse_num(&value("--write-timeout-ms")?, "--write-timeout-ms")?;
+                    cfg.write_timeout = (ms > 0).then(|| Duration::from_millis(ms));
+                }
+                "--shed-depth" => {
+                    let depth: usize = parse_num(&value("--shed-depth")?, "--shed-depth")?;
+                    cfg.shed_depth = (depth > 0).then_some(depth);
+                }
+                "--shed-p99-ms" => {
+                    let ms: u64 = parse_num(&value("--shed-p99-ms")?, "--shed-p99-ms")?;
+                    cfg.shed_wait_p99 = (ms > 0).then(|| Duration::from_millis(ms));
+                }
+                "--shed-retry-ms" => {
+                    let ms: u64 = parse_num(&value("--shed-retry-ms")?, "--shed-retry-ms")?;
+                    cfg.shed_retry_after = Duration::from_millis(ms);
+                }
+                "--journal-dir" => cfg.journal_dir = Some(PathBuf::from(value("--journal-dir")?)),
                 other => return Err(format!("unknown flag {other:?}")),
             }
         }
         Ok(cfg)
+    }
+
+    /// The admission-control thresholds as a [`ShedConfig`].
+    pub fn shed_config(&self) -> ShedConfig {
+        ShedConfig {
+            depth: self.shed_depth,
+            wait_p99: self.shed_wait_p99,
+            retry_after: self.shed_retry_after,
+        }
     }
 }
 
@@ -138,10 +199,25 @@ mod tests {
             "--no-disk-cache",
             "--metrics-addr",
             "127.0.0.1:9100",
+            "--write-timeout-ms",
+            "2500",
+            "--shed-depth",
+            "5",
+            "--shed-p99-ms",
+            "750",
+            "--shed-retry-ms",
+            "40",
+            "--journal-dir",
+            "results/journal",
         ])
         .unwrap();
         assert_eq!(cfg.addr, "0.0.0.0:7700");
         assert_eq!(cfg.metrics_addr.as_deref(), Some("127.0.0.1:9100"));
+        assert_eq!(cfg.write_timeout, Some(Duration::from_millis(2500)));
+        assert_eq!(cfg.shed_depth, Some(5));
+        assert_eq!(cfg.shed_wait_p99, Some(Duration::from_millis(750)));
+        assert_eq!(cfg.shed_retry_after, Duration::from_millis(40));
+        assert_eq!(cfg.journal_dir, Some(PathBuf::from("results/journal")));
         assert_eq!(cfg.queue_cap, 8);
         assert_eq!(cfg.workers, 2);
         assert_eq!(cfg.watchdog, Some(Duration::from_millis(1500)));
@@ -159,5 +235,24 @@ mod tests {
         assert!(ServeConfig::from_args(["--queue-cap", "zero"]).is_err());
         assert!(ServeConfig::from_args(["--queue-cap", "0"]).is_err());
         assert!(ServeConfig::from_args(["--train", "11way"]).is_err());
+        assert!(ServeConfig::from_args(["--shed-depth", "many"]).is_err());
+        assert!(ServeConfig::from_args(["--write-timeout-ms", "-1"]).is_err());
+    }
+
+    #[test]
+    fn zero_disables_the_optional_thresholds() {
+        let cfg = ServeConfig::from_args([
+            "--write-timeout-ms",
+            "0",
+            "--shed-depth",
+            "0",
+            "--shed-p99-ms",
+            "0",
+        ])
+        .unwrap();
+        assert_eq!(cfg.write_timeout, None);
+        assert_eq!(cfg.shed_depth, None);
+        assert_eq!(cfg.shed_wait_p99, None);
+        assert_eq!(cfg.journal_dir, None, "journaling is opt-in");
     }
 }

@@ -9,9 +9,11 @@
 //! process-wide context cache.
 
 use crate::protocol::{ErrorCode, Request};
+use mg_bench::cache::stable_hash64;
 use mg_bench::{journal, InputSel, Scheme, SweepCell};
 use mg_sim::MachineConfig;
 use mg_workloads::BenchmarkSpec;
+use std::time::Duration;
 
 /// Cap on cells per request: a full scheme × machine grid is 12 × 5.
 pub const MAX_CELLS: usize = 64;
@@ -32,6 +34,13 @@ pub struct JobSpec {
     /// Training machine (the server's, uniform across jobs so the
     /// context cache coalesces maximally).
     pub train_cfg: MachineConfig,
+    /// Per-job execution budget, measured from admission; `None` means
+    /// unbounded. Not part of the content key.
+    pub deadline: Option<Duration>,
+    /// Stream rows starting at this cursor (rows before it are the
+    /// client's from a previous connection). Not part of the content
+    /// key.
+    pub resume_from: u64,
 }
 
 /// Resolves a machine tag the same way `mgtool` spells them.
@@ -105,10 +114,28 @@ impl JobSpec {
                 format!("{} cells exceeds the {MAX_CELLS}-cell cap", cells.len()),
             ));
         }
+        if req.deadline_ms == Some(0) {
+            return Err((
+                ErrorCode::BadRequest,
+                "deadline_ms must be positive (omit it for no deadline)".to_string(),
+            ));
+        }
+        let resume_from = req.resume_from.unwrap_or(0);
+        if resume_from > cells.len() as u64 {
+            return Err((
+                ErrorCode::BadRequest,
+                format!(
+                    "resume_from {resume_from} exceeds the job's {} cells",
+                    cells.len()
+                ),
+            ));
+        }
         Ok(JobSpec {
             bench,
             cells,
             train_cfg: train_cfg.clone(),
+            deadline: req.deadline_ms.map(Duration::from_millis),
+            resume_from,
         })
     }
 
@@ -124,6 +151,18 @@ impl JobSpec {
         );
         journal::row_key(&self.bench, &repr)
     }
+
+    /// Per-cell journal keys for crash recovery: the job's content key
+    /// salted with the cell index. Cells are journaled one record each
+    /// (a daemon killed mid-job loses at most the cell in flight), and
+    /// because the salt includes [`JobSpec::content_key`], a record can
+    /// never replay into a different job's cell grid.
+    pub fn cell_keys(&self) -> Vec<u64> {
+        let key = self.content_key();
+        (0..self.cells.len())
+            .map(|i| stable_hash64(format!("{key:016x}|cell{i}").as_bytes()))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -137,6 +176,8 @@ mod tests {
             schemes: vec!["Struct-All".into(), "slack-dynamic".into()],
             machines: vec!["reduced".into(), "8way".into()],
             target_dyn: Some(2_000),
+            deadline_ms: None,
+            resume_from: None,
         }
     }
 
@@ -209,5 +250,51 @@ mod tests {
         r.id = "something-else".into();
         let renamed = JobSpec::from_request(&r, &red).unwrap();
         assert_eq!(base.content_key(), renamed.content_key());
+
+        // Deadlines and resume cursors describe the session, not the
+        // work: same key, so resumed/budgeted requests still coalesce.
+        let mut r = demo_request();
+        r.deadline_ms = Some(5_000);
+        r.resume_from = Some(2);
+        let budgeted = JobSpec::from_request(&r, &red).unwrap();
+        assert_eq!(base.content_key(), budgeted.content_key());
+        assert_eq!(budgeted.deadline, Some(Duration::from_millis(5_000)));
+        assert_eq!(budgeted.resume_from, 2);
+    }
+
+    #[test]
+    fn deadline_and_resume_bounds_are_validated() {
+        let red = MachineConfig::reduced();
+        let mut r = demo_request();
+        r.deadline_ms = Some(0);
+        assert_eq!(
+            JobSpec::from_request(&r, &red).unwrap_err().0,
+            ErrorCode::BadRequest
+        );
+        let mut r = demo_request();
+        r.resume_from = Some(5); // the demo grid has 4 cells
+        assert_eq!(
+            JobSpec::from_request(&r, &red).unwrap_err().0,
+            ErrorCode::BadRequest
+        );
+        let mut r = demo_request();
+        r.resume_from = Some(4); // == cells: nothing left to stream, but legal
+        assert_eq!(JobSpec::from_request(&r, &red).unwrap().resume_from, 4);
+    }
+
+    #[test]
+    fn cell_keys_are_distinct_and_job_scoped() {
+        let red = MachineConfig::reduced();
+        let job = JobSpec::from_request(&demo_request(), &red).unwrap();
+        let keys = job.cell_keys();
+        assert_eq!(keys.len(), job.cells.len());
+        let mut uniq = keys.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), keys.len(), "cell keys are distinct");
+        let mut r = demo_request();
+        r.target_dyn = Some(4_000);
+        let other = JobSpec::from_request(&r, &red).unwrap();
+        assert_ne!(keys[0], other.cell_keys()[0], "keys are job-scoped");
     }
 }

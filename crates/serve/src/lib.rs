@@ -17,8 +17,11 @@
 //!   replayed subscriptions, disconnect pruning;
 //! * [`server`] — accept loop, connection threads, worker pool, and
 //!   graceful drain on shutdown;
+//! * [`shed`] — load shedding: depth- and queue-wait-p99-based
+//!   admission control with typed `Overloaded` rejects;
 //! * [`client`] — a blocking client used by the bundled binaries and
-//!   tests;
+//!   tests, plus the resilient [`client::Session`] wrapper (reconnect,
+//!   backoff, idempotent resume);
 //! * [`metrics`] — serve-side metric names, counted reply rendering,
 //!   and the Prometheus `/metrics` HTTP listener;
 //! * [`config`] — the daemon's typed configuration (no `std::env`
@@ -34,9 +37,10 @@ pub mod metrics;
 pub mod protocol;
 pub mod queue;
 pub mod server;
+pub mod shed;
 pub mod store;
 
-pub use client::{Client, JobOutcome, ServerStats};
+pub use client::{BackoffPolicy, Client, JobOutcome, ServerStats, Session};
 pub use config::ServeConfig;
 pub use jobs::JobSpec;
 pub use metrics::MetricsServer;

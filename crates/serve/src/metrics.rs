@@ -48,6 +48,25 @@ pub const JOB_US: &str = "mg_serve_job_us";
 pub const WORKER_BUSY_US: &str = "mg_serve_worker_busy_us_total";
 /// Size of the worker pool.
 pub const WORKERS: &str = "mg_serve_workers";
+/// Cells served from the crash-recovery journal instead of re-running.
+pub const CELLS_RECOVERED: &str = "mg_serve_cells_recovered_total";
+/// Jobs that recovered at least one cell from the journal.
+pub const JOBS_RECOVERED: &str = "mg_serve_jobs_recovered_total";
+/// Jobs dropped at claim time because they out-sat their deadline.
+pub const DEADLINE_DROPS: &str = "mg_serve_deadline_drops_total";
+/// Jobs refused by admission control (also counted under the
+/// `Overloaded` reject code; this name exists for cheap dashboards).
+pub const SHED_JOBS: &str = "mg_serve_shed_jobs_total";
+/// Recent queue-wait p99 as seen by the load shedder (microseconds).
+pub const SHED_WAIT_P99_US: &str = "mg_serve_shed_wait_p99_us";
+/// Client-side: reconnects performed by resilient sessions. Lives in
+/// whatever process runs the [`crate::client::Session`] (the loadtest's
+/// in-process runs land it in the same registry as the server's
+/// numbers; a remote client keeps its own registry).
+pub const CLIENT_RECONNECTS: &str = "mg_serve_client_reconnects_total";
+/// Client-side: transient rejects a resilient session absorbed by
+/// backing off and resubmitting.
+pub const CLIENT_RETRIED_REJECTS: &str = "mg_serve_client_retried_rejects_total";
 
 /// The labeled counter name for one typed rejection reason.
 pub fn reject_counter(code: ErrorCode) -> String {
@@ -68,13 +87,23 @@ pub fn total_rejects(snapshot: &mg_obs::TelemetrySnapshot) -> u64 {
 /// Renders a `Rejected` reply line, counting it under the code's
 /// labeled reject counter. Every rejection the server sends goes
 /// through here, so the counters equal the replies on the wire.
-pub fn rejected_line(id: String, code: ErrorCode, detail: String) -> String {
+pub fn rejected_line(
+    id: String,
+    code: ErrorCode,
+    detail: String,
+    retry_after_ms: Option<u64>,
+) -> String {
     // The name varies by code, so this must take the registry lookup
     // rather than `tele_counter!` (whose per-call-site cache would pin
     // the first code ever seen here). Rejections are rare and already
     // off the hot path.
     telemetry::counter(&reject_counter(code)).inc();
-    reply_line(Reply::Rejected { id, code, detail })
+    reply_line(Reply::Rejected {
+        id,
+        code,
+        detail,
+        retry_after_ms,
+    })
 }
 
 /// Renders a `Done` reply line, counting it (and its dedup flag).
@@ -120,8 +149,14 @@ impl MetricsServer {
     pub fn run(self) {
         while !mg_bench::shutdown_requested() {
             match self.listener.accept() {
-                Ok((stream, _peer)) => {
-                    let _ = serve_scrape(stream);
+                Ok((stream, peer)) => {
+                    // Scrape failures close the connection (the stream
+                    // drops here) and are logged rather than swallowed:
+                    // a socket that refuses its timeouts must not be
+                    // served, or a stalled scraper wedges this thread.
+                    if let Err(e) = serve_scrape(stream) {
+                        mg_obs::mg_debug!("metrics scrape from {peer} failed: {e}");
+                    }
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(POLL),
                 Err(_) => std::thread::sleep(POLL),
@@ -142,6 +177,7 @@ impl MetricsServer {
 /// for any other path, 400 for lines that are not HTTP requests.
 fn serve_scrape(stream: TcpStream) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut request_line = String::new();
     reader.read_line(&mut request_line)?;

@@ -39,8 +39,12 @@ use serde::{Deserialize, Serialize};
 ///
 /// History: v1 carried a bare job as the envelope's `request`; v2
 /// introduced the [`RequestBody`] verb enum (`Job` / `Stats`) and the
-/// [`Reply::Stats`] telemetry reply.
-pub const PROTOCOL_VERSION: u32 = 2;
+/// [`Reply::Stats`] telemetry reply; v3 added fault-tolerance fields —
+/// per-job `deadline_ms` and `resume_from` on [`Request`], a monotonic
+/// `cursor` on [`Reply::Row`] / [`Reply::CellError`], `retry_after_ms`
+/// on [`Reply::Rejected`], and the [`ErrorCode::DeadlineExceeded`] /
+/// [`ErrorCode::Overloaded`] reject codes.
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// Default cap on one request line, in bytes. Longer lines are rejected
 /// with [`ErrorCode::OverLong`] — a whole job description is a few
@@ -86,6 +90,20 @@ pub struct Request {
     /// Dynamic-instruction target override; `null` keeps the
     /// benchmark's default. Changing it changes the job's content key.
     pub target_dyn: Option<u64>,
+    /// Optional per-job deadline, measured from admission. A job still
+    /// queued past its deadline is rejected with
+    /// [`ErrorCode::DeadlineExceeded`] instead of burning a worker; a
+    /// job expiring mid-run reports its remaining cells as timed-out
+    /// cell errors. Deliberately *not* part of the job's content key:
+    /// the same work under a different budget is still the same work.
+    pub deadline_ms: Option<u64>,
+    /// Resume cursor: skip the first `resume_from` rows of the stream.
+    /// A client that reconnects after a drop sets this to the number of
+    /// rows it already holds and replays only the missing tail (rows
+    /// are content-keyed and committed in deterministic order, so the
+    /// replayed tail is bit-identical). Also excluded from the content
+    /// key. `null` means `0`.
+    pub resume_from: Option<u64>,
 }
 
 /// A server reply wrapped in its versioned envelope.
@@ -126,6 +144,10 @@ pub enum Reply {
         id: String,
         /// Cell index in the request's scheme-major order.
         cell: u64,
+        /// Monotonic position of this row in the job's commit-order
+        /// stream (0-based). A resuming client passes the next cursor
+        /// it has not seen as `resume_from`.
+        cursor: u64,
         /// The condensed run, bit-identical to a batch-mode sweep.
         run: SchemeRun,
     },
@@ -135,6 +157,9 @@ pub enum Reply {
         id: String,
         /// Cell index in the request's scheme-major order.
         cell: u64,
+        /// Monotonic stream position, exactly as on [`Reply::Row`]
+        /// (errors are data and replay like rows).
+        cursor: u64,
         /// What felled the cell.
         error: BenchError,
     },
@@ -157,6 +182,12 @@ pub enum Reply {
         code: ErrorCode,
         /// Human-readable detail.
         detail: String,
+        /// For retryable rejects ([`ErrorCode::Overloaded`],
+        /// [`ErrorCode::QueueFull`]): how long a well-behaved client
+        /// should back off before resubmitting, derived from the
+        /// server's recent queue-wait p99. `null` when retrying is
+        /// pointless or the server has no estimate.
+        retry_after_ms: Option<u64>,
     },
     /// Answer to a [`RequestBody::Stats`] request: the server's live
     /// telemetry, as of this reply.
@@ -197,6 +228,13 @@ pub enum ErrorCode {
     BadRequest,
     /// The server is draining and admits no new jobs.
     ShuttingDown,
+    /// The job sat queued past its `deadline_ms`; it was dropped
+    /// without burning a worker. Resubmitting starts a fresh budget.
+    DeadlineExceeded,
+    /// Admission control shed the job: queue depth or recent queue-wait
+    /// p99 is over the configured threshold. Retry after the reply's
+    /// `retry_after_ms`.
+    Overloaded,
 }
 
 /// Renders one reply as a wire line (newline included).
@@ -284,6 +322,8 @@ mod tests {
             schemes: vec!["Slack-Dynamic".into(), "no-minigraphs".into()],
             machines: vec!["reduced".into()],
             target_dyn: Some(2_000),
+            deadline_ms: Some(30_000),
+            resume_from: None,
         }
     }
 
@@ -297,6 +337,8 @@ mod tests {
         assert_eq!(back.id, "job-1");
         assert_eq!(back.schemes.len(), 2);
         assert_eq!(back.target_dyn, Some(2_000));
+        assert_eq!(back.deadline_ms, Some(30_000));
+        assert_eq!(back.resume_from, None);
     }
 
     #[test]
@@ -334,6 +376,17 @@ mod tests {
     }
 
     #[test]
+    fn v2_shaped_requests_get_wrong_version_not_malformed() {
+        // A v2 job lacks the v3 deadline/resume fields; the version
+        // probe must still diagnose the version, not the body shape.
+        let line = "{\"schema_version\":2,\"request\":{\"Job\":{\"id\":\"old\",\
+                    \"bench\":\"mib_sha\",\"schemes\":[\"no-minigraphs\"],\
+                    \"machines\":[\"baseline\"],\"target_dyn\":null}}}";
+        let (code, detail) = decode_request(line).unwrap_err();
+        assert_eq!(code, ErrorCode::WrongVersion, "{detail}");
+    }
+
+    #[test]
     fn garbage_is_malformed() {
         let (code, _) = decode_request("not json at all").unwrap_err();
         assert_eq!(code, ErrorCode::Malformed);
@@ -358,6 +411,19 @@ mod tests {
                 id: String::new(),
                 code: ErrorCode::QueueFull,
                 detail: "cap 64".into(),
+                retry_after_ms: Some(250),
+            },
+            Reply::Rejected {
+                id: "late".into(),
+                code: ErrorCode::DeadlineExceeded,
+                detail: "queued 2000ms past deadline".into(),
+                retry_after_ms: None,
+            },
+            Reply::CellError {
+                id: "j".into(),
+                cell: 4,
+                cursor: 2,
+                error: BenchError::Interrupted { bench: "b".into() },
             },
             Reply::Stats {
                 id: "health".into(),

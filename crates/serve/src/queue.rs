@@ -11,7 +11,7 @@
 //! reports [`Pop::Closed`] so workers exit.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
 
 /// Why a push was refused.
@@ -51,6 +51,16 @@ pub struct FairQueue<T> {
 }
 
 impl<T> FairQueue<T> {
+    /// Locks the queue state, recovering from poisoning. Every mutation
+    /// under the lock (`len`, the rotation, `closed`) is completed
+    /// before any call that could panic, so a panicking thread — worker
+    /// or connection — leaves the state consistent; propagating the
+    /// poison would instead cascade one thread's panic into every
+    /// other queue user.
+    fn lock_state(&self) -> MutexGuard<'_, State<T>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// A queue admitting at most `cap` jobs at once (floored at 1).
     pub fn new(cap: usize) -> FairQueue<T> {
         FairQueue {
@@ -71,7 +81,7 @@ impl<T> FairQueue<T> {
 
     /// Jobs currently queued (across all clients).
     pub fn len(&self) -> usize {
-        self.state.lock().expect("queue lock").len
+        self.lock_state().len
     }
 
     /// Whether no jobs are queued.
@@ -83,7 +93,7 @@ impl<T> FairQueue<T> {
     /// immediately — admission control must never block the connection
     /// that asked.
     pub fn push(&self, client: u64, item: T) -> Result<(), PushError> {
-        let mut s = self.state.lock().expect("queue lock");
+        let mut s = self.lock_state();
         if s.closed {
             return Err(PushError::Closed);
         }
@@ -108,7 +118,7 @@ impl<T> FairQueue<T> {
     /// client's queue moves to the back of the rotation (or leaves it
     /// when emptied). Waits up to `wait` for work.
     pub fn pop(&self, wait: Duration) -> Pop<T> {
-        let mut s = self.state.lock().expect("queue lock");
+        let mut s = self.lock_state();
         loop {
             if s.len > 0 {
                 let (client, mut q) = s.queues.pop_front().expect("len>0 implies a queue");
@@ -122,7 +132,10 @@ impl<T> FairQueue<T> {
             if s.closed {
                 return Pop::Closed;
             }
-            let (next, timeout) = self.cond.wait_timeout(s, wait).expect("queue lock");
+            let (next, timeout) = self
+                .cond
+                .wait_timeout(s, wait)
+                .unwrap_or_else(PoisonError::into_inner);
             s = next;
             if timeout.timed_out() && s.len == 0 && !s.closed {
                 return Pop::TimedOut;
@@ -133,7 +146,7 @@ impl<T> FairQueue<T> {
     /// Closes admission: pushes refuse from now on, pops drain what is
     /// queued and then report [`Pop::Closed`].
     pub fn close(&self) {
-        self.state.lock().expect("queue lock").closed = true;
+        self.lock_state().closed = true;
         self.cond.notify_all();
     }
 
@@ -141,7 +154,7 @@ impl<T> FairQueue<T> {
     /// jobs in typed form when shutting down with no workers to run
     /// them).
     pub fn drain_now(&self) -> Vec<T> {
-        let mut s = self.state.lock().expect("queue lock");
+        let mut s = self.lock_state();
         let mut out = Vec::with_capacity(s.len);
         while let Some((_, mut q)) = s.queues.pop_front() {
             out.extend(q.drain(..));
@@ -214,5 +227,26 @@ mod tests {
     fn empty_pop_times_out() {
         let q: FairQueue<u8> = FairQueue::new(1);
         assert!(matches!(q.pop(Duration::from_millis(5)), Pop::TimedOut));
+    }
+
+    #[test]
+    fn survives_a_panic_while_the_lock_is_held() {
+        let q = Arc::new(FairQueue::new(4));
+        q.push(1, 7).unwrap();
+        // Poison the mutex: panic with the guard held.
+        let q2 = Arc::clone(&q);
+        let poisoner = std::thread::spawn(move || {
+            let _guard = q2.state.lock().unwrap();
+            panic!("worker died holding the queue lock");
+        });
+        assert!(poisoner.join().is_err());
+        assert!(q.state.is_poisoned(), "the panic did poison the mutex");
+        // Every path still works: the state was consistent at the panic.
+        assert_eq!(q.len(), 1);
+        q.push(2, 8).unwrap();
+        assert!(matches!(q.pop(WAIT), Pop::Item(7)));
+        assert!(matches!(q.pop(WAIT), Pop::Item(8)));
+        q.close();
+        assert!(matches!(q.pop(WAIT), Pop::Closed));
     }
 }

@@ -27,8 +27,10 @@ use crate::protocol::{
     decode_request, reply_line, ErrorCode, Reply, RequestBody, PROTOCOL_VERSION,
 };
 use crate::queue::{FairQueue, Pop, PushError};
+use crate::shed::Shed;
 use crate::store::{Begin, CounterSnapshot, ResultStore, Sub};
-use mg_bench::{machine_fingerprint, shutdown_requested, BenchContext};
+use mg_bench::{machine_fingerprint, shutdown_requested, BenchContext, BenchError, Journal};
+use mg_obs::mg_error;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -48,6 +50,11 @@ struct QueuedJob {
     /// When the owner pushed it — queue-wait and end-to-end latency
     /// telemetry measure from here.
     queued_at: Instant,
+    /// Absolute expiry derived from the request's `deadline_ms` at
+    /// admission. A job claimed past this is dropped with a typed
+    /// `DeadlineExceeded` instead of burning the worker; one expiring
+    /// mid-run reports its remaining cells as timed out.
+    deadline: Option<Instant>,
 }
 
 /// What [`Server::run`] reports after draining.
@@ -65,6 +72,7 @@ pub struct Server {
     cfg: ServeConfig,
     store: Arc<ResultStore>,
     queue: Arc<FairQueue<QueuedJob>>,
+    shed: Arc<Shed>,
     local_addr: SocketAddr,
 }
 
@@ -78,6 +86,7 @@ impl Server {
             listener,
             queue: Arc::new(FairQueue::new(cfg.queue_cap)),
             store: Arc::new(ResultStore::new()),
+            shed: Arc::new(Shed::new(cfg.shed_config())),
             cfg,
             local_addr,
         })
@@ -104,10 +113,11 @@ impl Server {
             .map(|w| {
                 let queue = Arc::clone(&self.queue);
                 let store = Arc::clone(&self.store);
+                let shed = Arc::clone(&self.shed);
                 let cfg = self.cfg.clone();
                 std::thread::Builder::new()
                     .name(format!("mg-serve-worker-{w}"))
-                    .spawn(move || worker_loop(&queue, &store, &cfg))
+                    .spawn(move || worker_loop(&queue, &store, &shed, &cfg))
                     .expect("spawn worker thread")
             })
             .collect();
@@ -122,6 +132,7 @@ impl Server {
                     let client = client_ids.fetch_add(1, Ordering::Relaxed);
                     let store = Arc::clone(&self.store);
                     let queue = Arc::clone(&self.queue);
+                    let shed = Arc::clone(&self.shed);
                     let cfg = self.cfg.clone();
                     // Connection threads are detached: they exit when
                     // the peer hangs up (or at process exit); the store
@@ -129,7 +140,9 @@ impl Server {
                     // send either way.
                     let _ = std::thread::Builder::new()
                         .name(format!("mg-serve-conn-{client}"))
-                        .spawn(move || serve_connection(stream, client, &store, &queue, &cfg));
+                        .spawn(move || {
+                            serve_connection(stream, client, &store, &queue, &shed, &cfg)
+                        });
                 }
                 Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(POLL),
                 Err(_) => std::thread::sleep(POLL),
@@ -144,7 +157,7 @@ impl Server {
         // still queued in typed form rather than leaving streams open.
         for job in self.queue.drain_now() {
             self.store
-                .abort(job.key, ErrorCode::ShuttingDown, "server is draining");
+                .abort(job.key, ErrorCode::ShuttingDown, "server is draining", None);
         }
         mg_obs::tele_gauge!(metrics::QUEUE_DEPTH).set(0);
         ServeStats {
@@ -154,12 +167,32 @@ impl Server {
     }
 }
 
-fn worker_loop(queue: &FairQueue<QueuedJob>, store: &ResultStore, cfg: &ServeConfig) {
+fn worker_loop(queue: &FairQueue<QueuedJob>, store: &ResultStore, shed: &Shed, cfg: &ServeConfig) {
     loop {
         match queue.pop(POLL) {
             Pop::Item(job) => {
                 mg_obs::tele_gauge!(metrics::QUEUE_DEPTH).dec();
-                mg_obs::tele_hist!(metrics::QUEUE_WAIT_US).record_duration(job.queued_at.elapsed());
+                let waited = job.queued_at.elapsed();
+                mg_obs::tele_hist!(metrics::QUEUE_WAIT_US).record_duration(waited);
+                shed.record_wait(waited);
+                mg_obs::tele_gauge!(metrics::SHED_WAIT_P99_US)
+                    .set(shed.recent_wait_p99().as_micros() as i64);
+                if job.deadline.is_some_and(|d| Instant::now() >= d) {
+                    // The job out-sat its budget in the queue; drop it
+                    // without burning the worker. The client retries
+                    // with a fresh budget if it still cares.
+                    mg_obs::tele_counter!(metrics::DEADLINE_DROPS).inc();
+                    store.abort(
+                        job.key,
+                        ErrorCode::DeadlineExceeded,
+                        &format!(
+                            "job waited {}ms in queue, past its deadline",
+                            waited.as_millis()
+                        ),
+                        None,
+                    );
+                    continue;
+                }
                 let busy = Instant::now();
                 run_job(job, store, cfg);
                 mg_obs::tele_counter!(metrics::WORKER_BUSY_US)
@@ -174,8 +207,20 @@ fn worker_loop(queue: &FairQueue<QueuedJob>, store: &ResultStore, cfg: &ServeCon
 /// Runs one job to completion: context build (shared through the
 /// process-wide cache), then one supervised cell at a time, each
 /// committed to the store the moment it finishes.
+///
+/// With a journal directory configured, every finished cell is
+/// journaled *before* it is streamed (so any row a client ever saw is
+/// recoverable), and cells already journaled by a previous —
+/// possibly SIGKILL'd — daemon on the same directory are committed
+/// from the journal instead of re-running. Transient failures
+/// (panic, timeout) and interruptions are deliberately not journaled:
+/// a resubmit should re-run those, not replay them.
 fn run_job(job: QueuedJob, store: &ResultStore, cfg: &ServeConfig) {
     let spec = job.spec;
+    let journal = cfg
+        .journal_dir
+        .as_ref()
+        .map(|root| Journal::new(root, job.key, spec.cell_keys()));
     // Admission-to-Done latency, recorded on every exit path right
     // after the store finishes the job.
     let finish = |key: u64| {
@@ -217,9 +262,37 @@ fn run_job(job: QueuedJob, store: &ResultStore, cfg: &ServeConfig) {
             return;
         }
     };
+    let mut recovered = 0u64;
     for (idx, cell) in spec.cells.iter().enumerate() {
-        let (res, _retries) = mg_bench::supervise_cell(&ctx, cell, idx, cfg.watchdog, cfg.retries);
+        if let Some(outcome) = journal.as_ref().and_then(|j| j.load_cell(idx)) {
+            mg_obs::tele_counter!(metrics::CELLS_RECOVERED).inc();
+            recovered += 1;
+            store.commit_row(job.key, idx, outcome);
+            continue;
+        }
+        let started = Instant::now();
+        let (res, _retries) = mg_bench::supervise_cell_until(
+            &ctx,
+            cell,
+            idx,
+            cfg.watchdog,
+            cfg.retries,
+            job.deadline,
+        );
+        if let Some(j) = &journal {
+            if !matches!(
+                res,
+                Err(BenchError::Panicked { .. }
+                    | BenchError::TimedOut { .. }
+                    | BenchError::Interrupted { .. })
+            ) {
+                j.store_cell(idx, &spec.bench.name, &res, started.elapsed());
+            }
+        }
         store.commit_row(job.key, idx, res);
+    }
+    if recovered > 0 {
+        mg_obs::tele_counter!(metrics::JOBS_RECOVERED).inc();
     }
     finish(job.key);
 }
@@ -229,11 +302,24 @@ fn serve_connection(
     client: u64,
     store: &ResultStore,
     queue: &FairQueue<QueuedJob>,
+    shed: &Shed,
     cfg: &ServeConfig,
 ) {
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
+    // A socket that refuses its timeouts is closed on the spot: without
+    // a read timeout the reader thread cannot observe shutdown, and
+    // without a write timeout a peer that stops reading (slow-loris)
+    // would wedge the writer thread forever.
+    if let Err(e) = stream.set_read_timeout(Some(Duration::from_millis(100))) {
+        mg_error!("conn {client}: set_read_timeout failed, closing: {e}");
+        return;
+    }
+    if let Err(e) = write_half.set_write_timeout(cfg.write_timeout) {
+        mg_error!("conn {client}: set_write_timeout failed, closing: {e}");
+        return;
+    }
     let (tx, rx) = channel::<String>();
     let writer = std::thread::Builder::new()
         .name(format!("mg-serve-write-{client}"))
@@ -254,8 +340,7 @@ fn serve_connection(
         protocol: PROTOCOL_VERSION,
         fingerprint: machine_fingerprint(),
     }));
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
-    read_requests(stream, client, &tx, store, queue, cfg);
+    read_requests(stream, client, &tx, store, queue, shed, cfg);
     // Dropping `tx` here does NOT end the writer: the store may still
     // hold subscription clones streaming rows for this client's jobs.
 }
@@ -268,6 +353,7 @@ fn read_requests(
     tx: &Sender<String>,
     store: &ResultStore,
     queue: &FairQueue<QueuedJob>,
+    shed: &Shed,
     cfg: &ServeConfig,
 ) {
     let mut reader = BufReader::new(stream);
@@ -280,7 +366,7 @@ fn read_requests(
                 let was_discarding = discarding;
                 discarding = false;
                 if !was_discarding && !overlong_reject(&buf, tx, cfg) {
-                    handle_line(buf.trim(), client, tx, store, queue, cfg);
+                    handle_line(buf.trim(), client, tx, store, queue, shed, cfg);
                 }
                 buf.clear();
             }
@@ -315,6 +401,7 @@ fn overlong_reject(buf: &str, tx: &Sender<String>, cfg: &ServeConfig) -> bool {
         String::new(),
         ErrorCode::OverLong,
         format!("request line exceeds the {}-byte cap", cfg.max_line_bytes),
+        None,
     ));
     true
 }
@@ -325,6 +412,7 @@ fn handle_line(
     tx: &Sender<String>,
     store: &ResultStore,
     queue: &FairQueue<QueuedJob>,
+    shed: &Shed,
     cfg: &ServeConfig,
 ) {
     if line.is_empty() {
@@ -333,7 +421,7 @@ fn handle_line(
     // Every rejection renders through `metrics::rejected_line`, so the
     // labeled reject counters equal the `Rejected` replies on the wire.
     let reject = |id: String, code: ErrorCode, detail: String| {
-        let _ = tx.send(metrics::rejected_line(id, code, detail));
+        let _ = tx.send(metrics::rejected_line(id, code, detail, None));
     };
     let request = match decode_request(line) {
         Ok(RequestBody::Job(request)) => request,
@@ -371,14 +459,29 @@ fn handle_line(
         id: request.id,
         tx: tx.clone(),
         dedup: false,
+        resume_from: job.resume_from,
     };
     if store.subscribe(key, sub) == Begin::Owner {
+        // Admission control applies to owners only: coalescing onto an
+        // in-flight execution or replaying a finished one adds no queue
+        // load, so those are never shed.
+        if let Err(over) = shed.admit(queue.len()) {
+            mg_obs::tele_counter!(metrics::SHED_JOBS).inc();
+            return store.abort(
+                key,
+                ErrorCode::Overloaded,
+                &over.detail,
+                Some(over.retry_after_ms),
+            );
+        }
+        let deadline = job.deadline.map(|d| Instant::now() + d);
         let push = queue.push(
             client,
             QueuedJob {
                 key,
                 spec: job,
                 queued_at: Instant::now(),
+                deadline,
             },
         );
         match push {
@@ -389,9 +492,10 @@ fn handle_line(
                 key,
                 ErrorCode::QueueFull,
                 &format!("job queue is at its {}-job capacity", queue.cap()),
+                Some((cfg.shed_retry_after.as_millis() as u64).max(1)),
             ),
             Err(PushError::Closed) => {
-                store.abort(key, ErrorCode::ShuttingDown, "server is draining")
+                store.abort(key, ErrorCode::ShuttingDown, "server is draining", None)
             }
         }
     }

@@ -19,7 +19,7 @@ use mg_bench::{BenchError, SchemeRun};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::Sender;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// Finished jobs retained for replay. The cap bounds memory; eviction
 /// is FIFO by completion order.
@@ -38,6 +38,10 @@ pub struct Sub {
     /// Whether this request coalesced/replayed rather than owning the
     /// execution — echoed in its `Done` reply.
     pub dedup: bool,
+    /// Stream cursor to resume from: rows before this position are not
+    /// re-sent (the client already holds them from a previous
+    /// connection). `0` streams everything.
+    pub resume_from: u64,
 }
 
 enum Entry {
@@ -116,6 +120,15 @@ impl ResultStore {
         }
     }
 
+    /// Locks the store state, recovering from poisoning: every mutation
+    /// under the lock completes before anything that can panic (sends
+    /// into an mpsc channel do not), so a panicking thread leaves the
+    /// map consistent and propagating the poison would only turn one
+    /// panic into a store-wide outage.
+    fn lock_entries(&self) -> MutexGuard<'_, StoreState> {
+        self.entries.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// Current counter values.
     pub fn counters(&self) -> CounterSnapshot {
         CounterSnapshot {
@@ -131,13 +144,14 @@ impl ResultStore {
     ///
     /// * no entry → the request becomes [`Begin::Owner`] and must
     ///   enqueue the job;
-    /// * in-flight entry → already-committed rows are sent immediately
-    ///   (no gap: commit and replay serialize on the lock) and the sub
-    ///   joins the stream ([`Begin::Coalesced`]);
-    /// * finished entry → every row plus `Done` is sent immediately
-    ///   ([`Begin::Replayed`]).
+    /// * in-flight entry → already-committed rows from the sub's
+    ///   `resume_from` cursor on are sent immediately (no gap: commit
+    ///   and replay serialize on the lock) and the sub joins the stream
+    ///   ([`Begin::Coalesced`]);
+    /// * finished entry → every row from the cursor on plus `Done` is
+    ///   sent immediately ([`Begin::Replayed`]).
     pub fn subscribe(&self, key: u64, mut sub: Sub) -> Begin {
-        let mut s = self.entries.lock().expect("store lock");
+        let mut s = self.lock_entries();
         self.counters.submitted.fetch_add(1, Ordering::Relaxed);
         mg_obs::tele_counter!(metrics::JOBS_SUBMITTED).inc();
         match s.by_key.get_mut(&key) {
@@ -156,10 +170,10 @@ impl ResultStore {
                 sub.dedup = true;
                 self.counters.coalesced.fetch_add(1, Ordering::Relaxed);
                 mg_obs::tele_counter!(metrics::JOBS_COALESCED).inc();
-                for row in rows.iter() {
+                for (cursor, row) in rows.iter().enumerate().skip(sub.resume_from as usize) {
                     // A dead subscriber is pruned below on the next
                     // commit; here it simply stops receiving.
-                    let _ = sub.tx.send(render_row(&sub.id, row));
+                    let _ = sub.tx.send(render_row(&sub.id, cursor as u64, row));
                 }
                 subs.push(sub);
                 Begin::Coalesced
@@ -167,8 +181,8 @@ impl ResultStore {
             Some(Entry::Done { rows }) => {
                 self.counters.replayed.fetch_add(1, Ordering::Relaxed);
                 mg_obs::tele_counter!(metrics::JOBS_REPLAYED).inc();
-                for row in rows.iter() {
-                    let _ = sub.tx.send(render_row(&sub.id, row));
+                for (cursor, row) in rows.iter().enumerate().skip(sub.resume_from as usize) {
+                    let _ = sub.tx.send(render_row(&sub.id, cursor as u64, row));
                 }
                 let _ = sub
                     .tx
@@ -182,11 +196,16 @@ impl ResultStore {
     /// streamed to every live one. Subscribers whose connection has
     /// gone away are pruned here.
     pub fn commit_row(&self, key: u64, cell: usize, outcome: Result<SchemeRun, BenchError>) {
-        let mut s = self.entries.lock().expect("store lock");
+        let mut s = self.lock_entries();
         if let Some(Entry::InFlight { rows, subs, .. }) = s.by_key.get_mut(&key) {
             mg_obs::tele_counter!(metrics::ROWS_COMMITTED).inc();
+            let cursor = rows.len() as u64;
             let row = (cell, outcome);
-            subs.retain(|sub| sub.tx.send(render_row(&sub.id, &row)).is_ok());
+            // A sub whose resume cursor is still ahead of this row keeps
+            // its slot without receiving it (the client already has it).
+            subs.retain(|sub| {
+                cursor < sub.resume_from || sub.tx.send(render_row(&sub.id, cursor, &row)).is_ok()
+            });
             rows.push(row);
         }
     }
@@ -195,7 +214,7 @@ impl ResultStore {
     /// dedup flag) and converts the entry for replay, releasing the
     /// subscriber list.
     pub fn finish(&self, key: u64) {
-        let mut s = self.entries.lock().expect("store lock");
+        let mut s = self.lock_entries();
         let Some(Entry::InFlight { rows, subs }) = s.by_key.remove(&key) else {
             return;
         };
@@ -223,32 +242,38 @@ impl ResultStore {
     }
 
     /// Aborts an in-flight entry: every subscriber gets a typed
-    /// [`Reply::Rejected`] and the entry is removed so a retry can own
-    /// the key afresh. Used when the owner failed to enqueue
-    /// (queue-full, shutdown).
-    pub fn abort(&self, key: u64, code: ErrorCode, detail: &str) {
-        let mut s = self.entries.lock().expect("store lock");
+    /// [`Reply::Rejected`] (with the backoff hint, when the reason is
+    /// retryable) and the entry is removed so a retry can own the key
+    /// afresh. Used when the owner failed admission (queue-full,
+    /// overload shedding, expired deadline, shutdown).
+    pub fn abort(&self, key: u64, code: ErrorCode, detail: &str, retry_after_ms: Option<u64>) {
+        let mut s = self.lock_entries();
         if let Some(Entry::InFlight { subs, .. }) = s.by_key.remove(&key) {
             for sub in subs {
-                let _ = sub
-                    .tx
-                    .send(metrics::rejected_line(sub.id, code, detail.to_string()));
+                let _ = sub.tx.send(metrics::rejected_line(
+                    sub.id,
+                    code,
+                    detail.to_string(),
+                    retry_after_ms,
+                ));
             }
         }
     }
 }
 
-fn render_row(id: &str, row: &CellOutcome) -> String {
+fn render_row(id: &str, cursor: u64, row: &CellOutcome) -> String {
     let (cell, outcome) = row;
     match outcome {
         Ok(run) => reply_line(Reply::Row {
             id: id.to_string(),
             cell: *cell as u64,
+            cursor,
             run: run.clone(),
         }),
         Err(error) => reply_line(Reply::CellError {
             id: id.to_string(),
             cell: *cell as u64,
+            cursor,
             error: error.clone(),
         }),
     }
@@ -261,12 +286,17 @@ mod tests {
     use std::sync::mpsc::{channel, Receiver};
 
     fn sub(id: &str) -> (Sub, Receiver<String>) {
+        sub_from(id, 0)
+    }
+
+    fn sub_from(id: &str, resume_from: u64) -> (Sub, Receiver<String>) {
         let (tx, rx) = channel();
         (
             Sub {
                 id: id.into(),
                 tx,
                 dedup: false,
+                resume_from,
             },
             rx,
         )
@@ -345,20 +375,68 @@ mod tests {
         let store = ResultStore::new();
         let (a, rx_a) = sub("a");
         assert_eq!(store.subscribe(3, a), Begin::Owner);
-        store.abort(3, ErrorCode::QueueFull, "queue at capacity");
+        store.abort(3, ErrorCode::QueueFull, "queue at capacity", Some(120));
         let a_replies = replies(&rx_a);
         assert!(
             matches!(
                 &a_replies[0],
                 Reply::Rejected {
                     code: ErrorCode::QueueFull,
+                    retry_after_ms: Some(120),
                     ..
                 }
             ),
-            "subscriber saw the typed reject"
+            "subscriber saw the typed reject with the backoff hint"
         );
         // The key is free again: a retry becomes a fresh owner.
         let (b, _rx_b) = sub("b");
         assert_eq!(store.subscribe(3, b), Begin::Owner);
+    }
+
+    #[test]
+    fn resume_cursor_skips_rows_the_client_already_holds() {
+        let store = ResultStore::new();
+        let (owner, rx_owner) = sub("owner");
+        assert_eq!(store.subscribe(5, owner), Begin::Owner);
+        store.commit_row(5, 0, Err(fake_err("cell 0")));
+        store.commit_row(5, 1, Err(fake_err("cell 1")));
+
+        // A client reconnecting mid-flight with 2 rows in hand gets
+        // nothing replayed and only the live tail, cursors intact.
+        let (resumer, rx_resumer) = sub_from("resumer", 2);
+        assert_eq!(store.subscribe(5, resumer), Begin::Coalesced);
+        assert!(replies(&rx_resumer).is_empty(), "held rows are not resent");
+        store.commit_row(5, 2, Err(fake_err("cell 2")));
+        store.finish(5);
+        let got = replies(&rx_resumer);
+        assert_eq!(got.len(), 2, "live tail row + done");
+        assert!(matches!(
+            &got[0],
+            Reply::CellError {
+                cursor: 2,
+                cell: 2,
+                ..
+            }
+        ));
+        assert!(matches!(&got[1], Reply::Done { cells: 3, .. }));
+
+        // After the fact, a resume replays only the missing tail.
+        let (late, rx_late) = sub_from("late", 1);
+        assert_eq!(store.subscribe(5, late), Begin::Replayed);
+        let got = replies(&rx_late);
+        assert_eq!(got.len(), 3, "two tail rows + done");
+        assert!(matches!(&got[0], Reply::CellError { cursor: 1, .. }));
+        assert!(matches!(&got[1], Reply::CellError { cursor: 2, .. }));
+
+        // The owner saw every row exactly once, cursors monotonic.
+        let owner_replies = replies(&rx_owner);
+        let cursors: Vec<u64> = owner_replies
+            .iter()
+            .filter_map(|r| match r {
+                Reply::CellError { cursor, .. } | Reply::Row { cursor, .. } => Some(*cursor),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(cursors, vec![0, 1, 2]);
     }
 }

@@ -71,6 +71,8 @@ fn request(id: &str, target_dyn: u64) -> Request {
         schemes: vec!["no-minigraphs".into(), "Struct-All".into()],
         machines: vec!["reduced".into()],
         target_dyn: Some(target_dyn),
+        deadline_ms: None,
+        resume_from: None,
     }
 }
 
@@ -278,6 +280,192 @@ fn mid_stream_disconnect_does_not_poison_the_pool() {
     let stats = server.stop();
     assert!(stats.store.completed >= 2);
     server_stats_sane(&stats);
+}
+
+#[test]
+fn queued_jobs_past_their_deadline_get_typed_rejects() {
+    // One worker: a slow job occupies it while a tight-deadline job
+    // waits in the queue past its budget.
+    let cfg = ServeConfig {
+        workers: 1,
+        ..tiny_cfg()
+    };
+    let server = TestServer::start(cfg);
+
+    // Client A owns the worker with a slow job and holds its stream.
+    let mut a = connect(&server.addr);
+    a.submit(&request("slow", 60_000)).unwrap();
+    assert!(matches!(a.read_reply().unwrap(), Reply::Accepted { id, .. } if id == "slow"));
+
+    // Client B's job can only wait — and its 1ms deadline expires in
+    // the queue, so the claiming worker drops it with a typed reject.
+    let mut b = connect(&server.addr);
+    let mut hurried = request("hurried", 2_800);
+    hurried.deadline_ms = Some(1);
+    b.submit(&hurried).unwrap();
+    let out = b.collect("hurried").unwrap();
+    match &out.rejected {
+        Some((ErrorCode::DeadlineExceeded, detail)) => {
+            assert!(detail.contains("deadline"), "{detail}")
+        }
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+
+    // The slow job itself is unaffected.
+    let slow = a.collect("slow").unwrap();
+    assert!(slow.completed(), "rejected: {:?}", slow.rejected);
+    server.stop();
+}
+
+#[test]
+fn depth_shedding_rejects_owners_but_never_dedup_traffic() {
+    // Admission-only server shedding at depth 1: the first job takes
+    // the queue to the threshold, so the next *distinct* job is shed.
+    let cfg = ServeConfig {
+        workers: 0,
+        shed_depth: Some(1),
+        shed_retry_after: Duration::from_millis(75),
+        ..tiny_cfg()
+    };
+    let server = TestServer::start(cfg);
+    let mut client = connect(&server.addr);
+
+    client.submit(&request("first", 2_900)).unwrap();
+    assert!(matches!(client.read_reply().unwrap(), Reply::Accepted { id, .. } if id == "first"));
+
+    client.submit(&request("shed-me", 3_000)).unwrap();
+    assert!(matches!(client.read_reply().unwrap(), Reply::Accepted { id, .. } if id == "shed-me"));
+    match client.read_reply().unwrap() {
+        Reply::Rejected {
+            id,
+            code,
+            retry_after_ms,
+            ..
+        } => {
+            assert_eq!(id, "shed-me");
+            assert_eq!(code, ErrorCode::Overloaded);
+            assert!(
+                retry_after_ms.unwrap_or(0) >= 75,
+                "hint carries the configured floor: {retry_after_ms:?}"
+            );
+        }
+        other => panic!("expected Overloaded reject, got {other:?}"),
+    }
+
+    // Identical content coalesces without touching the queue, so it is
+    // admitted even while the shed is refusing new work.
+    client.submit(&request("first-twin", 2_900)).unwrap();
+    assert!(
+        matches!(client.read_reply().unwrap(), Reply::Accepted { id, .. } if id == "first-twin")
+    );
+
+    mg_bench::request_shutdown();
+    for _ in 0..2 {
+        match client.read_reply().unwrap() {
+            Reply::Rejected { code, .. } => assert_eq!(code, ErrorCode::ShuttingDown),
+            other => panic!("expected drain rejects, got {other:?}"),
+        }
+    }
+    server.stop();
+}
+
+#[test]
+fn resumed_requests_replay_only_the_missing_rows() {
+    let server = TestServer::start(tiny_cfg());
+
+    // Full run first: two cells, cursors 0 and 1.
+    let mut a = connect(&server.addr);
+    let full = a.run_job(&request("orig", 3_300)).unwrap();
+    assert!(full.completed(), "rejected: {:?}", full.rejected);
+    assert_eq!(full.rows.len(), 2);
+    assert_eq!(full.next_cursor, 2);
+
+    // A client that already holds cursor 0 resumes from 1 and gets
+    // exactly the tail.
+    let mut resumed = request("resumer", 3_300);
+    resumed.resume_from = Some(1);
+    let mut b = connect(&server.addr);
+    let tail = b.run_job(&resumed).unwrap();
+    assert!(tail.completed(), "rejected: {:?}", tail.rejected);
+    assert!(tail.dedup, "resume replays the finished execution");
+    assert_eq!(tail.rows.len(), 1, "only the missing row is replayed");
+    assert_eq!(tail.next_cursor, 2);
+    assert_eq!(tail.rows[0].0, full.rows[1].0, "same cell index");
+    assert_eq!(
+        serde_json::to_string(tail.rows[0].1.as_ref().unwrap()).unwrap(),
+        serde_json::to_string(full.rows[1].1.as_ref().unwrap()).unwrap(),
+        "the replayed tail is bit-identical to the original stream"
+    );
+
+    // Resuming from one past the end streams nothing but still Done.
+    let mut nothing = request("caught-up", 3_300);
+    nothing.resume_from = Some(2);
+    let none = b.run_job(&nothing).unwrap();
+    assert!(none.completed());
+    assert_eq!(none.rows.len(), 0);
+    server.stop();
+}
+
+#[test]
+fn journal_recovery_serves_cells_without_rerunning_them() {
+    let journal_dir = std::env::temp_dir().join(format!(
+        "mg-serve-test-journal-{}-{:x}",
+        std::process::id(),
+        mg_bench::cache::stable_hash64(b"journal_recovery_test")
+    ));
+    let _ = std::fs::remove_dir_all(&journal_dir);
+    let cfg = ServeConfig {
+        journal_dir: Some(journal_dir.clone()),
+        ..tiny_cfg()
+    };
+
+    // First daemon lifetime: run the job, journaling each cell.
+    let server = TestServer::start(cfg.clone());
+    let addr = server.addr.clone();
+    let first = connect(&addr)
+        .run_job(&request("before-crash", 3_400))
+        .unwrap();
+    assert!(first.completed(), "rejected: {:?}", first.rejected);
+    server.stop();
+
+    // Second daemon lifetime on the same journal dir: its in-memory
+    // store is empty (no coalesce/replay possible), so the identical
+    // job runs again — but every cell comes back from the journal.
+    let before = mg_obs::telemetry::snapshot();
+    let server = TestServer::start(cfg);
+    let second = connect(&server.addr)
+        .run_job(&request("after-crash", 3_400))
+        .unwrap();
+    assert!(second.completed(), "rejected: {:?}", second.rejected);
+    assert!(!second.dedup, "the restarted store has no entry to replay");
+    let after = mg_obs::telemetry::snapshot();
+    assert_eq!(
+        after.counter(mg_serve::metrics::CELLS_RECOVERED)
+            - before.counter(mg_serve::metrics::CELLS_RECOVERED),
+        first.rows.len() as u64,
+        "every cell was served from the journal"
+    );
+    assert!(
+        after.counter(mg_serve::metrics::JOBS_RECOVERED)
+            > before.counter(mg_serve::metrics::JOBS_RECOVERED)
+    );
+
+    // And the recovered rows are bit-identical to the original run.
+    let render = |rows: &[(u64, Result<mg_bench::SchemeRun, mg_bench::BenchError>)]| {
+        let mut out: Vec<String> = rows
+            .iter()
+            .map(|(cell, run)| match run {
+                Ok(r) => format!("{cell}:ok:{}", serde_json::to_string(r).unwrap()),
+                Err(e) => format!("{cell}:err:{}", serde_json::to_string(e).unwrap()),
+            })
+            .collect();
+        out.sort();
+        out
+    };
+    assert_eq!(render(&first.rows), render(&second.rows));
+
+    server.stop();
+    let _ = std::fs::remove_dir_all(&journal_dir);
 }
 
 fn server_stats_sane(stats: &ServeStats) {

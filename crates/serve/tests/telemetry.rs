@@ -20,6 +20,8 @@ fn request(id: &str, target_dyn: u64) -> Request {
         schemes: vec!["no-minigraphs".into(), "Struct-All".into()],
         machines: vec!["reduced".into()],
         target_dyn: Some(target_dyn),
+        deadline_ms: None,
+        resume_from: None,
     }
 }
 
