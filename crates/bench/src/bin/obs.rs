@@ -3,12 +3,16 @@
 //! `results/`), a Konata-style text pipeview of the run's tail, the
 //! per-slot stall-attribution table, and the queue-occupancy summary.
 //!
-//! Usage: `obs [BENCH] [SCHEME] [TARGET_DYN]`
+//! Usage: `obs [BENCH] [SCHEME] [TARGET_DYN] [--export-json]`
 //!
 //! * `BENCH` — benchmark name from the suite (default `mib_crc32`)
 //! * `SCHEME` — scheme display name, e.g. `Struct-All`, `no-minigraphs`,
 //!   `Slack-Profile` (default `Struct-All`)
 //! * `TARGET_DYN` — dynamic-instruction target (default 30000)
+//! * `--export-json` — besides the binary `results/OBS_<bench>.mgb`
+//!   record, also write the legacy `results/OBS_<bench>.json` debug
+//!   view (pretty-printed, ~50k lines; the binary record is the
+//!   canonical artifact)
 //!
 //! Only built with `--features obs`; without the feature the simulator
 //! carries no instrumentation. The process exits non-zero if the stall
@@ -17,20 +21,30 @@
 
 #[cfg(feature = "obs")]
 fn main() {
+    use mg_bench::binfmt::{self, RecordKind};
     use mg_bench::harness::ObsSection;
-    use mg_bench::{save_json, BenchContext, Scheme};
+    use mg_bench::{save_bin, save_json, BenchContext, Scheme, SCHEMA_VERSION};
     use mg_sim::MachineConfig;
     use mg_workloads::suite;
 
     mg_bench::Config::init_cli();
-    let bench = std::env::args()
-        .nth(1)
+    let (flags, positional): (Vec<String>, Vec<String>) =
+        std::env::args().skip(1).partition(|a| a.starts_with("--"));
+    let export_json = flags.iter().any(|f| f == "--export-json");
+    if let Some(unknown) = flags.iter().find(|f| *f != "--export-json") {
+        eprintln!("unknown flag {unknown:?}; the only flag is --export-json");
+        std::process::exit(2);
+    }
+    let bench = positional
+        .first()
+        .cloned()
         .unwrap_or_else(|| "mib_crc32".into());
-    let scheme_name = std::env::args()
-        .nth(2)
+    let scheme_name = positional
+        .get(1)
+        .cloned()
         .unwrap_or_else(|| "Struct-All".into());
-    let target_dyn: usize = std::env::args()
-        .nth(3)
+    let target_dyn: usize = positional
+        .get(2)
         .and_then(|s| s.parse().ok())
         .unwrap_or(30_000);
 
@@ -105,21 +119,29 @@ fn main() {
     }
 
     let section = ObsSection::new(&spec.name, scheme, report);
-    let path = save_json(&format!("OBS_{}", spec.name), &section);
-    println!("\ntrace JSON written to {}", path.display());
+    let name = format!("OBS_{}", spec.name);
+    let path = save_bin(&name, RecordKind::ObsDump, &section);
+    println!("\ntrace dump written to {}", path.display());
+    if export_json {
+        let json_path = save_json(&name, &section);
+        println!("trace JSON view written to {}", json_path.display());
+    }
 
-    // When run from the workspace root (as CI does), validate the file
-    // just written against the checked-in schema.
+    // When run from the workspace root (as CI does), validate the dump
+    // just written against the checked-in schema — decoded straight
+    // from the binary record, so the canonical artifact is what gets
+    // checked.
     let schema_path = std::path::Path::new("crates/bench/tests/obs/trace.schema.json");
     if schema_path.exists() {
-        let written = std::fs::read_to_string(&path).expect("read back trace JSON");
-        let value = serde_json::parse_value_str(&written).expect("trace JSON parses");
+        let written = std::fs::read(&path).expect("read back trace dump");
+        let value = binfmt::open_value(&written, RecordKind::ObsDump, SCHEMA_VERSION)
+            .expect("trace dump reopens");
         let schema_text = std::fs::read_to_string(schema_path).expect("read schema");
         let schema = serde_json::parse_value_str(&schema_text).expect("schema parses");
         match mg_obs::schema::validate(&value, &schema) {
-            Ok(()) => println!("trace JSON validates against {}", schema_path.display()),
+            Ok(()) => println!("trace dump validates against {}", schema_path.display()),
             Err(e) => {
-                eprintln!("trace JSON violates {}: {e}", schema_path.display());
+                eprintln!("trace dump violates {}: {e}", schema_path.display());
                 std::process::exit(1);
             }
         }

@@ -17,18 +17,27 @@
 //!   simulation that dominates context construction.
 //!
 //! Disk entries are versioned ([`CACHE_SCHEMA`]) and integrity-checked:
-//! every file carries an FNV-1a checksum over its payload, verified on
-//! load. A mismatched schema is stale and silently treated as a miss; a
-//! corrupt or truncated entry (checksum/parse failure) is *quarantined*
-//! to `results/cache/quarantine/` with an `MG_LOG` warning so it never
-//! surfaces as a deserialize error and the evidence survives for
-//! inspection. All cache I/O is best-effort: a read-only or missing
-//! `results/` directory silently degrades to the in-memory layer.
+//! each `ctx-*.mgb` file is a [`crate::binfmt`] binary record (magic +
+//! schema header, FNV-1a trailer), verified end-to-end on load. Entries
+//! written by the previous, JSON-era generation (`ctx-*.json`, a
+//! checksummed [`DiskRecord`] envelope) are still read transparently
+//! for one schema generation and rewritten in the binary format on
+//! their first hit. A mismatched schema or kind is stale and silently
+//! treated as a miss; a corrupt or truncated entry (checksum/decode
+//! failure) is *quarantined* to `results/cache/quarantine/` with an
+//! `MG_LOG` warning so it never surfaces as a deserialize error and the
+//! evidence survives for inspection. Cache I/O is best-effort — a
+//! read-only or missing `results/` directory degrades to the in-memory
+//! layer — but no longer *silently* so: failed writes are logged via
+//! `mg_error!` and counted (`mg_cache_write_errors_total`), because a
+//! swallowed serialization or I/O failure otherwise looks identical to
+//! a cache miss forever.
 
+use crate::binfmt::{self, RecordKind};
 use crate::fault;
 use crate::harness::BenchError;
 use mg_core::pipeline::try_profile_workload;
-use mg_obs::mg_error;
+use mg_obs::{mg_error, mg_info};
 use mg_sim::{MachineConfig, SlackProfile};
 use mg_workloads::{BenchmarkSpec, Executor, InputSet, Trace, Workload};
 use serde::{Deserialize, Serialize};
@@ -40,7 +49,10 @@ use std::sync::{Arc, Mutex, OnceLock};
 /// Version tag for on-disk cache entries. Bump when the cached payload or
 /// its semantics change; stale entries are then ignored.
 ///
-/// v2: entries are wrapped in a checksummed [`DiskRecord`] envelope.
+/// v2: entries are wrapped in a checksummed envelope. The payload shape
+/// is unchanged across the JSON-era [`DiskRecord`] envelope and the
+/// current [`crate::binfmt`] container, so v2 JSON entries remain
+/// readable (for one generation) alongside v2 binary entries.
 pub const CACHE_SCHEMA: u32 = 2;
 
 /// Directory holding on-disk context cache entries, relative to the
@@ -201,9 +213,12 @@ struct DiskEntry {
     slack: SlackProfile,
 }
 
-/// The checksummed envelope a cache file actually holds. `payload` is
-/// the [`DiskEntry`] JSON *as a string*, so the checksum is over exact
-/// bytes and never depends on re-serialization being canonical.
+/// The checksummed envelope a *legacy* (JSON-era) cache file holds.
+/// `payload` is the [`DiskEntry`] JSON *as a string*, so the checksum is
+/// over exact bytes and never depends on re-serialization being
+/// canonical. Kept for one schema generation so existing caches and
+/// journals migrate transparently; new records are [`crate::binfmt`]
+/// containers.
 #[derive(Serialize, Deserialize)]
 struct DiskRecord {
     /// FNV-1a of `payload`'s UTF-8 bytes, in zero-padded hex.
@@ -211,10 +226,12 @@ struct DiskRecord {
     payload: String,
 }
 
-/// Wraps serialized payload bytes in the checksummed [`DiskRecord`]
-/// envelope (shared with the sweep journal, which stores rows the same
-/// way).
-pub(crate) fn seal_record(payload: String) -> Option<Vec<u8>> {
+/// Wraps serialized payload bytes in the legacy checksummed JSON
+/// envelope. Exposed (hidden) so the mixed-directory tests and the
+/// format benchmark can fabricate JSON-era records; production code
+/// only ever *reads* this envelope now.
+#[doc(hidden)]
+pub fn seal_record(payload: String) -> Option<Vec<u8>> {
     let record = DiskRecord {
         checksum: format!("{:016x}", stable_hash64(payload.as_bytes())),
         payload,
@@ -222,39 +239,61 @@ pub(crate) fn seal_record(payload: String) -> Option<Vec<u8>> {
     serde_json::to_vec(&record).ok()
 }
 
-/// Parses and verifies a [`DiskRecord`], returning the payload string.
-/// `None` means the bytes are corrupt or truncated (parse or checksum
-/// failure) — not merely stale.
-pub(crate) fn open_record(bytes: &[u8]) -> Option<String> {
+/// Parses and verifies a legacy [`DiskRecord`], returning the payload
+/// string. `None` means the bytes are corrupt or truncated (parse or
+/// checksum failure) — not merely stale.
+#[doc(hidden)]
+pub fn open_record(bytes: &[u8]) -> Option<String> {
     let record: DiskRecord = serde_json::from_slice(bytes).ok()?;
     let sum = format!("{:016x}", stable_hash64(record.payload.as_bytes()));
     (sum == record.checksum).then_some(record.payload)
 }
 
-fn disk_path(key: u64) -> PathBuf {
-    PathBuf::from(CACHE_DIR).join(format!("ctx-{key:016x}.json"))
+fn disk_path_in(dir: &std::path::Path, key: u64) -> PathBuf {
+    dir.join(format!("ctx-{key:016x}.{}", binfmt::EXT))
 }
 
-/// Moves a corrupt cache file into [`QUARANTINE_DIR`] (best-effort) and
-/// warns through the leveled logger. Keeps at most [`QUARANTINE_KEEP`]
-/// quarantined files, deleting the oldest beyond that.
-fn quarantine(path: &std::path::Path, why: &str) {
-    mg_obs::tele_counter!("mg_cache_quarantined_total").inc();
-    let dir = std::path::Path::new(QUARANTINE_DIR);
-    let moved = std::fs::create_dir_all(dir).is_ok()
+fn legacy_disk_path_in(dir: &std::path::Path, key: u64) -> PathBuf {
+    dir.join(format!("ctx-{key:016x}.json"))
+}
+
+/// Moves a corrupt record into `quarantine_dir` (best-effort), warns
+/// through the leveled logger, and bumps `counter`. Keeps at most
+/// [`QUARANTINE_KEEP`] quarantined files, deleting the oldest beyond
+/// that. Shared by the cache and the sweep journal, so every corrupt
+/// persisted record lands in a quarantine directory instead of being
+/// silently dropped.
+pub(crate) fn quarantine_into(
+    quarantine_dir: &std::path::Path,
+    path: &std::path::Path,
+    why: &str,
+    counter: &'static str,
+) {
+    mg_obs::telemetry::counter(counter).inc();
+    let moved = std::fs::create_dir_all(quarantine_dir).is_ok()
         && path
             .file_name()
-            .map(|name| std::fs::rename(path, dir.join(name)).is_ok())
+            .map(|name| {
+                // Never overwrite an earlier sample of the same record:
+                // uniquify the destination if the name is taken.
+                let mut dest = quarantine_dir.join(name);
+                let mut tag = 0u32;
+                while dest.exists() && tag < 100 {
+                    tag += 1;
+                    dest = quarantine_dir.join(format!("{}.{tag}", name.to_string_lossy()));
+                }
+                std::fs::rename(path, dest).is_ok()
+            })
             .unwrap_or(false);
     if !moved {
         let _ = std::fs::remove_file(path);
     }
     mg_error!(
-        "cache: quarantined corrupt entry {} ({why}); treating as a miss",
+        "quarantined corrupt record {} ({why}); treating as absent",
         path.display()
     );
     // Bound the quarantine: drop the oldest files beyond the cap.
-    let Ok(listing) = std::fs::read_dir(dir) else {
+    let Ok(listing) = std::fs::read_dir(quarantine_dir) else {
         return;
     };
     let mut entries: Vec<(std::time::SystemTime, PathBuf)> = listing
@@ -272,31 +311,92 @@ fn quarantine(path: &std::path::Path, why: &str) {
     }
 }
 
-fn disk_load(key: u64, spec: &BenchmarkSpec) -> Option<(Vec<u64>, SlackProfile)> {
-    let path = disk_path(key);
+fn quarantine(dir: &std::path::Path, path: &std::path::Path, why: &str) {
+    quarantine_into(
+        &dir.join("quarantine"),
+        path,
+        why,
+        "mg_cache_quarantined_total",
+    );
+}
+
+/// Validates a decoded entry against the request; stale entries (other
+/// schema generation or bench) miss without quarantine.
+fn validate_entry(entry: DiskEntry, spec: &BenchmarkSpec) -> Option<(Vec<u64>, SlackProfile)> {
+    (entry.schema_version == CACHE_SCHEMA && entry.bench == spec.name)
+        .then_some((entry.freqs, entry.slack))
+}
+
+/// LRU touch: freshen the entry's mtime so hot entries survive size-cap
+/// eviction. Best-effort, like all disk-layer reads.
+fn touch(path: &std::path::Path) {
+    if let Ok(f) = std::fs::File::options().append(true).open(path) {
+        let _ = f.set_modified(std::time::SystemTime::now());
+    }
+}
+
+/// Loads one disk entry from `dir` (binary first, then the legacy
+/// JSON fallback). Hidden from docs: the supported surface is
+/// [`context`]; this is exposed for the format fixtures and tests.
+#[doc(hidden)]
+pub fn disk_load_from(
+    dir: &std::path::Path,
+    key: u64,
+    spec: &BenchmarkSpec,
+) -> Option<(Vec<u64>, SlackProfile)> {
+    let path = disk_path_in(dir, key);
+    match std::fs::read(&path) {
+        Ok(mut bytes) => {
+            fault::corrupt_cache_bytes(key, &mut bytes);
+            match binfmt::from_record::<DiskEntry>(&bytes, RecordKind::CacheEntry, CACHE_SCHEMA) {
+                Ok(entry) => {
+                    let hit = validate_entry(entry, spec)?;
+                    touch(&path);
+                    Some(hit)
+                }
+                Err(e) if e.is_corrupt() => {
+                    quarantine(dir, &path, &e.to_string());
+                    None
+                }
+                // Stale container/schema/kind: a miss rewrites it in place.
+                Err(_) => None,
+            }
+        }
+        // No binary entry: fall back to a legacy JSON-era record.
+        Err(_) => disk_load_legacy(dir, key, spec),
+    }
+}
+
+/// Reads a legacy JSON entry (previous schema generation) and, on a
+/// hit, rewrites it as a binary record so the next load takes the fast
+/// path — the transparent migration promised in the README.
+fn disk_load_legacy(
+    dir: &std::path::Path,
+    key: u64,
+    spec: &BenchmarkSpec,
+) -> Option<(Vec<u64>, SlackProfile)> {
+    let path = legacy_disk_path_in(dir, key);
     let mut bytes = std::fs::read(&path).ok()?;
     fault::corrupt_cache_bytes(key, &mut bytes);
     let Some(payload) = open_record(&bytes) else {
-        quarantine(&path, "bad envelope or checksum");
+        quarantine(dir, &path, "bad legacy envelope or checksum");
         return None;
     };
     let entry: DiskEntry = match serde_json::from_str(&payload) {
         Ok(entry) => entry,
         Err(_) => {
-            quarantine(&path, "payload does not parse");
+            quarantine(dir, &path, "legacy payload does not parse");
             return None;
         }
     };
-    if entry.schema_version != CACHE_SCHEMA || entry.bench != spec.name {
-        // Stale, not corrupt: a miss rewrites it in place.
-        return None;
-    }
-    // LRU touch: freshen the entry's mtime so hot entries survive
-    // size-cap eviction. Best-effort, like all disk-layer I/O.
-    if let Ok(f) = std::fs::File::options().append(true).open(&path) {
-        let _ = f.set_modified(std::time::SystemTime::now());
-    }
-    Some((entry.freqs, entry.slack))
+    let hit = validate_entry(entry, spec)?;
+    disk_store_to(dir, key, spec, &hit.0, &hit.1);
+    let _ = std::fs::remove_file(&path);
+    mg_info!(
+        "cache: migrated legacy entry {} to the binary format",
+        path.display()
+    );
+    Some(hit)
 }
 
 /// Configured size cap in megabytes. `u64::MAX` is the "unset"
@@ -323,11 +423,11 @@ fn cache_cap_bytes() -> u64 {
 }
 
 /// Evicts least-recently-used cache entries from `dir` until the
-/// remaining `ctx-*.json` files total at most `cap_bytes`. "Least
-/// recently used" is by mtime: [`disk_load`] freshens entries on every
-/// hit, and [`disk_store`] writes them new. Ties break by file name so
-/// eviction order is deterministic. Best-effort: I/O errors skip the
-/// affected entry.
+/// remaining `ctx-*.mgb` (and not-yet-migrated `ctx-*.json`) files
+/// total at most `cap_bytes`. "Least recently used" is by mtime:
+/// loads freshen entries on every hit, and stores write them new. Ties
+/// break by file name so eviction order is deterministic. Best-effort:
+/// I/O errors skip the affected entry.
 fn evict_lru(dir: &std::path::Path, cap_bytes: u64) {
     let Ok(listing) = std::fs::read_dir(dir) else {
         return;
@@ -337,7 +437,7 @@ fn evict_lru(dir: &std::path::Path, cap_bytes: u64) {
         .filter_map(|e| {
             let path = e.path();
             let name = path.file_name()?.to_str()?;
-            if !(name.starts_with("ctx-") && name.ends_with(".json")) {
+            if !(name.starts_with("ctx-") && (name.ends_with(".mgb") || name.ends_with(".json"))) {
                 return None;
             }
             let meta = e.metadata().ok()?;
@@ -360,37 +460,61 @@ fn evict_lru(dir: &std::path::Path, cap_bytes: u64) {
     }
 }
 
-fn disk_store(key: u64, spec: &BenchmarkSpec, freqs: &[u64], slack: &SlackProfile) {
+/// Logs and counts a failed cache write. The write path stays
+/// best-effort (the sweep carries on), but a failure is no longer
+/// indistinguishable from a miss: it is visible in `MG_LOG` output and
+/// in the `mg_cache_write_errors_total` telemetry counter.
+fn write_failed(what: &str, path: &std::path::Path, err: &dyn std::fmt::Display) {
+    mg_obs::tele_counter!("mg_cache_write_errors_total").inc();
+    mg_error!(
+        "cache: failed to {what} {} ({err}); this key will keep missing",
+        path.display()
+    );
+}
+
+/// Stores one disk entry into `dir` as a binary record (atomic temp +
+/// rename). Hidden from docs: the supported surface is [`context`];
+/// this is exposed for the format fixtures and tests.
+#[doc(hidden)]
+pub fn disk_store_to(
+    dir: &std::path::Path,
+    key: u64,
+    spec: &BenchmarkSpec,
+    freqs: &[u64],
+    slack: &SlackProfile,
+) {
     let entry = DiskEntry {
         schema_version: CACHE_SCHEMA,
         bench: spec.name.clone(),
         freqs: freqs.to_vec(),
         slack: slack.clone(),
     };
-    let Ok(payload) = serde_json::to_string(&entry) else {
-        return;
-    };
-    let Some(json) = seal_record(payload) else {
-        return;
-    };
+    let bytes = binfmt::to_record(RecordKind::CacheEntry, CACHE_SCHEMA, &entry);
     // Best-effort: write via a unique temp file + rename so concurrent
     // writers of the same key never expose a torn entry.
-    if std::fs::create_dir_all(CACHE_DIR).is_err() {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        write_failed("create cache dir", dir, &e);
         return;
     }
     static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
-    let tmp = PathBuf::from(CACHE_DIR).join(format!(
+    let tmp = dir.join(format!(
         "ctx-{key:016x}.tmp.{}.{}",
         std::process::id(),
         TMP_SEQ.fetch_add(1, Ordering::Relaxed)
     ));
-    if std::fs::write(&tmp, json).is_ok() {
-        let _ = std::fs::rename(&tmp, disk_path(key));
+    if let Err(e) = std::fs::write(&tmp, bytes) {
+        write_failed("write", &tmp, &e);
+        return;
+    }
+    if let Err(e) = std::fs::rename(&tmp, disk_path_in(dir, key)) {
+        write_failed("publish", &tmp, &e);
+        let _ = std::fs::remove_file(&tmp);
+        return;
     }
     // Keep the disk layer bounded: evict least-recently-used entries
     // beyond the configured cap. Stores happen only on cache misses, so
     // the directory walk is off every sweep's hot path.
-    evict_lru(std::path::Path::new(CACHE_DIR), cache_cap_bytes());
+    evict_lru(dir, cache_cap_bytes());
 }
 
 fn exec_err(
@@ -453,7 +577,11 @@ pub(crate) fn context(
         mg_obs::tele_counter!("mg_cache_mem_hits_total").inc();
         return Ok((Arc::clone(hit), CacheOutcome::MemHit));
     }
-    let disk_entry = if use_disk { disk_load(key, spec) } else { None };
+    let disk_entry = if use_disk {
+        disk_load_from(std::path::Path::new(CACHE_DIR), key, spec)
+    } else {
+        None
+    };
     let (artifacts, outcome) = match disk_entry {
         Some((freqs, slack)) => {
             let (workload, trace) = run_side(spec, run_input)?;
@@ -481,7 +609,13 @@ pub(crate) fn context(
             MISSES.fetch_add(1, Ordering::Relaxed);
             mg_obs::tele_counter!("mg_cache_misses_total").inc();
             if use_disk {
-                disk_store(key, spec, &artifacts.freqs, &artifacts.slack);
+                disk_store_to(
+                    std::path::Path::new(CACHE_DIR),
+                    key,
+                    spec,
+                    &artifacts.freqs,
+                    &artifacts.slack,
+                );
             }
         }
     }
@@ -553,6 +687,132 @@ mod tests {
         // Reference value for the empty string is the FNV-1a offset basis.
         assert_eq!(stable_hash64(b""), 0xcbf2_9ce4_8422_2325);
         assert_ne!(stable_hash64(b"a"), stable_hash64(b"b"));
+    }
+
+    #[test]
+    fn disk_layer_round_trips_binary_entries() {
+        let dir = std::env::temp_dir().join(format!("mg-cache-bin-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = BenchmarkSpec::new(Suite::MiBench, "sha");
+        let freqs = vec![0u64, 1, 300_000];
+        let slack = SlackProfile {
+            per_static: vec![
+                mg_sim::StaticProfile {
+                    count: 7,
+                    issue_rel: 1.5,
+                    ..Default::default()
+                };
+                2
+            ],
+        };
+        disk_store_to(&dir, 42, &spec, &freqs, &slack);
+        assert!(disk_path_in(&dir, 42).exists(), "binary entry written");
+        let (f, s) = disk_load_from(&dir, 42, &spec).expect("hit");
+        assert_eq!(f, freqs);
+        assert_eq!(s.per_static.len(), 2);
+        assert_eq!(s.per_static[0].count, 7);
+        assert_eq!(
+            s.per_static[0].issue_rel.to_bits(),
+            1.5f64.to_bits(),
+            "floats replay by bit"
+        );
+        // A different benchmark under the same key is stale, not corrupt:
+        // miss without quarantine.
+        let other = BenchmarkSpec::new(Suite::MiBench, "crc32");
+        assert!(disk_load_from(&dir, 42, &other).is_none());
+        assert!(!dir.join("quarantine").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_binary_entries_are_quarantined() {
+        let dir = std::env::temp_dir().join(format!("mg-cache-corrupt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let spec = BenchmarkSpec::new(Suite::MiBench, "sha");
+        let slack = SlackProfile::default();
+        disk_store_to(&dir, 7, &spec, &[1, 2, 3], &slack);
+        let path = disk_path_in(&dir, 7);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(
+            disk_load_from(&dir, 7, &spec).is_none(),
+            "corrupt entry misses"
+        );
+        assert!(!path.exists(), "corrupt entry removed from the cache");
+        let quarantined = std::fs::read_dir(dir.join("quarantine"))
+            .map(|d| d.flatten().count())
+            .unwrap_or(0);
+        assert_eq!(quarantined, 1, "corrupt entry preserved in quarantine");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn legacy_json_entries_load_and_migrate_to_binary() {
+        let dir = std::env::temp_dir().join(format!("mg-cache-legacy-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = BenchmarkSpec::new(Suite::MiBench, "sha");
+        let entry = DiskEntry {
+            schema_version: CACHE_SCHEMA,
+            bench: spec.name.clone(),
+            freqs: vec![9, 8, 7],
+            slack: SlackProfile::default(),
+        };
+        let payload = serde_json::to_string(&entry).unwrap();
+        let legacy = legacy_disk_path_in(&dir, 99);
+        std::fs::write(&legacy, seal_record(payload).unwrap()).unwrap();
+
+        let (f, _) = disk_load_from(&dir, 99, &spec).expect("legacy entry hits");
+        assert_eq!(f, vec![9, 8, 7]);
+        assert!(!legacy.exists(), "legacy file removed after migration");
+        assert!(
+            disk_path_in(&dir, 99).exists(),
+            "binary replacement written"
+        );
+        // Second load comes from the binary record.
+        let (f2, _) = disk_load_from(&dir, 99, &spec).expect("binary entry hits");
+        assert_eq!(f2, vec![9, 8, 7]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Regenerates the checked-in cache fixtures under `tests/format/`
+    /// — one legacy JSON entry and one binary entry of the same
+    /// deterministic payload. Run explicitly when the record shape
+    /// changes generation:
+    /// `cargo test -p mg-bench --lib -- --ignored regenerate_cache_fixtures`
+    #[test]
+    #[ignore = "writes checked-in fixtures; run on schema generation changes"]
+    fn regenerate_cache_fixtures() {
+        let dir = std::path::PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/format"));
+        std::fs::create_dir_all(&dir).unwrap();
+        let _ = std::fs::remove_file(legacy_disk_path_in(&dir, 0x2a));
+        let _ = std::fs::remove_file(disk_path_in(&dir, 0x2b));
+        let spec = BenchmarkSpec::new(Suite::MiBench, "sha");
+        let freqs = vec![1u64, 1, 449, 449, 449, 0, 0, 0, 253];
+        let slack = SlackProfile {
+            per_static: vec![
+                mg_sim::StaticProfile {
+                    count: 449,
+                    issue_rel: 1.5,
+                    ..Default::default()
+                },
+                mg_sim::StaticProfile::default(),
+            ],
+        };
+        // Binary entry via the current writer.
+        disk_store_to(&dir, 0x2b, &spec, &freqs, &slack);
+        // Legacy entry byte-for-byte as the JSON-era writer produced it.
+        let entry = DiskEntry {
+            schema_version: CACHE_SCHEMA,
+            bench: spec.name.clone(),
+            freqs,
+            slack,
+        };
+        let payload = serde_json::to_string(&entry).unwrap();
+        let sealed = seal_record(payload).unwrap();
+        std::fs::write(legacy_disk_path_in(&dir, 0x2a), sealed).unwrap();
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! at a time, so an interrupted multi-minute campaign resumes instead
 //! of restarting.
 //!
-//! Layout: `results/journal/sweep-<key>/row-<idx>-<rowkey>.json`, where
+//! Layout: `results/journal/sweep-<key>/row-<idx>-<rowkey>.mgb`, where
 //! `<key>` identifies the sweep shape (cells, inputs, training machine,
 //! machine fingerprint) and `<rowkey>` is a content hash over everything
 //! that determines the row — the same ingredients as the context
@@ -10,17 +10,25 @@
 //! a row into a sweep it does not belong to: a changed spec, machine,
 //! or schema changes the key and the stale record is simply ignored.
 //!
-//! Every record is written via unique-temp-file + atomic rename and
-//! wrapped in the same FNV-1a-checksummed envelope as disk cache
-//! entries, so a record either exists completely and verifies, or it is
-//! treated as absent; a process killed mid-write never leaves torn
-//! state. Only *finished* rows are journaled — failed cells are
-//! finished (their errors are deterministic and replay bit-identically)
-//! but rows skipped by a shutdown are not, so a resume re-runs exactly
-//! the work that never completed.
+//! Every record is written via unique-temp-file + atomic rename as a
+//! checksummed [`crate::binfmt`] container
+//! ([`crate::binfmt::RecordKind::JournalRow`]), so a record either
+//! exists completely and verifies, or it is quarantined and treated as
+//! absent; a process killed mid-write never leaves torn state. Rows
+//! from the JSON era (`row-*.json`, FNV-checksummed envelope) are still
+//! read transparently for one schema generation, so a sweep
+//! interrupted before an upgrade resumes bit-identically after it.
+//! Only *finished* rows are journaled — failed cells are finished
+//! (their errors are deterministic and replay bit-identically) but
+//! rows skipped by a shutdown are not, so a resume re-runs exactly the
+//! work that never completed.
 //!
-//! All journal I/O is best-effort, like the context cache: an
-//! unwritable directory degrades to journaling nothing.
+//! Journal I/O is best-effort, like the context cache: an unwritable
+//! directory degrades to journaling nothing — but unlike the JSON era,
+//! every write failure is logged and counted
+//! (`mg_journal_write_errors_total`) instead of silently swallowed, and
+//! corrupt records land in `<sweep-dir>/quarantine/` for post-mortem
+//! (`mg_journal_quarantined_total`).
 //!
 //! # Key derivation
 //!
@@ -44,9 +52,11 @@
 //! anything that would not (worker count, logging, who submitted the
 //! job) is deliberately excluded.
 
-use crate::cache::{open_record, seal_record, stable_hash64, CacheOutcome};
+use crate::binfmt::{self, RecordKind};
+use crate::cache::{open_record, quarantine_into, stable_hash64, CacheOutcome};
 use crate::harness::{machine_fingerprint, BenchError, SchemeRun};
 use crate::runner::BenchRows;
+use mg_obs::mg_error;
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -115,17 +125,52 @@ impl Journal {
     }
 
     fn row_path(&self, idx: usize) -> PathBuf {
+        self.dir.join(format!(
+            "row-{idx:04}-{:016x}.{}",
+            self.row_keys[idx],
+            binfmt::EXT
+        ))
+    }
+
+    fn legacy_row_path(&self, idx: usize) -> PathBuf {
         self.dir
             .join(format!("row-{idx:04}-{:016x}.json", self.row_keys[idx]))
     }
 
+    fn quarantine(&self, path: &Path, why: &str) {
+        quarantine_into(
+            &self.dir.join("quarantine"),
+            path,
+            why,
+            "mg_journal_quarantined_total",
+        );
+    }
+
     /// Loads and validates row `idx`, reconstructing its [`BenchRows`].
-    /// `None` on any mismatch (absent, torn, stale schema, wrong key, or
-    /// wrong cell count) — the caller then just re-runs the row.
+    /// `None` on any mismatch — the caller then just re-runs the row.
+    /// Absent, stale-schema, wrong-key, and wrong-cell-count records
+    /// miss silently; corrupt records (torn, bit-flipped, truncated)
+    /// additionally move to the sweep's `quarantine/` directory.
     pub fn load_row(&self, idx: usize, cell_count: usize) -> Option<BenchRows> {
-        let bytes = std::fs::read(self.row_path(idx)).ok()?;
-        let payload = open_record(&bytes)?;
-        let row: JournalRow = serde_json::from_str(&payload).ok()?;
+        let path = self.row_path(idx);
+        let row = match std::fs::read(&path) {
+            Ok(bytes) => {
+                match binfmt::from_record::<JournalRow>(
+                    &bytes,
+                    RecordKind::JournalRow,
+                    JOURNAL_SCHEMA,
+                ) {
+                    Ok(row) => row,
+                    Err(err) => {
+                        if err.is_corrupt() {
+                            self.quarantine(&path, &err.to_string());
+                        }
+                        return None;
+                    }
+                }
+            }
+            Err(_) => self.load_legacy_row(idx)?,
+        };
         if row.schema_version != JOURNAL_SCHEMA
             || row.row_index != idx
             || row.row_key != format!("{:016x}", self.row_keys[idx])
@@ -151,6 +196,30 @@ impl Journal {
             #[cfg(feature = "obs")]
             obs: None,
         })
+    }
+
+    /// Reads a JSON-era row record (checksummed [`DiskRecord`]
+    /// envelope around a JSON [`JournalRow`]), the on-disk format
+    /// before the binary container. Supported read-only for one schema
+    /// generation so in-flight sweeps resume across the upgrade;
+    /// records that fail the envelope checksum or JSON parse are
+    /// quarantined like corrupt binary ones.
+    ///
+    /// [`DiskRecord`]: crate::cache::seal_record
+    fn load_legacy_row(&self, idx: usize) -> Option<JournalRow> {
+        let path = self.legacy_row_path(idx);
+        let bytes = std::fs::read(&path).ok()?;
+        let Some(payload) = open_record(&bytes) else {
+            self.quarantine(&path, "legacy journal record failed its checksum");
+            return None;
+        };
+        match serde_json::from_str(&payload) {
+            Ok(row) => Some(row),
+            Err(err) => {
+                self.quarantine(&path, &format!("legacy journal record unparsable: {err}"));
+                None
+            }
+        }
     }
 
     /// Loads the single-cell record written by [`Journal::store_cell`]
@@ -185,8 +254,10 @@ impl Journal {
         self.store_row(idx, &rows);
     }
 
-    /// Persists a finished row (atomic temp + rename, checksummed).
-    /// Best-effort: failures journal nothing and the sweep carries on.
+    /// Persists a finished row (atomic temp + rename, checksummed
+    /// binary record). Best-effort: failures journal nothing and the
+    /// sweep carries on — but every failure is logged and counted, so
+    /// a journal that quietly stops persisting is visible.
     pub fn store_row(&self, idx: usize, rows: &BenchRows) {
         let row = JournalRow {
             schema_version: JOURNAL_SCHEMA,
@@ -201,16 +272,12 @@ impl Journal {
                     Err(e) => JournalCell::Err(e.clone()),
                 })
                 .collect(),
-            wall_ms: rows.wall.as_millis() as u64,
+            wall_ms: u64::try_from(rows.wall.as_millis()).unwrap_or(u64::MAX),
             cache: rows.cache.map(|c| c.tag().to_string()),
         };
-        let Ok(payload) = serde_json::to_string(&row) else {
-            return;
-        };
-        let Some(bytes) = seal_record(payload) else {
-            return;
-        };
-        if std::fs::create_dir_all(&self.dir).is_err() {
+        let bytes = binfmt::to_record(RecordKind::JournalRow, JOURNAL_SCHEMA, &row);
+        if let Err(err) = std::fs::create_dir_all(&self.dir) {
+            write_failed("create journal dir", &self.dir, &err);
             return;
         }
         static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
@@ -219,9 +286,18 @@ impl Journal {
             std::process::id(),
             TMP_SEQ.fetch_add(1, Ordering::Relaxed)
         ));
-        if std::fs::write(&tmp, bytes).is_ok() && std::fs::rename(&tmp, self.row_path(idx)).is_ok()
-        {
-            mg_obs::tele_counter!("mg_journal_appends_total").inc();
+        if let Err(err) = std::fs::write(&tmp, bytes) {
+            write_failed("write journal record", &tmp, &err);
+            return;
+        }
+        match std::fs::rename(&tmp, self.row_path(idx)) {
+            Ok(()) => {
+                mg_obs::tele_counter!("mg_journal_appends_total").inc();
+            }
+            Err(err) => {
+                write_failed("publish journal record", &self.row_path(idx), &err);
+                let _ = std::fs::remove_file(&tmp);
+            }
         }
     }
 
@@ -234,6 +310,17 @@ impl Journal {
     pub(crate) fn clear(&self) {
         let _ = std::fs::remove_dir_all(&self.dir);
     }
+}
+
+/// Logs and counts a failed journal write: the row simply re-runs on
+/// resume, but the operator can see the journal is not persisting
+/// instead of discovering it after a crash.
+fn write_failed(what: &str, path: &Path, err: &dyn std::fmt::Display) {
+    mg_obs::tele_counter!("mg_journal_write_errors_total").inc();
+    mg_error!(
+        "journal: failed to {what} {} ({err}); this row will re-run on resume",
+        path.display()
+    );
 }
 
 /// The content key of benchmark row `bench` inside a sweep whose cells
@@ -337,19 +424,85 @@ mod tests {
         journal.store_row(0, &demo_rows("mib_crc32"));
         assert!(journal.load_row(0, 2).is_some());
 
-        // Truncate the record: torn writes never replay.
+        // Truncate the record: torn writes never replay, and the torn
+        // file moves to quarantine for post-mortem.
         let path = journal.row_path(0);
         let bytes = std::fs::read(&path).unwrap();
         std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
         assert!(journal.load_row(0, 2).is_none());
+        assert!(!path.exists(), "torn record removed from the journal");
+        let quarantined = || {
+            std::fs::read_dir(journal.dir().join("quarantine"))
+                .map(|d| d.flatten().count())
+                .unwrap_or(0)
+        };
+        assert_eq!(quarantined(), 1, "torn record preserved in quarantine");
 
-        // Same directory, different row key: stale records never replay.
+        // Flip one payload bit: the checksum catches it.
+        journal.store_row(0, &demo_rows("mib_crc32"));
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(journal.load_row(0, 2).is_none());
+        assert_eq!(quarantined(), 2, "bit-flipped record quarantined too");
+
+        // Same directory, different row key: stale records never replay
+        // (and are not quarantined — they are valid, just not ours).
         journal.store_row(0, &demo_rows("mib_crc32"));
         let rekeyed = Journal::new(&root, 1, vec![43]);
         assert!(rekeyed.load_row(0, 2).is_none());
 
         journal.clear();
         assert!(!journal.dir().exists());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn legacy_json_rows_resume_alongside_binary_rows() {
+        let root = temp_root("mixed");
+        let journal = Journal::new(&root, 0xdead, vec![5, 6]);
+        // Row 1 written by the current binary writer; row 0 fabricated
+        // byte-for-byte as the JSON-era writer produced it.
+        journal.store_row(1, &demo_rows("mib_sha"));
+        let rows = demo_rows("mib_crc32");
+        let legacy = JournalRow {
+            schema_version: JOURNAL_SCHEMA,
+            bench: rows.bench.clone(),
+            row_index: 0,
+            row_key: format!("{:016x}", 5u64),
+            cells: rows
+                .runs
+                .iter()
+                .map(|r| match r {
+                    Ok(run) => JournalCell::Ok(run.clone()),
+                    Err(e) => JournalCell::Err(e.clone()),
+                })
+                .collect(),
+            wall_ms: 1234,
+            cache: rows.cache.map(|c| c.tag().to_string()),
+        };
+        std::fs::create_dir_all(journal.dir()).unwrap();
+        let payload = serde_json::to_string(&legacy).unwrap();
+        let sealed = crate::cache::seal_record(payload).unwrap();
+        std::fs::write(journal.legacy_row_path(0), sealed).unwrap();
+
+        // Both eras replay from the same directory.
+        let back0 = journal.load_row(0, 2).expect("legacy JSON row replays");
+        let back1 = journal.load_row(1, 2).expect("binary row replays");
+        assert_eq!(back0.bench, "mib_crc32");
+        assert_eq!(back1.bench, "mib_sha");
+        // Replay is bit-identical across eras: the same demo cells come
+        // back with the same float bits and the same error payloads.
+        let a = back0.runs[0].as_ref().unwrap();
+        let b = back1.runs[0].as_ref().unwrap();
+        assert_eq!(a.ipc.to_bits(), b.ipc.to_bits());
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(back0.wall, back1.wall);
+        assert!(matches!(
+            back0.runs[1],
+            Err(BenchError::Panicked { cell: 1, .. })
+        ));
         let _ = std::fs::remove_dir_all(&root);
     }
 
@@ -371,6 +524,43 @@ mod tests {
         // A cell record never replays as a multi-cell row.
         assert!(journal.load_row(2, 2).is_none());
         let _ = std::fs::remove_dir_all(&root);
+    }
+
+    /// Regenerates the checked-in journal fixtures under
+    /// `tests/format/` — one legacy JSON row and one binary row of the
+    /// same deterministic demo payload. Run explicitly when the record
+    /// shape changes generation:
+    /// `cargo test -p mg-bench --lib -- --ignored regenerate_journal_fixtures`
+    #[test]
+    #[ignore = "writes checked-in fixtures; run on schema generation changes"]
+    fn regenerate_journal_fixtures() {
+        let root = PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/format"));
+        let journal = Journal::new(&root, 0xf1, vec![0x2a, 0x2b]);
+        let _ = std::fs::remove_dir_all(journal.dir());
+        std::fs::create_dir_all(journal.dir()).unwrap();
+        // Binary row via the current writer.
+        journal.store_row(1, &demo_rows("mib_crc32"));
+        // Legacy row byte-for-byte as the JSON-era writer produced it.
+        let rows = demo_rows("mib_sha");
+        let legacy = JournalRow {
+            schema_version: JOURNAL_SCHEMA,
+            bench: rows.bench.clone(),
+            row_index: 0,
+            row_key: format!("{:016x}", 0x2au64),
+            cells: rows
+                .runs
+                .iter()
+                .map(|r| match r {
+                    Ok(run) => JournalCell::Ok(run.clone()),
+                    Err(e) => JournalCell::Err(e.clone()),
+                })
+                .collect(),
+            wall_ms: 1234,
+            cache: rows.cache.map(|c| c.tag().to_string()),
+        };
+        let payload = serde_json::to_string(&legacy).unwrap();
+        let sealed = crate::cache::seal_record(payload).unwrap();
+        std::fs::write(journal.legacy_row_path(0), sealed).unwrap();
     }
 
     #[test]

@@ -17,6 +17,7 @@
 // SIGINT/SIGTERM watching; everything else stays safe.
 #![deny(unsafe_code)]
 
+pub mod binfmt;
 pub mod cache;
 pub mod config;
 pub mod fault;
@@ -34,8 +35,8 @@ pub use config::{default_jobs, parse_jobs, try_default_jobs, Config};
 #[cfg(feature = "obs")]
 pub use harness::ObsSection;
 pub use harness::{
-    machine_fingerprint, save_json, BenchContext, BenchContextBuilder, BenchError, Envelope,
-    Scheme, SchemeRun, SCHEMA_VERSION,
+    machine_fingerprint, save_bin, save_json, BenchContext, BenchContextBuilder, BenchError,
+    Envelope, Scheme, SchemeRun, SCHEMA_VERSION,
 };
 pub use journal::Journal;
 pub use runner::{

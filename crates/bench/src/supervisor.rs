@@ -170,7 +170,7 @@ fn attempt_cell(
         Err(_) => Err(BenchError::TimedOut {
             bench,
             cell: cell_idx,
-            limit_ms: limit.as_millis() as u64,
+            limit_ms: u64::try_from(limit.as_millis()).unwrap_or(u64::MAX),
         }),
     }
 }
@@ -304,7 +304,9 @@ pub fn supervise_cell_until(
 /// - At sweep exit (completed *or* interrupted) the global telemetry
 ///   registry is snapshotted to `results/TELEMETRY_<bin>.json`, and
 ///   with `MG_TRACE=1` the collected spans are drained to
-///   `results/TRACE_<bin>.json` (Chrome trace JSON for Perfetto).
+///   `results/TRACE_<bin>.mgb` (a checksummed binary record;
+///   `MG_TRACE=json` additionally writes the Chrome trace JSON view
+///   for Perfetto).
 pub fn run_cli(spec: SweepSpec) -> SweepResult {
     let cfg = crate::config::Config::init_cli();
     let spec = spec
@@ -318,7 +320,7 @@ pub fn run_cli(spec: SweepSpec) -> SweepResult {
             std::process::exit(2);
         }
         Ok(result) => {
-            write_telemetry_artifacts(&bin_name(), cfg.trace);
+            write_telemetry_artifacts(&bin_name(), cfg.trace, cfg.trace_json);
             if result.summary.interrupted > 0 {
                 std::process::exit(130);
             }
@@ -362,22 +364,41 @@ fn bin_name() -> String {
 
 /// Snapshots the telemetry registry to `results/TELEMETRY_<bin>.json`
 /// and, when span collection is on, drains the span buffer to
-/// `results/TRACE_<bin>.json`. Best-effort: a failed write logs an
-/// error but never fails the sweep that produced the rows.
-pub fn write_telemetry_artifacts(bin: &str, trace: bool) {
+/// `results/TRACE_<bin>.mgb` (a checksummed [`crate::binfmt`] record;
+/// with `trace_json` also the legacy Chrome-JSON view). Best-effort: a
+/// failed write logs an error but never fails the sweep that produced
+/// the rows.
+pub fn write_telemetry_artifacts(bin: &str, trace: bool, trace_json: bool) {
+    use crate::binfmt::{self, RecordKind};
     let path =
         crate::harness::save_json(&format!("TELEMETRY_{bin}"), &mg_obs::telemetry::snapshot());
     mg_info!("telemetry snapshot written to {}", path.display());
     if trace && mg_obs::span::enabled() {
         let dir = std::path::Path::new("results");
         let _ = std::fs::create_dir_all(dir);
-        let path = dir.join(format!("TRACE_{bin}.json"));
-        match mg_obs::span::write_chrome_trace(&path) {
-            Ok(n) => mg_info!(
-                "trace with {n} spans written to {} (open in Perfetto)",
+        let doc = mg_obs::span::chrome_trace(mg_obs::span::drain());
+        let n = doc.traceEvents.len();
+        let path = dir.join(format!("TRACE_{bin}.{}", binfmt::EXT));
+        let bytes = binfmt::to_record(RecordKind::SpanTrace, binfmt::SPAN_TRACE_SCHEMA, &doc);
+        match std::fs::write(&path, bytes) {
+            Ok(()) => mg_info!(
+                "trace with {n} spans written to {} (export with `cargo run --bin export_json`)",
                 path.display()
             ),
             Err(e) => mg_error!("failed to write trace {}: {e}", path.display()),
+        }
+        if trace_json {
+            let path = dir.join(format!("TRACE_{bin}.json"));
+            match serde_json::to_string(&doc) {
+                Ok(json) => match std::fs::write(&path, json) {
+                    Ok(()) => mg_info!(
+                        "trace JSON view written to {} (open in Perfetto)",
+                        path.display()
+                    ),
+                    Err(e) => mg_error!("failed to write trace view {}: {e}", path.display()),
+                },
+                Err(e) => mg_error!("failed to serialize trace view: {e}"),
+            }
         }
     }
 }

@@ -11,9 +11,10 @@
 //! Collection is **off by default** (a disabled span is one relaxed
 //! atomic load and two `Instant` reads); the `MG_TRACE` knob — parsed
 //! by `mg_bench::config` like every other `MG_*` knob — turns it on,
-//! and `run_cli` drains the buffer to `results/TRACE_<bin>.json` at
-//! sweep exit. The hierarchy convention is category `sweep` → `bench`
-//! → `cell` → `stage`.
+//! and `run_cli` drains the buffer at sweep exit to the binary record
+//! `results/TRACE_<bin>.mgb` (plus the Chrome-JSON view,
+//! `results/TRACE_<bin>.json`, with `MG_TRACE=json`). The hierarchy
+//! convention is category `sweep` → `bench` → `cell` → `stage`.
 
 use std::cell::Cell;
 use std::collections::BTreeMap;
@@ -213,8 +214,23 @@ pub fn chrome_trace(events: Vec<TraceEvent>) -> ChromeTrace {
 
 /// Serializes events to a Chrome trace JSON string loadable in
 /// Perfetto.
+///
+/// Serialization failure is not allowed to take the process down at
+/// drain time (this runs during shutdown, after the real work
+/// succeeded): it degrades to a logged error and a valid empty trace
+/// document.
 pub fn to_chrome_json(events: Vec<TraceEvent>) -> String {
-    serde_json::to_string(&chrome_trace(events)).expect("trace serialization cannot fail")
+    let n = events.len();
+    match serde_json::to_string(&chrome_trace(events)) {
+        Ok(json) => json,
+        Err(err) => {
+            crate::tele_counter!("mg_trace_serialize_errors_total").inc();
+            crate::mg_error!(
+                "trace: failed to serialize {n} span events ({err}); writing an empty trace"
+            );
+            r#"{"traceEvents":[],"displayTimeUnit":"ms"}"#.to_string()
+        }
+    }
 }
 
 /// Drains the buffer and writes it as Chrome trace JSON to `path`.

@@ -382,7 +382,7 @@ fn main() {
         rejected_by_code,
         client_errors,
         panics,
-        wall_ms: wall.as_millis() as u64,
+        wall_ms: u64::try_from(wall.as_millis()).unwrap_or(u64::MAX),
         sessions_per_sec: completed as f64 / wall.as_secs_f64().max(1e-9),
         dedup_hits,
         dedup_rate: dedup_hits as f64 / (completed.max(1)) as f64,

@@ -176,7 +176,7 @@ fn worker_loop(queue: &FairQueue<QueuedJob>, store: &ResultStore, shed: &Shed, c
                 mg_obs::tele_hist!(metrics::QUEUE_WAIT_US).record_duration(waited);
                 shed.record_wait(waited);
                 mg_obs::tele_gauge!(metrics::SHED_WAIT_P99_US)
-                    .set(shed.recent_wait_p99().as_micros() as i64);
+                    .set(i64::try_from(shed.recent_wait_p99().as_micros()).unwrap_or(i64::MAX));
                 if job.deadline.is_some_and(|d| Instant::now() >= d) {
                     // The job out-sat its budget in the queue; drop it
                     // without burning the worker. The client retries
@@ -196,7 +196,7 @@ fn worker_loop(queue: &FairQueue<QueuedJob>, store: &ResultStore, shed: &Shed, c
                 let busy = Instant::now();
                 run_job(job, store, cfg);
                 mg_obs::tele_counter!(metrics::WORKER_BUSY_US)
-                    .add(busy.elapsed().as_micros() as u64);
+                    .add(u64::try_from(busy.elapsed().as_micros()).unwrap_or(u64::MAX));
             }
             Pop::TimedOut => continue,
             Pop::Closed => return,
@@ -492,7 +492,11 @@ fn handle_line(
                 key,
                 ErrorCode::QueueFull,
                 &format!("job queue is at its {}-job capacity", queue.cap()),
-                Some((cfg.shed_retry_after.as_millis() as u64).max(1)),
+                Some(
+                    u64::try_from(cfg.shed_retry_after.as_millis())
+                        .unwrap_or(u64::MAX)
+                        .max(1),
+                ),
             ),
             Err(PushError::Closed) => {
                 store.abort(key, ErrorCode::ShuttingDown, "server is draining", None)

@@ -137,7 +137,7 @@ impl Shed {
         let hint = self.recent_wait_p99().max(self.cfg.retry_after);
         Overload {
             detail,
-            retry_after_ms: (hint.as_millis() as u64).max(1),
+            retry_after_ms: u64::try_from(hint.as_millis()).unwrap_or(u64::MAX).max(1),
         }
     }
 }

@@ -233,6 +233,21 @@ impl Deserialize for char {
     }
 }
 
+// `Value` serializes as itself, like real serde_json's `Value`: it lets
+// generic tooling (the binary-record exporter, format benchmarks)
+// re-serialize a decoded tree without knowing its concrete type.
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Value, Error> {
+        Ok(v.clone())
+    }
+}
+
 // --- containers ---------------------------------------------------------
 
 impl<T: Serialize + ?Sized> Serialize for &T {
